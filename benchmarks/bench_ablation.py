@@ -1,0 +1,136 @@
+"""Ablations of HiCOO's design choices (DESIGN.md section 5).
+
+Not a single paper figure, but the design discussion the evaluation section
+walks through:
+
+* **Morton vs lexicographic block ordering** — same blocks, different
+  traversal order; Morton keeps consecutive blocks close in *every* mode,
+  which we quantify with the mean inter-block coordinate jump (a locality
+  proxy for cache behaviour on the factor matrices).
+* **Strategy crossover** — for growing output-matrix sizes, where the
+  privatization/scheduling heuristic flips.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.hicoo import HicooTensor
+from repro.core.scheduler import choose_strategy
+from repro.core.superblock import build_superblocks
+
+from conftest import BENCH_BLOCK_BITS, RANK, dataset, write_result
+
+
+def _mean_jump(block_coords: np.ndarray) -> float:
+    """Average L1 distance between consecutive blocks' coordinates."""
+    if len(block_coords) < 2:
+        return 0.0
+    return float(np.abs(np.diff(block_coords, axis=0)).sum(axis=1).mean())
+
+
+def test_ablation_block_ordering(benchmark):
+    rows = []
+    for name in ["vast", "deli", "uber"]:
+        coo = dataset(name)
+        hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+        morton_jump = _mean_jump(hic.binds.astype(np.int64))
+
+        # lexicographic ordering of the same blocks
+        order = np.lexsort(tuple(
+            hic.binds[:, m] for m in reversed(range(coo.nmodes))))
+        lex_jump = _mean_jump(hic.binds[order].astype(np.int64))
+        rows.append({
+            "dataset": name,
+            "nblocks": hic.nblocks,
+            "morton_jump": morton_jump,
+            "lex_jump": lex_jump,
+            "morton/lex": morton_jump / lex_jump if lex_jump else 1.0,
+        })
+    text = render_table(
+        rows, ["dataset", "nblocks", "morton_jump", "lex_jump", "morton/lex"],
+        title="Ablation: mean inter-block coordinate jump (lower = better "
+              "locality across ALL modes)",
+        widths={"dataset": 10})
+    write_result("ablation_ordering.txt", text)
+
+    # Morton should not be dramatically worse than lexicographic anywhere
+    # (lexicographic optimizes mode 0 only; the jump sums all modes)
+    for row in rows:
+        assert row["morton/lex"] < 2.0
+    benchmark(_mean_jump, HicooTensor(dataset("vast"),
+                                      BENCH_BLOCK_BITS).binds.astype(np.int64))
+
+
+def test_ablation_sorted_coo_kernel(benchmark):
+    """Sorted-COO segment reduction vs the plain scatter-add COO kernel —
+    the one ablation where real NumPy timings are meaningful, because both
+    kernels share the gather code and differ only in the reduction
+    (np.add.reduceat vs np.add.at).  The sorted kernel should not lose."""
+    import time
+
+    import numpy as np
+
+    from repro.kernels.coo_variants import build_sort_plan, mttkrp_sorted
+
+    rows = []
+    rng = np.random.default_rng(0)
+    for name in ["vast", "deli", "uber"]:
+        coo = dataset(name)
+        factors = [rng.random((s, RANK)) for s in coo.shape]
+        plan = build_sort_plan(coo, 0)
+        baseline_out = coo.mttkrp(factors, 0)
+        sorted_out = mttkrp_sorted(coo, factors, 0, plan=plan)
+        assert np.allclose(baseline_out, sorted_out)
+
+        t0 = time.perf_counter()
+        for _ in range(3):
+            coo.mttkrp(factors, 0)
+        t_base = (time.perf_counter() - t0) / 3
+        t0 = time.perf_counter()
+        for _ in range(3):
+            mttkrp_sorted(coo, factors, 0, plan=plan)
+        t_sorted = (time.perf_counter() - t0) / 3
+        rows.append({
+            "dataset": name,
+            "scatter_ms": t_base * 1e3,
+            "segment_ms": t_sorted * 1e3,
+            "speedup": t_base / t_sorted,
+        })
+    text = render_table(
+        rows, ["dataset", "scatter_ms", "segment_ms", "speedup"],
+        title=f"Ablation: COO scatter-add vs sorted segment reduction "
+              f"(measured, mode 0, R={RANK})",
+        widths={"dataset": 10})
+    write_result("ablation_sorted_coo.txt", text)
+    # identical math; the sorted kernel must be at worst marginally slower
+    assert all(r["speedup"] > 0.5 for r in rows)
+    coo = dataset("vast")
+    rng2 = np.random.default_rng(1)
+    factors = [rng2.random((s, RANK)) for s in coo.shape]
+    plan = build_sort_plan(coo, 0)
+    benchmark(mttkrp_sorted, coo, factors, 0, plan)
+
+
+def test_ablation_strategy_crossover(benchmark):
+    coo = dataset("deli")
+    hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+    sbs = build_superblocks(hic, BENCH_BLOCK_BITS + 2)
+    rows = []
+    for rows_out in (1_000, 10_000, 100_000, 1_000_000, 10_000_000):
+        strat = choose_strategy(sbs, 0, 16, rows_out, RANK,
+                                privatize_limit_bytes=1 << 24)
+        rows.append({"output_rows": rows_out, "strategy": strat})
+    text = render_table(
+        rows, ["output_rows", "strategy"],
+        title="Ablation: privatize/schedule crossover vs output size "
+              "(P=16, 16 MB privatization budget)",
+        widths={"output_rows": 12})
+    write_result("ablation_strategy.txt", text)
+
+    strategies = [r["strategy"] for r in rows]
+    assert strategies[0] == "privatize"
+    assert strategies[-1] == "schedule"
+    # the heuristic flips exactly once (monotone in output size)
+    flips = sum(a != b for a, b in zip(strategies, strategies[1:]))
+    assert flips == 1
+    benchmark(choose_strategy, sbs, 0, 16, 100_000, RANK)

@@ -1,0 +1,54 @@
+"""E7 — block-size sensitivity.
+
+Regenerates the paper's B-sweep figure: storage, alpha_b, and predicted
+sequential MTTKRP time as the block edge grows from 4 to 256.  Expected
+shape: tiny blocks pay per-block overhead (bptr/binds dominate); block
+growth first improves both storage and time; the curve flattens once most
+nonzeros share blocks.  B > 256 is impossible (8-bit offsets) — the sweep
+itself documents the constraint.
+"""
+
+import pytest
+
+from repro.analysis.model import predict_all_modes
+from repro.analysis.report import render_table
+from repro.core.blocking import MAX_BLOCK_BITS
+from repro.core.hicoo import HicooTensor
+from repro.core.params import analyze_block_sizes
+
+from conftest import RANK, dataset, write_result
+
+SWEEP_DATASETS = ["vast", "uber", "deli"]
+
+
+def test_e7_block_size_sweep(machine, benchmark):
+    chunks = []
+    for name in SWEEP_DATASETS:
+        coo = dataset(name)
+        rows = []
+        for params in analyze_block_sizes(coo, range(2, MAX_BLOCK_BITS + 1)):
+            hic = HicooTensor(coo, block_bits=params.block_bits)
+            pred = predict_all_modes(hic, RANK, machine, nthreads=1)
+            rows.append({
+                "B": params.block_size,
+                "nblocks": params.nblocks,
+                "alpha_b": params.alpha_b,
+                "B/nnz": params.bytes_per_nnz,
+                "pred_ms": pred.total * 1e3,
+            })
+        chunks.append(render_table(
+            rows, ["B", "nblocks", "alpha_b", "B/nnz", "pred_ms"],
+            title=f"E7: block-size sweep on {name} (R={RANK})"))
+        # alpha_b decreases monotonically with B (blocks only merge)
+        alphas = [r["alpha_b"] for r in rows]
+        assert all(a >= b for a, b in zip(alphas, alphas[1:]))
+    write_result("E7_block_size.txt", "\n\n".join(chunks))
+    benchmark(analyze_block_sizes, dataset("uber"), range(2, 9))
+
+
+def test_e7_offset_constraint():
+    """The einds byte-width makes b > 8 invalid — the design constraint the
+    sweep stops at."""
+    coo = dataset("vast")
+    with pytest.raises(ValueError):
+        HicooTensor(coo, block_bits=MAX_BLOCK_BITS + 1)

@@ -1,0 +1,58 @@
+"""E10 — format construction (conversion) cost.
+
+Regenerates the paper's conversion-time table: the one-time cost of sorting
+a COO tensor into each format.  HiCOO construction = Morton sort + block
+scan; CSF = lexicographic sort + tree build.  Expected shape: both are a
+small constant factor over a plain sort and amortize over CP-ALS iterations.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.hicoo import HicooTensor
+from repro.formats.csf import CsfTensor
+
+from conftest import (BENCH_BLOCK_BITS, TIMED_DATASETS, all_dataset_names,
+                      dataset, write_result)
+
+
+def test_e10_conversion_table(benchmark):
+    rows = []
+    for name in all_dataset_names():
+        coo = dataset(name)
+        t0 = time.perf_counter()
+        coo.sort_lexicographic()
+        t_sort = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        CsfTensor(coo)
+        t_csf = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+        t_hicoo = time.perf_counter() - t0
+        rows.append({
+            "dataset": name,
+            "nnz": coo.nnz,
+            "sort_ms": t_sort * 1e3,
+            "csf_ms": t_csf * 1e3,
+            "hicoo_ms": t_hicoo * 1e3,
+            "hicoo/sort": t_hicoo / t_sort if t_sort else float("nan"),
+        })
+    text = render_table(
+        rows, ["dataset", "nnz", "sort_ms", "csf_ms", "hicoo_ms", "hicoo/sort"],
+        title=f"E10: one-time format construction (b={BENCH_BLOCK_BITS})",
+        widths={"dataset": 10})
+    write_result("E10_convert.txt", text)
+    benchmark(HicooTensor, dataset("vast"), BENCH_BLOCK_BITS)
+
+
+@pytest.mark.parametrize("name", TIMED_DATASETS)
+@pytest.mark.parametrize("fmt", ["csf", "hicoo"])
+def test_measured_conversion(benchmark, name, fmt):
+    coo = dataset(name)
+    if fmt == "csf":
+        out = benchmark(CsfTensor, coo)
+    else:
+        out = benchmark(HicooTensor, coo, BENCH_BLOCK_BITS)
+    assert out.nnz == coo.nnz

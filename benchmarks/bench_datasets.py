@@ -1,0 +1,33 @@
+"""E1 — the paper's dataset table.
+
+Prints order / dimensions / nonzeros / density for every registry tensor
+(the analog of the paper's "Description of sparse tensors" table, with the
+real datasets' published sizes alongside), and benchmarks tensor
+construction for the timed subset.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.data import load, summary_rows
+
+from conftest import TIMED_DATASETS, write_result
+
+
+def test_e1_dataset_table(benchmark):
+    rows = summary_rows()
+    text = render_table(
+        rows,
+        columns=["name", "order", "shape", "nnz", "density", "regime",
+                 "paper_shape", "paper_nnz"],
+        title="E1: evaluation datasets (scaled analogs of the paper's table)",
+        widths={"name": 10, "shape": 26, "paper_shape": 24, "density": 12},
+    )
+    write_result("E1_datasets.txt", text)
+    benchmark(lambda: summary_rows(scale=0.1))
+
+
+@pytest.mark.parametrize("name", TIMED_DATASETS)
+def test_generate_dataset(benchmark, name):
+    tensor = benchmark(load, name)
+    assert tensor.nnz > 0

@@ -1,0 +1,52 @@
+"""E13 (extension) — predicted GPU MTTKRP comparison.
+
+The paper's follow-on work ports HiCOO to GPUs; this bench regenerates the
+predicted *shape* of that comparison with the GPU roofline profile: on an
+accelerator, COO's per-nonzero atomics and uncoalesced gathers hurt more
+than on a CPU, so HiCOO's relative advantage should grow wherever its
+blocks coalesce (alpha_b small), and collapse on scattered tensors.
+"""
+
+import numpy as np
+
+from repro.analysis.model import build_format_suite, speedup_over_coo
+from repro.analysis.report import render_table
+from repro.parallel.gpu import GpuProfile, gpu_speedup_over_coo
+from repro.parallel.machine import Machine
+
+from conftest import BENCH_BLOCK_BITS, RANK, all_dataset_names, dataset, write_result
+
+
+def test_e13_gpu_speedup_figure(machine, benchmark):
+    gpu = GpuProfile()
+    rows = []
+    for name in all_dataset_names():
+        coo = dataset(name)
+        suite = build_format_suite(coo, block_bits=BENCH_BLOCK_BITS)
+        gpu_speeds = gpu_speedup_over_coo(suite, RANK, gpu)
+        cpu_speeds = speedup_over_coo(coo, RANK, machine,
+                                      nthreads=machine.cores,
+                                      block_bits=BENCH_BLOCK_BITS)
+        rows.append({
+            "dataset": name,
+            "cpu_hicoo": cpu_speeds["hicoo"],
+            "gpu_hicoo": gpu_speeds["hicoo"],
+            "gpu_csf": gpu_speeds["csf"],
+        })
+    text = render_table(
+        rows, ["dataset", "cpu_hicoo", "gpu_hicoo", "gpu_csf"],
+        title=f"E13 (ext): predicted MTTKRP speedup over COO, CPU (P="
+              f"{machine.cores}) vs GPU profile (R={RANK}, "
+              f"b={BENCH_BLOCK_BITS})",
+        widths={"dataset": 10})
+    write_result("E13_gpu.txt", text)
+
+    gpu_hicoo = np.array([r["gpu_hicoo"] for r in rows])
+    # HiCOO wins on the GPU wherever it wins on the CPU, typically by more
+    assert (gpu_hicoo > 1.0).sum() >= len(rows) // 2
+    wins = [r for r in rows if r["cpu_hicoo"] > 1.5]
+    grew = sum(1 for r in wins if r["gpu_hicoo"] > r["cpu_hicoo"])
+    assert grew >= len(wins) // 2, "GPU should amplify HiCOO's advantage"
+    benchmark(gpu_speedup_over_coo,
+              build_format_suite(dataset("vast"), block_bits=BENCH_BLOCK_BITS),
+              RANK, gpu)

@@ -1,0 +1,44 @@
+"""E3 — HiCOO's predictive parameters alpha_b and c_b per dataset.
+
+Regenerates the paper's parameter table: for each tensor, the block ratio
+alpha_b, average slice size c_b, block count, and the storage-optimal block
+size.  Expected shape: clustered tensors have small alpha_b (large c_b) and
+compress; scattered tensors approach alpha_b = 1.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.hicoo import HicooTensor
+from repro.core.params import analyze_block_sizes, recommend_block_bits
+
+from conftest import BENCH_BLOCK_BITS, all_dataset_names, dataset, write_result
+
+
+def test_e3_parameter_table(benchmark):
+    rows = []
+    for name in all_dataset_names():
+        coo = dataset(name)
+        hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+        best = recommend_block_bits(coo, candidates=range(2, 9))["chosen"]
+        rows.append({
+            "dataset": name,
+            "nnz": coo.nnz,
+            "nblocks": hic.nblocks,
+            "alpha_b": hic.block_ratio(),
+            "c_b": hic.avg_slice_size(),
+            "best_b": best.block_bits,
+            "best_B/nnz": best.bytes_per_nnz,
+        })
+    text = render_table(
+        rows,
+        ["dataset", "nnz", "nblocks", "alpha_b", "c_b", "best_b", "best_B/nnz"],
+        title=f"E3: HiCOO parameters at b={BENCH_BLOCK_BITS} "
+              "(alpha_b = nblocks/nnz; c_b = nnz/(nblocks*B))",
+        widths={"dataset": 10},
+    )
+    write_result("E3_parameters.txt", text)
+
+    by_name = {r["dataset"]: r for r in rows}
+    # structural expectations from the paper's analysis
+    assert by_name["rand3d"]["alpha_b"] > 0.9, "uniform-random -> alpha_b ~ 1"
+    assert by_name["uber"]["alpha_b"] < 0.3, "clustered -> small alpha_b"
+    benchmark(analyze_block_sizes, dataset("vast"), range(2, 9))

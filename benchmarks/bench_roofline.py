@@ -1,0 +1,59 @@
+"""E12 (analysis) — arithmetic intensity and traffic breakdown.
+
+The paper's performance argument is a traffic argument: HiCOO moves fewer
+index bytes and reuses factor rows inside blocks.  This bench prints the
+counted per-format traffic breakdown (index / gather / scatter bytes) and
+the resulting arithmetic intensity for every dataset — the roofline
+coordinates behind figures E4–E6.
+
+Expected shape: HiCOO has the highest arithmetic intensity wherever
+alpha_b is small (fewer bytes for the same flops); on scattered tensors all
+formats converge.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.traffic import mttkrp_work
+from repro.core.hicoo import HicooTensor
+from repro.formats.csf import CsfTensor
+
+from conftest import BENCH_BLOCK_BITS, RANK, all_dataset_names, dataset, write_result
+
+
+def test_e12_traffic_breakdown(benchmark):
+    rows = []
+    for name in all_dataset_names():
+        coo = dataset(name)
+        suite = {
+            "coo": coo,
+            "csf": CsfTensor(coo),
+            "hicoo": HicooTensor(coo, block_bits=BENCH_BLOCK_BITS),
+        }
+        for fmt, tensor in suite.items():
+            total_work = None
+            for mode in range(coo.nmodes):
+                w = mttkrp_work(tensor, mode, RANK)
+                total_work = w if total_work is None else total_work + w
+            rows.append({
+                "dataset": name,
+                "format": fmt,
+                "MB_index": total_work.detail["index_bytes"] / 1e6,
+                "MB_gather": total_work.detail["gather_bytes"] / 1e6,
+                "MB_scatter": total_work.detail["scatter_bytes"] / 1e6,
+                "flop/B": total_work.arithmetic_intensity(),
+            })
+    text = render_table(
+        rows,
+        ["dataset", "format", "MB_index", "MB_gather", "MB_scatter", "flop/B"],
+        title=f"E12: counted MTTKRP traffic, all modes summed (R={RANK}, "
+              f"b={BENCH_BLOCK_BITS})",
+        widths={"dataset": 10})
+    write_result("E12_roofline.txt", text)
+
+    by = {(r["dataset"], r["format"]): r for r in rows}
+    # HiCOO's index traffic is below COO's everywhere (1-byte offsets)
+    for name in all_dataset_names():
+        coo_row, hic_row = by[(name, "coo")], by[(name, "hicoo")]
+        if HicooTensor(dataset(name), block_bits=BENCH_BLOCK_BITS).block_ratio() < 0.5:
+            assert hic_row["MB_index"] < coo_row["MB_index"]
+            assert hic_row["flop/B"] > coo_row["flop/B"]
+    benchmark(mttkrp_work, dataset("vast"), 0, RANK)

@@ -1,0 +1,34 @@
+"""E6 — thread-scaling curves.
+
+Regenerates the paper's scalability figure: predicted speedup of each
+format relative to its own single-thread time at 1..32 threads, for one
+representative tensor per regime.  Expected shape: HiCOO scales
+near-linearly until memory bandwidth saturates; COO's curve flattens early
+(atomic serialization + bandwidth); CSF sits between.
+"""
+
+from repro.analysis.model import thread_scaling
+from repro.analysis.report import render_series
+
+from conftest import BENCH_BLOCK_BITS, RANK, dataset, write_result
+
+THREADS = (1, 2, 4, 8, 16, 32)
+REPRESENTATIVES = ["vast", "deli", "rand3d"]
+
+
+def test_e6_thread_scaling_figure(machine, benchmark):
+    chunks = []
+    for name in REPRESENTATIVES:
+        coo = dataset(name)
+        series = thread_scaling(coo, RANK, machine, THREADS,
+                                block_bits=BENCH_BLOCK_BITS)
+        chunks.append(render_series(
+            "threads", THREADS, series,
+            title=f"E6: self-relative speedup on {name} (model, R={RANK})"))
+        # self-speedup must start at 1 and never fall below 1
+        for fmt, values in series.items():
+            assert abs(values[0] - 1.0) < 1e-9, (name, fmt)
+            assert min(values) >= 0.99, (name, fmt)
+    write_result("E6_scalability.txt", "\n\n".join(chunks))
+    benchmark(thread_scaling, dataset("vast"), RANK, machine, THREADS,
+              BENCH_BLOCK_BITS)

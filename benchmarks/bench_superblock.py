@@ -1,0 +1,61 @@
+"""E8 — superblock size and parallel-strategy ablation.
+
+Regenerates the paper's scheduling analysis: for a sweep of superblock
+sizes, the number of superblocks, independent groups per mode, the lock-free
+schedule's load imbalance, and which strategy the heuristic picks.  Expected
+shape: small superblocks give many groups (good parallelism, more scheduling
+state); very large superblocks starve the scheduler and force privatization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.hicoo import HicooTensor
+from repro.core.scheduler import choose_strategy, schedule_mode
+from repro.core.superblock import build_superblocks
+
+from conftest import BENCH_BLOCK_BITS, RANK, dataset, write_result
+
+NTHREADS = 8
+
+
+def test_e8_superblock_sweep(benchmark):
+    coo = dataset("deli")
+    hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+    rows = []
+    for sb_bits in range(BENCH_BLOCK_BITS, BENCH_BLOCK_BITS + 6):
+        sbs = build_superblocks(hic, sb_bits)
+        sched = schedule_mode(sbs, 0, NTHREADS)
+        rows.append({
+            "L": 1 << sb_bits,
+            "nsuper": sbs.nsuper,
+            "groups_m0": sched.ngroups,
+            "imbalance": sched.load_imbalance(),
+            "eff_par": sched.effective_parallelism(),
+            "strategy": choose_strategy(sbs, 0, NTHREADS, coo.shape[0], RANK,
+                                        privatize_limit_bytes=1 << 16),
+        })
+    text = render_table(
+        rows, ["L", "nsuper", "groups_m0", "imbalance", "eff_par", "strategy"],
+        title=f"E8: superblock sweep on deli (b={BENCH_BLOCK_BITS}, "
+              f"P={NTHREADS}, mode 0)")
+    write_result("E8_superblock.txt", text)
+
+    # coarsening is monotone and eventually starves the scheduler
+    nsupers = [r["nsuper"] for r in rows]
+    assert all(a >= b for a, b in zip(nsupers, nsupers[1:]))
+    sbs = build_superblocks(hic, BENCH_BLOCK_BITS + 2)
+    benchmark(schedule_mode, sbs, 0, NTHREADS)
+
+
+@pytest.mark.parametrize("mode", [0, 1, 2])
+def test_e8_schedule_safety_at_scale(mode):
+    """Every wave of the lock-free schedule keeps output ranges disjoint —
+    verified on a full-size analog, all modes."""
+    coo = dataset("deli")
+    hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+    sbs = build_superblocks(hic, BENCH_BLOCK_BITS + 2)
+    sched = schedule_mode(sbs, mode, NTHREADS)
+    sched.verify(sbs)
+    assert sched.thread_nnz.sum() == coo.nnz

@@ -1,0 +1,46 @@
+"""E14 (extension) — sparse Tucker (HOOI) on HiCOO-backed tensors.
+
+ParTI!, the paper's reference library, pairs HiCOO with a Tucker solver;
+this bench exercises that substrate: fit versus core size on a registry
+tensor, the identical-fit certificate across formats, and the wall-clock
+of one HOOI sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_series
+from repro.core.hicoo import HicooTensor
+from repro.tucker import hooi
+
+from conftest import BENCH_BLOCK_BITS, dataset, write_result
+
+CORE_SIZES = [2, 4, 8, 12]
+
+
+def test_e14_tucker_fit_vs_core(benchmark):
+    coo = dataset("vast")
+    fits, seconds = [], []
+    for r in CORE_SIZES:
+        ranks = tuple(min(r, s) for s in coo.shape)
+        res = hooi(coo, ranks, maxiters=4, tol=1e-4, seed=0)
+        fits.append(res.final_fit)
+        seconds.append(res.total_seconds)
+    text = render_series(
+        "core", CORE_SIZES, {"fit": fits, "seconds": seconds},
+        title="E14 (ext): HOOI fit vs core size on vast (maxiters=4)")
+    write_result("E14_tucker.txt", text)
+
+    # a bigger core can only improve the best fit
+    assert all(b >= a - 1e-6 for a, b in zip(fits, fits[1:]))
+    benchmark(hooi, coo, tuple(min(4, s) for s in coo.shape),
+              maxiters=1, seed=0)
+
+
+def test_e14_format_equivalence():
+    coo = dataset("uber")
+    ranks = tuple(min(3, s) for s in coo.shape)
+    a = hooi(coo, ranks, maxiters=2, tol=0.0, seed=1)
+    b = hooi(HicooTensor(coo, block_bits=BENCH_BLOCK_BITS), ranks,
+             maxiters=2, tol=0.0, seed=1)
+    np.testing.assert_allclose(a.fits, b.fits, atol=1e-9)

@@ -1,0 +1,65 @@
+"""E15 (validation) — does the model track the real kernels?
+
+The reproduction's parallel/figure shapes come from the counted-work +
+machine model (DESIGN.md §2); this bench audits that substitution on the
+one axis where a ground truth exists in pure Python: *sequential* MTTKRP
+wall-clock of the real NumPy kernels across all (dataset, format) pairs.
+
+Absolute agreement is not expected (NumPy's interpreter overhead is not in
+the model); what must hold for the substitution to be trustworthy is
+*rank* agreement — heavier-predicted kernels measure slower.  The bench
+reports Spearman's rho over all pairs and asserts it is strongly positive.
+"""
+
+import time
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.model import build_format_suite, predict_all_modes
+from repro.analysis.report import render_table
+
+from conftest import BENCH_BLOCK_BITS, RANK, all_dataset_names, dataset, write_result
+
+
+def test_e15_model_vs_measured(machine, benchmark):
+    rng = np.random.default_rng(0)
+    rows = []
+    measured_all, predicted_all = [], []
+    for name in all_dataset_names():
+        coo = dataset(name)
+        suite = build_format_suite(coo, block_bits=BENCH_BLOCK_BITS)
+        factors = [rng.random((s, RANK)) for s in coo.shape]
+        for fmt, tensor in suite.items():
+            tensor.mttkrp(factors, 0)  # warm any lazy caches
+            t0 = time.perf_counter()
+            for mode in range(coo.nmodes):
+                tensor.mttkrp(factors, mode)
+            measured = time.perf_counter() - t0
+            predicted = predict_all_modes(tensor, RANK, machine, 1).total
+            measured_all.append(measured)
+            predicted_all.append(predicted)
+            rows.append({
+                "dataset": name,
+                "format": fmt,
+                "measured_ms": measured * 1e3,
+                "predicted_ms": predicted * 1e3,
+            })
+    rho = stats.spearmanr(measured_all, predicted_all)
+    rows.append({
+        "dataset": "SPEARMAN",
+        "format": "-",
+        "measured_ms": float(rho.statistic),
+        "predicted_ms": float(rho.pvalue),
+    })
+    text = render_table(
+        rows, ["dataset", "format", "measured_ms", "predicted_ms"],
+        title=f"E15: measured NumPy kernel vs model prediction "
+              f"(seq, R={RANK}; final row = Spearman rho / p-value)",
+        widths={"dataset": 10, "measured_ms": 13, "predicted_ms": 13})
+    write_result("E15_validation.txt", text)
+
+    assert rho.statistic > 0.4, (
+        f"model does not rank-track measurements (rho={rho.statistic:.2f})")
+    assert rho.pvalue < 0.01
+    benchmark(predict_all_modes, dataset("vast"), RANK, machine, 1)

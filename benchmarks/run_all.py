@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Run the full benchmark harness and assemble one combined report.
+
+Equivalent to ``pytest benchmarks/ --benchmark-only`` followed by
+concatenating ``benchmarks/results/*.txt`` in experiment order into
+``benchmarks/results/REPORT.txt``.  Use this to regenerate every paper
+table/figure in one command:
+
+    python benchmarks/run_all.py [--skip-pytest]
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+RESULTS = HERE / "results"
+
+#: experiment order for the combined report
+ORDER = [
+    "E1_datasets.txt",
+    "E2_storage.txt",
+    "E3_parameters.txt",
+    "E4_mttkrp_seq.txt",
+    "E5_mttkrp_par.txt",
+    "E6_scalability.txt",
+    "E7_block_size.txt",
+    "E8_superblock.txt",
+    "E9_cpals.txt",
+    "E10_convert.txt",
+    "E11_reorder.txt",
+    "E12_roofline.txt",
+    "E13_gpu.txt",
+    "E14_tucker.txt",
+    "E15_validation.txt",
+    "ablation_ordering.txt",
+    "ablation_sorted_coo.txt",
+    "ablation_strategy.txt",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-pytest", action="store_true",
+                        help="only reassemble the report from existing "
+                             "results/ files")
+    args = parser.parse_args(argv)
+
+    if not args.skip_pytest:
+        cmd = [sys.executable, "-m", "pytest", str(HERE),
+               "--benchmark-only", "-q"]
+        print("+", " ".join(cmd))
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print("benchmark run failed", file=sys.stderr)
+            return proc.returncode
+
+    chunks = []
+    missing = []
+    for name in ORDER:
+        path = RESULTS / name
+        if path.exists():
+            chunks.append(path.read_text().rstrip())
+        else:
+            missing.append(name)
+    report = "\n\n" + ("\n\n" + "=" * 72 + "\n\n").join(chunks) + "\n"
+    out = RESULTS / "REPORT.txt"
+    out.write_text(report)
+    print(f"combined report: {out} ({len(chunks)} experiments)")
+    if missing:
+        print(f"warning: missing result files: {', '.join(missing)}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Format explorer: how tensor structure decides the COO/CSF/HiCOO contest.
+
+Generates tensors across the structural spectrum (banded -> clustered ->
+power-law -> uniform random), measures HiCOO's predictive parameters
+(alpha_b, c_b), the storage of every format, and the model-predicted MTTKRP
+speedups — a compact, self-contained rendition of the paper's analysis
+narrative.
+
+Run:  python examples/format_explorer.py
+"""
+
+from repro import HicooTensor, Machine, best_block_bits, compare_formats
+from repro.analysis.model import speedup_over_coo
+from repro.analysis.report import render_table
+from repro.data import synthetic
+
+# a large index space (1M per mode) so that even the maximal block edge
+# (B=256) leaves a 4096^3 block grid — block coordinates are then genuinely
+# expensive and structure decides the contest, as at FROSTT scale
+SHAPE = (1 << 20, 1 << 20, 1 << 20)
+NNZ = 30_000
+
+WORKLOADS = {
+    "banded": lambda: synthetic.banded_tensor(SHAPE, NNZ, bandwidth=6, seed=1),
+    "clustered": lambda: synthetic.clustered_tensor(SHAPE, NNZ, nclusters=64,
+                                                    spread=4.0, seed=1),
+    "power-law": lambda: synthetic.power_law_tensor(SHAPE, NNZ, exponent=1.3,
+                                                    seed=1),
+    "pl-shuffled": lambda: synthetic.power_law_tensor(
+        SHAPE, NNZ, exponent=1.3, shuffle_labels=True, seed=1),
+    "uniform": lambda: synthetic.random_tensor(SHAPE, NNZ, seed=1),
+}
+
+machine = Machine()  # deterministic default node; swap for Machine.detect()
+
+rows = []
+for name, build in WORKLOADS.items():
+    coo = build()
+    bits = best_block_bits(coo)
+    hic = HicooTensor(coo, block_bits=bits)
+    storage = {r.format_name: r for r in compare_formats(coo, block_bits=bits)}
+    speeds = speedup_over_coo(coo, rank=16, machine=machine, nthreads=1,
+                              block_bits=bits)
+    rows.append({
+        "structure": name,
+        "best_B": hic.block_size,
+        "alpha_b": hic.block_ratio(),
+        "c_b": hic.avg_slice_size(),
+        "hicoo_B/nnz": storage["hicoo"].bytes_per_nnz,
+        "vs_coo": storage["hicoo"].compression_vs_coo(),
+        "mttkrp_speedup": speeds["hicoo"],
+    })
+
+print(render_table(
+    rows,
+    ["structure", "best_B", "alpha_b", "c_b", "hicoo_B/nnz", "vs_coo",
+     "mttkrp_speedup"],
+    title=f"structure -> HiCOO behaviour ({SHAPE[0]}^3 tensors, "
+          f"{NNZ} nonzeros; speedup = predicted sequential MTTKRP vs COO)",
+    widths={"structure": 12, "mttkrp_speedup": 15},
+))
+
+print("""
+reading the table:
+  * alpha_b (blocks per nonzero) is the paper's master knob: banded and
+    clustered tensors pack many nonzeros per block (alpha_b << 1), so both
+    the 1-byte offsets and the in-block factor reuse pay off;
+  * frequency-ordered power-law tensors still cluster near the origin;
+    shuffling the labels (pl-shuffled) destroys that locality and pushes
+    alpha_b toward 1, where HiCOO degenerates to COO plus overhead;
+  * uniform random is the worst case: HiCOO stores MORE than COO and wins
+    nothing — the honest boundary of the paper's claims.""")

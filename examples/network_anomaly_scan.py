@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Network-interaction analysis on a (source, destination, time) tensor —
+the DARPA/Facebook-style workload of the paper's evaluation, exercising the
+parallel MTTKRP machinery explicitly.
+
+1. build a scale-free interaction tensor (preferential-attachment graph
+   whose edges fire over time);
+2. inspect the superblock schedule the lock-free parallel MTTKRP uses;
+3. factorize and flag the time slices whose temporal-factor activity is
+   most anomalous (largest deviation across components).
+
+Run:  python examples/network_anomaly_scan.py
+"""
+
+import numpy as np
+
+from repro import HicooTensor, build_superblocks, cp_als, schedule_mode
+from repro.data.synthetic import graph_tensor
+from repro.kernels.mttkrp import mttkrp_parallel
+
+NTHREADS = 8
+RANK = 8
+
+# 1. interactions: 4000 hosts over 48 time steps
+coo = graph_tensor(4000, 48, attach=3, seed=11)
+print(f"interaction tensor: {coo!r}")
+
+hicoo = HicooTensor(coo, block_bits=4)
+print(f"HiCOO: {hicoo.nblocks} blocks, alpha_b={hicoo.block_ratio():.3f}")
+
+# 2. look at the parallel schedule for the source mode (mode 0): superblocks
+#    are grouped by their mode-0 coordinate so threads never write the same
+#    output rows — no locks, no atomics.
+sbs = build_superblocks(hicoo, superblock_bits=6)
+sched = schedule_mode(sbs, mode=0, nthreads=NTHREADS)
+print(f"schedule(mode=0): {sbs.nsuper} superblocks in {sched.ngroups} "
+      f"independent groups, load imbalance "
+      f"{sched.load_imbalance():.2f}, effective parallelism "
+      f"{sched.effective_parallelism():.1f}/{NTHREADS}")
+sched.verify(sbs)  # raises if two threads could collide
+
+# the time mode only has 48 indices — one superblock group — so the
+# strategy heuristic falls back to privatization there, exactly the case
+# the paper's two-strategy design anticipates:
+sched_t = schedule_mode(sbs, mode=2, nthreads=NTHREADS)
+print(f"schedule(mode=2): only {sched_t.ngroups} group(s) -> the kernel "
+      "will privatize instead")
+
+# run one parallel MTTKRP through the public kernel API
+rng = np.random.default_rng(0)
+factors = [rng.random((s, RANK)) for s in coo.shape]
+run = mttkrp_parallel(hicoo, factors, mode=2, nthreads=NTHREADS)
+print(f"parallel MTTKRP used strategy={run.strategy!r}, "
+      f"per-thread nnz max/mean = {run.load_imbalance():.2f}")
+
+# 3. factorize and scan the temporal factor
+result = cp_als(hicoo, rank=RANK, maxiters=10, tol=1e-4, seed=3,
+                nthreads=NTHREADS)
+print(f"CP-ALS fit = {result.final_fit:.4f}")
+
+temporal = result.ktensor.factors[2]  # (ntime, R)
+activity = np.abs(temporal) @ result.ktensor.weights
+zscores = (activity - activity.mean()) / (activity.std() + 1e-12)
+flagged = np.argsort(zscores)[::-1][:5]
+print("\nmost active time slices (z-score of component activity):")
+for t in flagged:
+    print(f"  t={int(t):3d}  z={zscores[t]:+.2f}  "
+          f"nnz in slice={int((coo.indices[:, 2] == t).sum())}")

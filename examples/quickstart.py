@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: build a sparse tensor, store it as HiCOO, run CP-ALS.
+
+Covers the 90% use case of the library in ~40 lines:
+
+1. create (or load) a COO tensor,
+2. convert to HiCOO at the storage-optimal block size,
+3. compare storage against COO and CSF,
+4. factorize with CP-ALS.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (HicooTensor, best_block_bits, compare_formats, cp_als,
+                   format_table)
+from repro.data.synthetic import clustered_tensor
+
+# 1. a clustered 3-mode tensor (the regime HiCOO is designed for)
+coo = clustered_tensor((2000, 1500, 800), nnz=30_000, nclusters=64,
+                       spread=5.0, seed=42)
+print(f"input: {coo!r}  density={coo.density():.2e}")
+
+# 2. choose the block size that minimizes storage, build HiCOO
+bits = best_block_bits(coo)
+hicoo = HicooTensor(coo, block_bits=bits)
+print(f"HiCOO: B={hicoo.block_size} ({hicoo.nblocks} blocks, "
+      f"alpha_b={hicoo.block_ratio():.3f}, c_b={hicoo.avg_slice_size():.3f})")
+
+# 3. storage comparison (the paper's headline claim: ~2x smaller than COO)
+print()
+print(format_table(compare_formats(coo, block_bits=bits),
+                   title="storage comparison"))
+
+# 4. rank-8 CP decomposition; the solver is format-generic, so the HiCOO
+#    tensor drops straight in.  nthreads routes MTTKRP through the
+#    lock-free superblock scheduler / privatization heuristic.
+result = cp_als(hicoo, rank=8, maxiters=10, tol=1e-4, seed=0, nthreads=4)
+print()
+print(f"CP-ALS: fit={result.final_fit:.4f} after {result.iterations} "
+      f"iterations (converged={result.converged})")
+print(f"        {result.mttkrp_seconds:.3f}s in MTTKRP of "
+      f"{result.total_seconds:.3f}s total "
+      f"({100 * result.mttkrp_seconds / result.total_seconds:.0f}%)")
+
+# the result is a Kruskal tensor: weights + one factor matrix per mode
+kt = result.ktensor
+print(f"        components (weights): {np.round(kt.weights, 2)}")

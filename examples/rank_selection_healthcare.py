@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Rank selection on a healthcare-style tensor (patient, diagnosis, visit).
+
+The paper's CHOA case study factorizes an electronic-health-records tensor
+to find phenotypes; choosing the CP rank there requires *many* CP-ALS runs
+— the exact workload that amortizes HiCOO's one-time construction cost.
+This example runs that workflow end to end:
+
+1. build the `choa` registry analog and visualize its block structure;
+2. sweep CP ranks with restarts (every run reuses the same HiCOO tensor);
+3. report the fit-vs-rank elbow and the "phenotypes" (top diagnoses per
+   component) of the chosen model.
+
+Run:  python examples/rank_selection_healthcare.py
+"""
+
+import numpy as np
+
+from repro import HicooTensor, best_block_bits
+from repro.analysis.blockviz import block_density_grid, render_heatmap
+from repro.analysis.report import render_series
+from repro.cpd.model_selection import cp_als_restarts, rank_sweep
+from repro.data import load
+
+# 1. patient x diagnosis x visit-window tensor.  The registry analog gives
+#    realistic *coordinates* (clustered, like real EHR data); we plant a
+#    rank-4 "phenotype" model on the values so rank selection has a ground
+#    truth to find.
+PLANTED_RANK = 4
+coo_coords = load("choa")
+rng = np.random.default_rng(99)
+phenotypes = [rng.random((s, PLANTED_RANK)) ** 3 for s in coo_coords.shape]
+vals = np.ones(coo_coords.nnz)
+acc = np.ones((coo_coords.nnz, PLANTED_RANK))
+for m, f in enumerate(phenotypes):
+    acc *= f[coo_coords.indices[:, m]]
+vals = acc.sum(axis=1) + rng.normal(0, 0.01, coo_coords.nnz)
+
+from repro import CooTensor
+
+coo = CooTensor(coo_coords.shape, coo_coords.indices, vals,
+                sum_duplicates=False)
+print(f"EHR-style tensor: {coo!r} (patients x diagnoses x visit windows, "
+      f"planted rank {PLANTED_RANK})")
+
+bits = best_block_bits(coo)
+hicoo = HicooTensor(coo, block_bits=bits)
+print(f"HiCOO: B={hicoo.block_size}, alpha_b={hicoo.block_ratio():.3f}, "
+      f"{hicoo.bytes_per_nnz():.1f} B/nnz vs COO {coo.bytes_per_nnz():.1f}\n")
+print(render_heatmap(block_density_grid(hicoo, 0, 1, max_cells=32),
+                     title="block density (patients x diagnoses)"))
+
+# 2. rank sweep — the construction above is reused by every run below
+ranks = [1, 2, 4, 8, 12]
+profile = rank_sweep(hicoo, ranks, restarts=2, maxiters=10, tol=1e-4, seed=0)
+print()
+print(render_series("rank", profile.ranks,
+                    {"fit": profile.fits,
+                     "seconds": profile.seconds},
+                    title="CP-ALS rank sweep (best of 2 restarts each)"))
+chosen = profile.knee(tolerance=0.02)
+print(f"\nelbow criterion picks rank {chosen}")
+print("(absolute fits are small: with sparse data the implicit zeros "
+      "dominate the norm; the elbow and factor recovery below are the "
+      "meaningful signals)")
+
+# 3. the chosen model's "phenotypes": top diagnoses per component
+result = cp_als_restarts(hicoo, chosen, restarts=3, maxiters=15, tol=1e-4,
+                         seed=1)
+diag_factor = result.ktensor.factors[1]
+print(f"final fit at rank {chosen}: {result.final_fit:.4f}")
+for r in range(min(chosen, 4)):
+    top = np.argsort(np.abs(diag_factor[:, r]))[::-1][:5]
+    print(f"  component {r}: weight={result.ktensor.weights[r]:.3f}, "
+          f"top diagnoses {[int(d) for d in top]}")

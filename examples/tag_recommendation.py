@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Tag recommendation from a (user, item, tag) tensor — the social-tagging
+workload (Delicious/Flickr) that motivates the paper's evaluation.
+
+Pipeline:
+
+1. synthesize a power-law tagging tensor (the `deli` analog from the
+   dataset registry);
+2. store it as HiCOO and factorize with CP-ALS;
+3. for a user-item pair, score every tag with the learned factors and
+   recommend the top-k — checking that tags the user actually used rank
+   highly.
+
+Run:  python examples/tag_recommendation.py
+"""
+
+import numpy as np
+
+from repro import HicooTensor, cp_als
+from repro.data import load
+
+RANK = 16
+TOP_K = 5
+
+# 1. the registry's scaled analog of the Delicious tensor
+coo = load("deli")
+nusers, nitems, ntags = coo.shape
+print(f"tagging tensor: {nusers} users x {nitems} items x {ntags} tags, "
+      f"{coo.nnz} assignments")
+
+# 2. HiCOO + CP-ALS
+hicoo = HicooTensor(coo, block_bits=4)
+print(f"HiCOO: {hicoo.nblocks} blocks, "
+      f"{hicoo.bytes_per_nnz():.1f} bytes/nnz "
+      f"(COO: {coo.bytes_per_nnz():.1f})")
+result = cp_als(hicoo, rank=RANK, maxiters=12, tol=1e-4, seed=7, nthreads=4)
+print(f"CP-ALS: fit={result.final_fit:.4f} in {result.iterations} iterations")
+
+users, items, tags = result.ktensor.factors
+weights = result.ktensor.weights
+
+# 3. recommend tags for the most active (user, item) pairs
+def recommend(user: int, item: int, k: int = TOP_K) -> np.ndarray:
+    """Scores[tag] = sum_r w_r * U[user,r] * I[item,r] * T[tag,r]."""
+    blend = weights * users[user] * items[item]  # (R,)
+    scores = tags @ blend
+    return np.argsort(scores)[::-1][:k]
+
+
+# pick pairs that actually have tags, so we can sanity-check the output
+pair_counts = {}
+for (u, i, t) in coo.indices:
+    pair_counts.setdefault((u, i), []).append(t)
+busy_pairs = sorted(pair_counts, key=lambda p: -len(pair_counts[p]))[:3]
+
+print()
+hits = total = 0
+for user, item in busy_pairs:
+    truth = {int(t) for t in pair_counts[(user, item)]}
+    top = [int(t) for t in recommend(user, item)]
+    overlap = [t for t in top if t in truth]
+    hits += len(overlap)
+    total += min(TOP_K, len(truth))
+    print(f"user {user:5d}, item {item:5d}: "
+          f"{len(truth)} observed tags, "
+          f"recommended {top}, hits {len(overlap)}")
+
+print(f"\nhit rate on the busiest pairs: {hits}/{total}")

@@ -1,0 +1,112 @@
+"""repro — a reproduction of *HiCOO: Hierarchical Storage of Sparse Tensors*
+(Li, Sun, Vuduc; SC 2018).
+
+Public surface
+--------------
+Formats
+    :class:`~repro.formats.coo.CooTensor`,
+    :class:`~repro.formats.csf.CsfTensor`,
+    :class:`~repro.formats.dense.DenseTensor`,
+    :class:`~repro.core.hicoo.HicooTensor` (the paper's contribution).
+Kernels
+    :func:`~repro.kernels.mttkrp.mttkrp`,
+    :func:`~repro.kernels.mttkrp.mttkrp_parallel`.
+Decomposition
+    :func:`~repro.cpd.cp_als.cp_als`,
+    :class:`~repro.cpd.ktensor.KruskalTensor`.
+Data
+    :func:`~repro.data.registry.load` (scaled paper-dataset analogs),
+    :mod:`~repro.data.synthetic` generators, FROSTT ``.tns`` I/O.
+Analysis
+    storage comparison, work counting, and the analytic machine model used
+    by the benchmark harness to reproduce the paper's figures.
+
+Quick start
+-----------
+>>> from repro import data, HicooTensor, cp_als
+>>> coo = data.load("uber")
+>>> hic = HicooTensor(coo, block_bits=7)
+>>> result = cp_als(hic, rank=8, maxiters=5, seed=0)
+>>> 0.0 <= result.final_fit <= 1.0
+True
+"""
+
+from . import data  # noqa: F401  (submodule access: repro.data.load)
+from . import reorder  # noqa: F401  (reordering extension)
+from . import testing  # noqa: F401  (format verification oracles)
+from . import tucker  # noqa: F401  (sparse Tucker substrate)
+from .core.hicoo import DEFAULT_BLOCK_BITS, HicooTensor, best_block_bits
+from .core.io import load_hicoo, save_hicoo
+from .core.streaming import hicoo_from_chunks, stream_tns
+from .core.tuner import TunedConfig, tune
+from .cpd.cp_apr import CpAprResult, cp_apr
+from .cpd.model_selection import cp_als_restarts, rank_sweep
+from .kernels.coo_variants import build_sort_plan, mttkrp_sorted
+from .kernels.hicoo_ops import block_norms, densest_blocks, hicoo_ttm, hicoo_ttv
+from .kernels.plan import MttkrpPlan, plan_mttkrp
+from .core.params import HicooParams, analyze_block_sizes, recommend_block_bits
+from .core.scheduler import Schedule, choose_strategy, schedule_mode
+from .core.storage import compare_formats, format_table
+from .core.superblock import SuperblockIndex, build_superblocks
+from .cpd.cp_als import CpAlsResult, cp_als
+from .cpd.ktensor import KruskalTensor
+from .formats.coo import CooTensor
+from .formats.csf import CsfTensor
+from .formats.csf_suite import CsfSuite
+from .kernels import elementwise  # noqa: F401 (sparse tensor algebra)
+from .formats.dense import DenseTensor
+from .kernels.mttkrp import MttkrpRun, mttkrp, mttkrp_parallel
+from .parallel.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CooTensor",
+    "CsfTensor",
+    "CsfSuite",
+    "elementwise",
+    "DenseTensor",
+    "HicooTensor",
+    "DEFAULT_BLOCK_BITS",
+    "best_block_bits",
+    "HicooParams",
+    "analyze_block_sizes",
+    "recommend_block_bits",
+    "Schedule",
+    "schedule_mode",
+    "choose_strategy",
+    "SuperblockIndex",
+    "build_superblocks",
+    "compare_formats",
+    "format_table",
+    "mttkrp",
+    "mttkrp_parallel",
+    "MttkrpRun",
+    "cp_als",
+    "CpAlsResult",
+    "KruskalTensor",
+    "Machine",
+    "data",
+    "reorder",
+    "stream_tns",
+    "hicoo_from_chunks",
+    "tune",
+    "TunedConfig",
+    "cp_apr",
+    "CpAprResult",
+    "cp_als_restarts",
+    "rank_sweep",
+    "build_sort_plan",
+    "mttkrp_sorted",
+    "plan_mttkrp",
+    "MttkrpPlan",
+    "tucker",
+    "testing",
+    "save_hicoo",
+    "load_hicoo",
+    "hicoo_ttv",
+    "hicoo_ttm",
+    "block_norms",
+    "densest_blocks",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Text rendering of benchmark tables and figure series.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "render_series", "fmt"]
+
+
+def fmt(value, width: int = 10, prec: int = 3) -> str:
+    """Format one cell: ints plain, floats with ``prec`` digits."""
+    if isinstance(value, bool):
+        return f"{str(value):>{width}s}"
+    if isinstance(value, int):
+        return f"{value:>{width}d}"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-prec):
+            return f"{value:>{width}.{prec}e}"
+        return f"{value:>{width}.{prec}f}"
+    return f"{str(value):>{width}s}"
+
+
+def render_table(rows: Sequence[Dict], columns: Sequence[str],
+                 title: str = "", widths: Dict[str, int] | None = None) -> str:
+    """Render dict-rows as an aligned text table.
+
+    Missing cells render as '-'.  The first column is left-aligned.
+    """
+    widths = widths or {}
+    col_w = {}
+    for c in columns:
+        w = widths.get(c, max(10, len(c) + 1))
+        col_w[c] = w
+    lines = []
+    if title:
+        lines.append(title)
+    header_cells = []
+    for i, c in enumerate(columns):
+        header_cells.append(f"{c:<{col_w[c]}s}" if i == 0 else f"{c:>{col_w[c]}s}")
+    header = " ".join(header_cells)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for i, c in enumerate(columns):
+            v = row.get(c, "-")
+            if i == 0:
+                cells.append(f"{str(v):<{col_w[c]}s}")
+            else:
+                cells.append(fmt(v, width=col_w[c]))
+        lines.append(" ".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(x_label: str, xs: Sequence, series: Dict[str, Sequence[float]],
+                  title: str = "", width: int = 10) -> str:
+    """Render figure data: one row per x value, one column per series."""
+    lines = []
+    if title:
+        lines.append(title)
+    names = list(series)
+    header = f"{x_label:<{width}s} " + " ".join(f"{n:>{width}s}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        cells = " ".join(fmt(float(series[n][i]), width=width) for n in names)
+        lines.append(f"{str(x):<{width}s} {cells}")
+    return "\n".join(lines)

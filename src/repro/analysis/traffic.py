@@ -1,0 +1,192 @@
+"""Exact operation and memory-traffic counting for MTTKRP kernels.
+
+The paper's performance argument is architectural: HiCOO reads fewer index
+bytes than COO (1-byte offsets vs 4-byte coordinates) and reuses factor rows
+within a block, while COO pays a gather per nonzero per mode and an atomic
+scatter per nonzero.  Those quantities are *countable* exactly from the data
+structures — no timing involved — and this module counts them.  The machine
+model (:mod:`repro.analysis.model`) turns the counts into predicted times;
+because every format's count comes from the same accounting rules, the
+*ratios* (HiCOO vs COO vs CSF — the shapes of the paper's figures) are
+measurement-independent.
+
+Accounting rules (documented reconstruction, DESIGN.md section 2):
+
+* index traffic — each structure array is streamed once at its stored width;
+* factor gathers — 8-byte double rows of width R; COO reloads per nonzero
+  (no locality), HiCOO loads each *distinct* row once per block (block edge
+  B <= 256 keeps the rows cache-resident), CSF loads one row per fiber-tree
+  node;
+* output scatter — read+write per update: per nonzero for COO, per distinct
+  row per block for HiCOO, per target-level node for CSF;
+* flops — one multiply per non-target mode plus one add, times R, per
+  nonzero (all formats perform the same arithmetic; CSF saves the multiplies
+  its tree factors out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..core.hicoo import HicooTensor
+from ..formats.base import SparseTensorFormat
+from ..formats.coo import CooTensor
+from ..formats.csf import CsfTensor
+from ..util.validation import check_mode
+
+__all__ = ["KernelWork", "mttkrp_work", "cp_als_iteration_work"]
+
+FLOAT_BYTES = 8  # computation uses doubles
+VALUE_BYTES = 4  # stored values are single precision (paper accounting)
+
+
+@dataclass
+class KernelWork:
+    """Counted work of one kernel launch."""
+
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+    atomic_updates: float = 0.0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def arithmetic_intensity(self) -> float:
+        """flops per byte — position on the roofline."""
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+    def __add__(self, other: "KernelWork") -> "KernelWork":
+        detail = dict(self.detail)
+        for k, v in other.detail.items():
+            detail[k] = detail.get(k, 0.0) + v
+        return KernelWork(
+            flops=self.flops + other.flops,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            atomic_updates=self.atomic_updates + other.atomic_updates,
+            detail=detail,
+        )
+
+
+def mttkrp_work(tensor: SparseTensorFormat, mode: int, rank: int,
+                parallel: bool = False) -> KernelWork:
+    """Count the flops / bytes / atomics of one MTTKRP along ``mode``.
+
+    ``parallel=True`` marks COO's scatter updates as atomic (the contended
+    case the machine model charges for); sequential runs pay no atomics.
+    """
+    if not isinstance(tensor, (HicooTensor, CsfTensor, CooTensor)):
+        raise TypeError(f"no work model for format {type(tensor).__name__}")
+    mode = check_mode(mode, tensor.nmodes)
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    if isinstance(tensor, HicooTensor):
+        return _hicoo_work(tensor, mode, rank)
+    if isinstance(tensor, CsfTensor):
+        return _csf_work(tensor, mode, rank)
+    if isinstance(tensor, CooTensor):
+        return _coo_work(tensor, mode, rank, parallel)
+    raise TypeError(f"no work model for format {type(tensor).__name__}")
+
+
+def _coo_work(tensor: CooTensor, mode: int, rank: int,
+              parallel: bool) -> KernelWork:
+    n, nnz = tensor.nmodes, tensor.nnz
+    index_bytes = 4 * n * nnz + VALUE_BYTES * nnz
+    gather_bytes = (n - 1) * rank * FLOAT_BYTES * nnz
+    scatter_bytes = 2 * rank * FLOAT_BYTES * nnz
+    flops = n * rank * nnz
+    return KernelWork(
+        flops=flops,
+        bytes_moved=index_bytes + gather_bytes + scatter_bytes,
+        atomic_updates=nnz if parallel else 0,
+        detail={
+            "index_bytes": index_bytes,
+            "gather_bytes": gather_bytes,
+            "scatter_bytes": scatter_bytes,
+        },
+    )
+
+
+def _hicoo_work(tensor: HicooTensor, mode: int, rank: int) -> KernelWork:
+    n, nnz, nb = tensor.nmodes, tensor.nnz, tensor.nblocks
+    index_bytes = (8 * (nb + 1) + 4 * n * nb + 1 * n * nnz
+                   + VALUE_BYTES * nnz)
+    distinct = _distinct_rows_per_block(tensor)
+    gather_rows = sum(distinct[m] for m in range(n) if m != mode)
+    gather_bytes = gather_rows * rank * FLOAT_BYTES
+    scatter_bytes = 2 * distinct[mode] * rank * FLOAT_BYTES
+    flops = n * rank * nnz
+    return KernelWork(
+        flops=flops,
+        bytes_moved=index_bytes + gather_bytes + scatter_bytes,
+        atomic_updates=0,  # lock-free by scheduling
+        detail={
+            "index_bytes": index_bytes,
+            "gather_bytes": gather_bytes,
+            "scatter_bytes": scatter_bytes,
+            "distinct_rows": float(sum(distinct)),
+        },
+    )
+
+
+def _distinct_rows_per_block(tensor: HicooTensor) -> np.ndarray:
+    """For each mode: total over blocks of the number of distinct factor
+    rows the block touches (exact, from binds/einds)."""
+    counts = np.zeros(tensor.nmodes, dtype=np.int64)
+    if tensor.nnz == 0:
+        return counts
+    blk = tensor._nnz_block_of
+    for m in range(tensor.nmodes):
+        key = blk * np.int64(tensor.block_size) + tensor.einds[:, m].astype(np.int64)
+        counts[m] = len(np.unique(key))
+    return counts
+
+
+def _csf_work(tensor: CsfTensor, mode: int, rank: int) -> KernelWork:
+    depth_of_mode = tensor.mode_order.index(mode)
+    nmodes = tensor.nmodes
+    node_counts = [lvl.nnodes for lvl in tensor.levels]
+
+    index_bytes = VALUE_BYTES * tensor.nnz
+    for lvl in tensor.levels:
+        index_bytes += 4 * lvl.nnodes
+        if lvl.fptr is not None:
+            index_bytes += 8 * (lvl.nnodes + 1)
+
+    gather_bytes = 0.0
+    flops = 0.0
+    # bottom-up pass touches levels below the target; top-down the ones above
+    for depth in range(nmodes - 1, depth_of_mode, -1):
+        gather_bytes += node_counts[depth] * rank * FLOAT_BYTES
+        flops += 2 * node_counts[depth] * rank  # multiply + accumulate
+    for depth in range(0, depth_of_mode):
+        gather_bytes += node_counts[depth] * rank * FLOAT_BYTES
+        flops += node_counts[depth + 1] * rank  # prefix multiply per child
+    scatter_bytes = 2 * node_counts[depth_of_mode] * rank * FLOAT_BYTES
+    flops += node_counts[depth_of_mode] * rank
+
+    return KernelWork(
+        flops=flops,
+        bytes_moved=index_bytes + gather_bytes + scatter_bytes,
+        atomic_updates=0,
+        detail={
+            "index_bytes": index_bytes,
+            "gather_bytes": gather_bytes,
+            "scatter_bytes": scatter_bytes,
+        },
+    )
+
+
+def cp_als_iteration_work(tensor: SparseTensorFormat, rank: int,
+                          parallel: bool = False) -> KernelWork:
+    """Work of one full CP-ALS iteration (MTTKRP in every mode; the dense
+    R x R solves are negligible and counted as flops only)."""
+    total = KernelWork()
+    for mode in range(tensor.nmodes):
+        total = total + mttkrp_work(tensor, mode, rank, parallel=parallel)
+        dim = tensor.shape[mode]
+        # U = M @ pinv(H): ~2 I R^2, gram update ~ I R^2
+        total = total + KernelWork(flops=3.0 * dim * rank * rank,
+                                   bytes_moved=2.0 * dim * rank * FLOAT_BYTES)
+    return total

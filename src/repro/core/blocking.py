@@ -1,0 +1,104 @@
+"""Decomposition of a tensor's index space into B × … × B blocks.
+
+HiCOO splits every coordinate ``i`` into a block coordinate ``i >> b`` and an
+element offset ``i & (B-1)`` with ``B = 2**b``.  Offsets are stored in one
+byte, which imposes the paper's hard constraint ``B <= 256`` (b <= 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+
+__all__ = ["MAX_BLOCK_BITS", "BlockDecomposition", "decompose"]
+
+#: element offsets are stored as uint8, so a block edge cannot exceed 256
+MAX_BLOCK_BITS = 8
+
+
+@dataclass
+class BlockDecomposition:
+    """Nonzeros of a COO tensor grouped into Morton-ordered index blocks.
+
+    Attributes
+    ----------
+    block_bits : b, with block edge B = 2**b.
+    block_ptr : (nblocks + 1,) int64 — nonzero range of each block.
+    block_coords : (nblocks, nmodes) int64 — block coordinates (index >> b).
+    elem_offsets : (nnz, nmodes) uint8 — within-block offsets, aligned with
+        ``values``.
+    values : (nnz,) float64 — nonzero values in block-grouped order.
+    shape : logical tensor shape.
+    """
+
+    block_bits: int
+    block_ptr: np.ndarray
+    block_coords: np.ndarray
+    elem_offsets: np.ndarray
+    values: np.ndarray
+    shape: tuple
+
+    @property
+    def nblocks(self) -> int:
+        return len(self.block_coords)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    @property
+    def nmodes(self) -> int:
+        return len(self.shape)
+
+    def block_nnz(self) -> np.ndarray:
+        """Nonzeros per block, length ``nblocks``."""
+        return np.diff(self.block_ptr)
+
+    def nnz_block_of(self) -> np.ndarray:
+        """Block id of every nonzero (length ``nnz``)."""
+        return np.repeat(np.arange(self.nblocks), self.block_nnz())
+
+
+def decompose(coo: CooTensor, block_bits: int) -> BlockDecomposition:
+    """Group the nonzeros of ``coo`` into 2**block_bits-edge blocks.
+
+    Nonzeros are sorted in Z-Morton order of their block coordinates (offsets
+    ordered lexicographically inside each block), then consecutive runs with
+    equal block coordinates become blocks.
+    """
+    if not isinstance(coo, CooTensor):
+        raise TypeError(f"expected a CooTensor, got {type(coo).__name__}")
+    if not 1 <= block_bits <= MAX_BLOCK_BITS:
+        raise ValueError(
+            f"block_bits must be in [1, {MAX_BLOCK_BITS}] so that offsets fit "
+            f"in one byte, got {block_bits}"
+        )
+    ordered = coo.sort_morton(block_bits=block_bits)
+    inds = ordered.indices
+    bcoords = inds >> block_bits
+    offsets = (inds & ((1 << block_bits) - 1)).astype(np.uint8)
+
+    if len(inds) == 0:
+        return BlockDecomposition(
+            block_bits=block_bits,
+            block_ptr=np.zeros(1, dtype=np.int64),
+            block_coords=np.empty((0, coo.nmodes), dtype=np.int64),
+            elem_offsets=offsets,
+            values=ordered.values,
+            shape=coo.shape,
+        )
+
+    changed = np.any(bcoords[1:] != bcoords[:-1], axis=1)
+    starts = np.concatenate([[0], np.flatnonzero(changed) + 1])
+    block_ptr = np.concatenate([starts, [len(inds)]]).astype(np.int64)
+    return BlockDecomposition(
+        block_bits=block_bits,
+        block_ptr=block_ptr,
+        block_coords=bcoords[starts],
+        elem_offsets=offsets,
+        values=ordered.values,
+        shape=coo.shape,
+    )

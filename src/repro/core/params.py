@@ -1,0 +1,84 @@
+"""HiCOO's predictive parameters: block ratio alpha_b and slice size c_b.
+
+The paper characterizes when HiCOO wins with two numbers computed from the
+block decomposition alone:
+
+* ``alpha_b = n_b / nnz`` — the *block ratio*.  Small alpha_b means many
+  nonzeros share each block: the per-block index overhead amortizes and the
+  format compresses well.  alpha_b -> 1 means one nonzero per block and
+  HiCOO degenerates to COO plus overhead.
+* ``c_b = nnz / (n_b * B)`` — the *average slice size per block*
+  (equivalently ``1 / (alpha_b * B)``): how many nonzeros land on each of a
+  block's B slices on average, a proxy for factor-row reuse inside a block.
+
+This module computes both across block sizes, and implements the block-size
+selection rule used by the benchmarks: pick the ``b`` minimizing total HiCOO
+bytes subject to the byte-offset constraint ``b <= 8``.
+
+Reconstruction note: the printed paper defines c_b per-block and averages;
+the closed form above is the aggregate equivalent used here and documented
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..formats.coo import CooTensor
+from .blocking import MAX_BLOCK_BITS
+from .hicoo import HicooTensor
+
+__all__ = ["HicooParams", "analyze_block_sizes", "recommend_block_bits"]
+
+
+@dataclass
+class HicooParams:
+    """Parameters of one (tensor, block size) combination."""
+
+    block_bits: int
+    nblocks: int
+    nnz: int
+    alpha_b: float
+    c_b: float
+    total_bytes: int
+    bytes_per_nnz: float
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.block_bits
+
+    def compresses_well(self) -> bool:
+        """Paper's qualitative criterion: HiCOO pays off when blocks hold
+        several nonzeros each (alpha_b well below 1)."""
+        return self.alpha_b < 0.5
+
+    @classmethod
+    def measure(cls, tensor: HicooTensor) -> "HicooParams":
+        return cls(
+            block_bits=tensor.block_bits,
+            nblocks=tensor.nblocks,
+            nnz=tensor.nnz,
+            alpha_b=tensor.block_ratio(),
+            c_b=tensor.avg_slice_size(),
+            total_bytes=tensor.total_bytes(),
+            bytes_per_nnz=tensor.bytes_per_nnz(),
+        )
+
+
+def analyze_block_sizes(coo: CooTensor,
+                        candidates: Optional[Iterable[int]] = None
+                        ) -> List[HicooParams]:
+    """Measure alpha_b / c_b / storage across block sizes (experiment E7)."""
+    if candidates is None:
+        candidates = range(1, MAX_BLOCK_BITS + 1)
+    return [HicooParams.measure(HicooTensor(coo, block_bits=b)) for b in candidates]
+
+
+def recommend_block_bits(coo: CooTensor,
+                         candidates: Optional[Iterable[int]] = None) -> Dict:
+    """Pick block bits minimizing storage; returns the chosen parameters and
+    the full sweep so callers can display the trade-off curve."""
+    sweep = analyze_block_sizes(coo, candidates)
+    best = min(sweep, key=lambda p: (p.total_bytes, -p.block_bits))
+    return {"chosen": best, "sweep": sweep}

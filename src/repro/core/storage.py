@@ -1,0 +1,102 @@
+"""Exact storage accounting and cross-format comparison (experiment E2).
+
+All formats account storage with the paper's canonical element widths:
+``beta_long = 8`` bytes for pointer arrays, ``beta_int = 4`` bytes for
+coordinates/fids, ``beta_byte = 1`` byte for HiCOO element offsets, and
+4-byte values — independent of the (float64) in-memory dtypes used for
+computation, so the numbers are comparable with the paper's Table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..formats.coo import CooTensor
+from ..formats.csf import CsfTensor
+from ..core.hicoo import HicooTensor
+
+__all__ = ["StorageRow", "compare_formats", "format_table"]
+
+
+@dataclass
+class StorageRow:
+    """One line of the storage-comparison table."""
+
+    format_name: str
+    total_bytes: int
+    index_bytes: int
+    value_bytes: int
+    bytes_per_nnz: float
+    ratio_to_coo: float  # total / COO total; < 1 means smaller than COO
+
+    def compression_vs_coo(self) -> float:
+        """COO / this — the paper reports this as 'x smaller than COO'."""
+        return 1.0 / self.ratio_to_coo if self.ratio_to_coo else float("inf")
+
+
+def compare_formats(coo: CooTensor,
+                    block_bits: int = 7,
+                    csf_trees: Sequence[int] = (1,),
+                    mode_order: Optional[Sequence[int]] = None) -> List[StorageRow]:
+    """Build COO / CSF / HiCOO instances of one tensor and account storage.
+
+    ``csf_trees`` selects which CSF variants appear — e.g. ``(1, coo.nmodes)``
+    reports both one-tree CSF and the mode-generic CSF-N.
+    """
+    rows: List[StorageRow] = []
+    nnz = max(1, coo.nnz)
+
+    coo_parts = coo.storage_bytes()
+    coo_total = sum(coo_parts.values())
+    rows.append(StorageRow(
+        format_name="coo",
+        total_bytes=coo_total,
+        index_bytes=coo_parts["indices"],
+        value_bytes=coo_parts["values"],
+        bytes_per_nnz=coo_total / nnz,
+        ratio_to_coo=1.0,
+    ))
+
+    csf = CsfTensor(coo, mode_order=mode_order)
+    for ntrees in csf_trees:
+        parts = csf.storage_bytes(ntrees=ntrees)
+        total = sum(parts.values())
+        name = "csf" if ntrees == 1 else f"csf-{ntrees}"
+        rows.append(StorageRow(
+            format_name=name,
+            total_bytes=total,
+            index_bytes=parts["fids"] + parts["fptr"],
+            value_bytes=parts["values"],
+            bytes_per_nnz=total / nnz,
+            ratio_to_coo=total / coo_total if coo_total else float("inf"),
+        ))
+
+    hic = HicooTensor(coo, block_bits=block_bits)
+    parts = hic.storage_bytes()
+    total = sum(parts.values())
+    rows.append(StorageRow(
+        format_name="hicoo",
+        total_bytes=total,
+        index_bytes=parts["bptr"] + parts["binds"] + parts["einds"],
+        value_bytes=parts["values"],
+        bytes_per_nnz=total / nnz,
+        ratio_to_coo=total / coo_total if coo_total else float("inf"),
+    ))
+    return rows
+
+
+def format_table(rows: Sequence[StorageRow], title: str = "") -> str:
+    """Render storage rows as the aligned text table the benches print."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'format':<8s} {'total(B)':>12s} {'index(B)':>12s} {'B/nnz':>8s} {'vs COO':>8s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.format_name:<8s} {row.total_bytes:>12d} {row.index_bytes:>12d} "
+            f"{row.bytes_per_nnz:>8.2f} {row.compression_vs_coo():>7.2f}x"
+        )
+    return "\n".join(lines)

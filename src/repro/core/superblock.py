@@ -1,0 +1,92 @@
+"""Superblocks: logical 2**sb-edge aggregates of HiCOO blocks.
+
+The parallel MTTKRP of the paper does not schedule individual blocks (too
+fine) or whole tensors (no parallelism): it groups blocks into *superblocks*
+of edge ``L = 2**superblock_bits`` (sb >= b) and schedules those.  Because
+blocks are stored in Morton order and a superblock's Morton code is a prefix
+of its blocks' codes, every superblock is a *contiguous* run of blocks —
+superblock construction is a single scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hicoo import HicooTensor
+
+__all__ = ["SuperblockIndex", "build_superblocks"]
+
+
+@dataclass
+class SuperblockIndex:
+    """Superblock structure over a HiCOO tensor.
+
+    Attributes
+    ----------
+    superblock_bits : sb, with superblock edge L = 2**sb (in element units).
+    sptr : (nsuper + 1,) int64 — the block range of each superblock.
+    scoords : (nsuper, nmodes) int64 — superblock coordinates (in units of
+        superblocks, i.e. element index >> sb).
+    nnz_per_superblock : (nsuper,) int64.
+    """
+
+    superblock_bits: int
+    sptr: np.ndarray
+    scoords: np.ndarray
+    nnz_per_superblock: np.ndarray
+
+    @property
+    def nsuper(self) -> int:
+        return len(self.scoords)
+
+    def block_range(self, sb: int) -> tuple:
+        """(lo, hi) block ids covered by superblock ``sb``."""
+        return int(self.sptr[sb]), int(self.sptr[sb + 1])
+
+    def output_range(self, sb: int, mode: int) -> tuple:
+        """Half-open element-index range this superblock writes in ``mode``
+        during a mode-``mode`` MTTKRP."""
+        lo = int(self.scoords[sb, mode]) << self.superblock_bits
+        return lo, lo + (1 << self.superblock_bits)
+
+
+def build_superblocks(tensor: HicooTensor, superblock_bits: int) -> SuperblockIndex:
+    """Group the (Morton-ordered) blocks of ``tensor`` into superblocks.
+
+    Raises if ``superblock_bits < tensor.block_bits`` — a superblock must
+    contain whole blocks.
+
+    Note: Morton order guarantees all blocks of a superblock are adjacent,
+    so this is a run-length scan over block coordinates shifted down by
+    ``sb - b`` bits.
+    """
+    if superblock_bits < tensor.block_bits:
+        raise ValueError(
+            f"superblock_bits ({superblock_bits}) must be >= block_bits "
+            f"({tensor.block_bits})"
+        )
+    shift = superblock_bits - tensor.block_bits
+    if tensor.nblocks == 0:
+        return SuperblockIndex(
+            superblock_bits=superblock_bits,
+            sptr=np.zeros(1, dtype=np.int64),
+            scoords=np.empty((0, tensor.nmodes), dtype=np.int64),
+            nnz_per_superblock=np.empty(0, dtype=np.int64),
+        )
+    scoord_of_block = tensor.binds.astype(np.int64) >> shift
+    changed = np.any(scoord_of_block[1:] != scoord_of_block[:-1], axis=1)
+    starts = np.concatenate([[0], np.flatnonzero(changed) + 1])
+    sptr = np.concatenate([starts, [tensor.nblocks]]).astype(np.int64)
+
+    # sanity: Morton contiguity means no superblock coordinate may reappear
+    # in a later run; a violation indicates a corrupted block ordering.
+    scoords = scoord_of_block[starts]
+    nnz_per = np.add.reduceat(tensor.block_nnz(), starts)
+    return SuperblockIndex(
+        superblock_bits=superblock_bits,
+        sptr=sptr,
+        scoords=scoords,
+        nnz_per_superblock=nnz_per.astype(np.int64),
+    )

@@ -1,0 +1,106 @@
+"""Model-driven parameter tuning for HiCOO.
+
+HiCOO has three knobs — block bits ``b``, superblock bits ``sb``, and the
+parallel strategy — whose best values depend on the tensor's structure and
+the machine.  The paper picks them empirically; the related "model-driven"
+line of work picks them from predicted cost.  This tuner does the latter
+using the library's exact work counts + machine model: it scores every
+candidate configuration by predicted all-mode MTTKRP time (optionally
+trading off storage) and returns the winner with the full scoreboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.model import predict_all_modes
+from ..core.scheduler import choose_strategy, schedule_mode
+from ..core.superblock import build_superblocks
+from ..formats.coo import CooTensor
+from ..parallel.machine import Machine
+from .blocking import MAX_BLOCK_BITS
+from .hicoo import HicooTensor
+
+__all__ = ["TunedConfig", "tune"]
+
+
+@dataclass
+class TunedConfig:
+    """One scored configuration."""
+
+    block_bits: int
+    superblock_bits: int
+    strategies: List[str]  # per mode
+    predicted_seconds: float
+    total_bytes: int
+    alpha_b: float
+    score: float
+
+    @property
+    def block_size(self) -> int:
+        return 1 << self.block_bits
+
+
+def tune(coo: CooTensor, rank: int, machine: Machine, nthreads: int = 1, *,
+         block_candidates: Optional[Sequence[int]] = None,
+         superblock_offsets: Sequence[int] = (1, 2, 3, 4),
+         storage_weight: float = 0.0) -> dict:
+    """Pick (b, sb, per-mode strategy) minimizing predicted cost.
+
+    Parameters
+    ----------
+    coo : the tensor to tune for.
+    rank, machine, nthreads : the MTTKRP workload being optimized.
+    block_candidates : block-bits values to try (default 2..8).
+    superblock_offsets : sb - b values to try.
+    storage_weight : adds ``weight * bytes / machine.socket_bandwidth``
+        to the score — a knob for storage-constrained deployments (0 tunes
+        purely for speed).
+
+    Returns
+    -------
+    dict with ``best`` (a :class:`TunedConfig`) and ``scoreboard`` (all
+    configurations, best first).
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    if nthreads < 1:
+        raise ValueError(f"nthreads must be positive, got {nthreads}")
+    if storage_weight < 0:
+        raise ValueError("storage_weight must be non-negative")
+    if block_candidates is None:
+        block_candidates = range(2, MAX_BLOCK_BITS + 1)
+
+    scoreboard: List[TunedConfig] = []
+    for bits in block_candidates:
+        hic = HicooTensor(coo, block_bits=bits)
+        timing = predict_all_modes(hic, rank, machine, nthreads=nthreads)
+        bytes_total = hic.total_bytes()
+        base_score = timing.total + storage_weight * (
+            bytes_total / machine.socket_bandwidth)
+        for offset in superblock_offsets:
+            sb_bits = bits + offset
+            sbs = build_superblocks(hic, sb_bits)
+            strategies = []
+            imbalance_penalty = 0.0
+            for mode in range(coo.nmodes):
+                strat = choose_strategy(sbs, mode, nthreads,
+                                        coo.shape[mode], rank)
+                strategies.append(strat)
+                if strat == "schedule" and nthreads > 1:
+                    sched = schedule_mode(sbs, mode, nthreads)
+                    # penalize imbalanced schedules proportionally
+                    imbalance_penalty += timing.mode_seconds[mode] * (
+                        sched.load_imbalance() - 1.0) / max(coo.nmodes, 1)
+            scoreboard.append(TunedConfig(
+                block_bits=bits,
+                superblock_bits=sb_bits,
+                strategies=strategies,
+                predicted_seconds=timing.total,
+                total_bytes=bytes_total,
+                alpha_b=hic.block_ratio(),
+                score=base_score + imbalance_penalty,
+            ))
+    scoreboard.sort(key=lambda c: (c.score, -c.block_bits))
+    return {"best": scoreboard[0], "scoreboard": scoreboard}

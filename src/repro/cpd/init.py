@@ -1,0 +1,62 @@
+"""Factor-matrix initialization strategies for CP-ALS."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from ..kernels.matricize import unfold_coo
+
+__all__ = ["random_init", "hosvd_init", "initialize"]
+
+
+def random_init(shape, rank: int,
+                rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
+    """Uniform [0, 1) factors — the default in the paper's CP-ALS runs."""
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    rng = rng or np.random.default_rng()
+    return [rng.random((dim, rank)) for dim in shape]
+
+
+def hosvd_init(tensor: CooTensor, rank: int,
+               rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
+    """Leading left singular vectors of each mode unfolding (truncated HOSVD).
+
+    Modes whose size is below ``rank`` are padded with random columns, as in
+    Tensor Toolbox's ``nvecs`` handling.
+    """
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    rng = rng or np.random.default_rng()
+    from scipy.sparse.linalg import svds
+
+    factors = []
+    for mode, dim in enumerate(tensor.shape):
+        k = min(rank, max(1, dim - 1))
+        mat = unfold_coo(tensor, mode)
+        if k < 1 or min(mat.shape) <= 1 or tensor.nnz == 0:
+            factors.append(rng.random((dim, rank)))
+            continue
+        try:
+            u, _, _ = svds(mat.astype(np.float64), k=min(k, min(mat.shape) - 1))
+            u = u[:, ::-1]  # svds returns ascending singular values
+        except Exception:
+            u = rng.random((dim, 0))
+        if u.shape[1] < rank:
+            pad = rng.random((dim, rank - u.shape[1]))
+            u = np.hstack([u, pad]) if u.size else pad
+        factors.append(np.ascontiguousarray(u[:, :rank]))
+    return factors
+
+
+def initialize(tensor: CooTensor, rank: int, method: str = "random",
+               rng: Optional[np.random.Generator] = None) -> List[np.ndarray]:
+    """Dispatch: ``method`` in {"random", "hosvd"}."""
+    if method == "random":
+        return random_init(tensor.shape, rank, rng)
+    if method == "hosvd":
+        return hosvd_init(tensor, rank, rng)
+    raise ValueError(f"unknown init method {method!r}; use 'random' or 'hosvd'")

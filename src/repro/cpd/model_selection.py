@@ -1,0 +1,92 @@
+"""Model-selection utilities around CP-ALS: restarts and rank sweeps.
+
+CP-ALS converges to local optima and its quality is initialization-
+dependent (the paper runs multiple decompositions per tensor when choosing
+a rank — the very workload that amortizes HiCOO's construction cost).
+These helpers orchestrate that workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..formats.base import SparseTensorFormat
+from .cp_als import CpAlsResult, cp_als
+
+__all__ = ["RankProfile", "cp_als_restarts", "rank_sweep"]
+
+
+def cp_als_restarts(tensor: SparseTensorFormat, rank: int, *,
+                    restarts: int = 3, seed: Optional[int] = None,
+                    **cp_kwargs) -> CpAlsResult:
+    """Run CP-ALS ``restarts`` times from different random initializations
+    and return the best-fit result.
+
+    Extra keyword arguments pass through to :func:`repro.cpd.cp_als.cp_als`
+    (``maxiters``, ``tol``, ``nthreads``, ...).
+    """
+    if restarts < 1:
+        raise ValueError(f"restarts must be positive, got {restarts}")
+    if "init" in cp_kwargs:
+        raise ValueError("cp_als_restarts controls initialization itself; "
+                         "pass seed instead of init")
+    rng = np.random.default_rng(seed)
+    best: Optional[CpAlsResult] = None
+    for _ in range(restarts):
+        run_seed = int(rng.integers(1 << 31))
+        result = cp_als(tensor, rank, seed=run_seed, **cp_kwargs)
+        if best is None or result.final_fit > best.final_fit:
+            best = result
+    assert best is not None
+    return best
+
+
+@dataclass
+class RankProfile:
+    """Outcome of a rank sweep."""
+
+    ranks: List[int] = field(default_factory=list)
+    fits: List[float] = field(default_factory=list)
+    iterations: List[int] = field(default_factory=list)
+    seconds: List[float] = field(default_factory=list)
+
+    def best_rank(self) -> int:
+        """Smallest rank within ``elbow_tol`` of the maximum fit."""
+        return self.knee(tolerance=0.0)
+
+    def knee(self, tolerance: float = 0.01) -> int:
+        """Smallest rank whose fit is within ``tolerance`` of the best fit
+        seen — the usual elbow criterion for choosing R."""
+        if not self.ranks:
+            raise ValueError("empty rank profile")
+        target = max(self.fits) - tolerance
+        for r, f in zip(self.ranks, self.fits):
+            if f >= target:
+                return r
+        return self.ranks[-1]
+
+
+def rank_sweep(tensor: SparseTensorFormat, ranks: Sequence[int], *,
+               restarts: int = 1, seed: Optional[int] = None,
+               **cp_kwargs) -> RankProfile:
+    """Profile CP-ALS fit across candidate ranks.
+
+    Each rank runs ``restarts`` initializations (best kept); the profile
+    records fit, iteration count and wall time per rank.
+    """
+    ranks = [int(r) for r in ranks]
+    if not ranks or any(r < 1 for r in ranks):
+        raise ValueError(f"ranks must be positive integers, got {ranks}")
+    rng = np.random.default_rng(seed)
+    profile = RankProfile()
+    for rank in ranks:
+        result = cp_als_restarts(tensor, rank, restarts=restarts,
+                                 seed=int(rng.integers(1 << 31)), **cp_kwargs)
+        profile.ranks.append(rank)
+        profile.fits.append(result.final_fit)
+        profile.iterations.append(result.iterations)
+        profile.seconds.append(result.total_seconds)
+    return profile

@@ -1,0 +1,11 @@
+"""Dataset substrate: synthetic generators, FROSTT I/O, and the registry of
+scaled-down analogs of the paper's evaluation tensors."""
+
+from . import synthetic  # noqa: F401
+from .frostt import read_tns, write_tns  # noqa: F401
+from .registry import REGISTRY, DatasetSpec, load, names, summary_rows  # noqa: F401
+
+__all__ = [
+    "synthetic", "read_tns", "write_tns",
+    "REGISTRY", "DatasetSpec", "load", "names", "summary_rows",
+]

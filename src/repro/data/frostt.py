@@ -1,0 +1,131 @@
+"""Reader/writer for the FROSTT ``.tns`` text format.
+
+One nonzero per line: N one-based coordinates followed by the value,
+whitespace separated.  Lines starting with ``#`` are comments.  This is the
+format the paper's datasets ship in, so real FROSTT files can be dropped
+straight into the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+
+__all__ = ["read_tns", "write_tns"]
+
+PathLike = Union[str, Path, io.TextIOBase]
+
+
+def _parse_line(parts, lineno):
+    """Parse one data line: exact int coordinates + float value.
+
+    Coordinates are parsed as integers directly (parsing through float
+    would silently corrupt indices beyond 2**53 — FROSTT mode sizes reach
+    tens of millions today, but exactness is free).
+    """
+    coords = []
+    for p in parts[:-1]:
+        try:
+            coords.append(int(p))
+        except ValueError:
+            try:
+                float(p)
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: non-numeric field") from exc
+            raise ValueError(
+                f"line {lineno}: coordinates must be integers, got {p!r}")
+    try:
+        value = float(parts[-1])
+    except ValueError as exc:
+        raise ValueError(f"line {lineno}: non-numeric field") from exc
+    return coords, value
+
+
+def read_tns(source: PathLike, shape: Optional[Sequence[int]] = None,
+             nmodes: Optional[int] = None) -> CooTensor:
+    """Parse a ``.tns`` file into a COO tensor.
+
+    Parameters
+    ----------
+    source : path or open text file.
+    shape : optional explicit shape; inferred as ``max index per mode`` when
+        omitted.
+    nmodes : optional expected mode count, validated against the file.
+
+    Raises
+    ------
+    ValueError on ragged rows, non-numeric fields, non-positive indices, or a
+    mode-count / shape mismatch.
+    """
+    close = False
+    if isinstance(source, (str, Path)):
+        fh = open(source, "r")
+        close = True
+    else:
+        fh = source
+    try:
+        rows = []
+        width = None
+        for lineno, line in enumerate(fh, 1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(("#", "%")):
+                continue
+            parts = stripped.split()
+            if width is None:
+                width = len(parts)
+                if width < 2:
+                    raise ValueError(
+                        f"line {lineno}: need at least one index and a value"
+                    )
+            elif len(parts) != width:
+                raise ValueError(
+                    f"line {lineno}: expected {width} fields, got {len(parts)}"
+                )
+            rows.append(_parse_line(parts, lineno))
+    finally:
+        if close:
+            fh.close()
+
+    if not rows:
+        if shape is None:
+            raise ValueError("empty .tns file and no explicit shape given")
+        return CooTensor.empty(shape)
+
+    inds = np.asarray([r[0] for r in rows], dtype=np.int64)
+    vals = np.asarray([r[1] for r in rows], dtype=np.float64)
+    if inds.min() < 1:
+        raise ValueError(".tns coordinates are one-based and must be >= 1")
+    inds -= 1
+
+    file_modes = inds.shape[1]
+    if nmodes is not None and file_modes != nmodes:
+        raise ValueError(f"file has {file_modes} modes, expected {nmodes}")
+    if shape is None:
+        shape = tuple(int(m) + 1 for m in inds.max(axis=0))
+    return CooTensor(shape, inds, vals, sum_duplicates=True)
+
+
+def write_tns(tensor: CooTensor, dest: PathLike,
+              header: Optional[str] = None) -> None:
+    """Write a COO tensor in ``.tns`` format (one-based coordinates)."""
+    close = False
+    if isinstance(dest, (str, Path)):
+        fh = open(dest, "w")
+        close = True
+    else:
+        fh = dest
+    try:
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        for coord, value in zip(tensor.indices, tensor.values):
+            fields = " ".join(str(int(c) + 1) for c in coord)
+            fh.write(f"{fields} {float(value)!r}\n")
+    finally:
+        if close:
+            fh.close()

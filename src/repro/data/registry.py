@@ -1,0 +1,147 @@
+"""Scaled-down analogs of the paper's evaluation datasets.
+
+The SC'18 paper evaluates on FROSTT / HaTen2 tensors of 3M-144M nonzeros
+(vast, nell2, choa, darpa, fb-m, flickr, deli, nell1 in 3-D; crime, uber,
+nips, enron, flickr4d, deli4d in 4-D).  Those files are multi-GB downloads;
+this registry generates synthetic analogs ~1000x smaller that land in the
+same *structural regime* — the mode-size ratios and the clustering/skew that
+determine HiCOO's block ratio alpha_b, which is what its storage and speed
+depend on.  DESIGN.md section 2 documents this substitution.
+
+Every entry records the real dataset's published statistics so the mapping
+is auditable, and :func:`load` accepts a ``scale`` factor to grow an analog
+toward the real size when more compute is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from . import synthetic
+
+__all__ = ["DatasetSpec", "REGISTRY", "load", "names", "summary_rows"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One named workload: the analog generator plus real-dataset metadata."""
+
+    name: str
+    shape: Tuple[int, ...]
+    nnz: int
+    generator: Callable[..., CooTensor]
+    params: tuple  # ((key, value), ...) extra generator kwargs
+    regime: str  # "clustered" / "skewed" / "uniform" / "graph" / "banded"
+    real_shape: str  # the paper dataset's published dimensions
+    real_nnz: str  # the paper dataset's published nonzero count
+
+    def build(self, scale: float = 1.0, seed: Optional[int] = None) -> CooTensor:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        dim_scale = scale ** (1.0 / max(1, len(self.shape)))
+        shape = tuple(max(4, int(round(s * dim_scale))) for s in self.shape)
+        nnz = max(16, int(round(self.nnz * scale)))
+        kwargs = dict(self.params)
+        if self.generator is synthetic.graph_tensor:
+            nnodes = shape[0]
+            ntime = shape[2]
+            return self.generator(nnodes, ntime, seed=seed, **kwargs)
+        return self.generator(shape, nnz, seed=seed, **kwargs)
+
+
+def _spec(name, shape, nnz, generator, regime, real_shape, real_nnz, **params):
+    return DatasetSpec(
+        name=name, shape=tuple(shape), nnz=nnz, generator=generator,
+        params=tuple(sorted(params.items())), regime=regime,
+        real_shape=real_shape, real_nnz=real_nnz,
+    )
+
+
+#: the paper's Table-of-datasets, scaled ~1000x down.
+REGISTRY: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- 3-D tensors -------------------------------------------------
+        _spec("vast", (1600, 1100, 32), 26_000, synthetic.clustered_tensor,
+              "clustered", "165K x 11K x 2", "26M",
+              nclusters=40, spread=6.0),
+        _spec("nell2", (1200, 900, 2800), 77_000, synthetic.power_law_tensor,
+              "skewed", "12K x 9K x 28K", "77M", exponent=1.1),
+        _spec("choa", (7000, 1000, 80), 27_000, synthetic.clustered_tensor,
+              "clustered", "712K x 10K x 767", "27M",
+              nclusters=120, spread=4.0),
+        _spec("darpa", (2200, 2200, 8000), 28_000, synthetic.power_law_tensor,
+              "skewed", "22K x 22K x 23M", "28M", exponent=1.4),
+        _spec("fb-m", (9000, 9000, 64), 40_000, synthetic.graph_tensor,
+              "graph", "23M x 23M x 166", "100M", attach=3),
+        _spec("flickr", (3200, 28000, 1600), 50_000, synthetic.power_law_tensor,
+              "skewed", "320K x 28M x 1.6M", "112M", exponent=1.3),
+        _spec("deli", (5300, 17000, 2400), 60_000, synthetic.power_law_tensor,
+              "skewed", "530K x 17M x 2.4M", "140M", exponent=1.2),
+        _spec("nell1", (2900, 2100, 25000), 60_000, synthetic.power_law_tensor,
+              "skewed", "2.9M x 2.1M x 25.5M", "144M", exponent=1.5),
+        _spec("rand3d", (4000, 4000, 4000), 40_000, synthetic.random_tensor,
+              "uniform", "(synthetic)", "-"),
+        # --- 4-D tensors -------------------------------------------------
+        _spec("crime", (1400, 24, 77, 32), 25_000, synthetic.clustered_tensor,
+              "clustered", "6K x 24 x 77 x 32", "5M",
+              nclusters=60, spread=3.0),
+        _spec("uber", (183, 24, 1140, 1717), 33_000, synthetic.clustered_tensor,
+              "clustered", "183 x 24 x 1140 x 1717", "3.3M",
+              nclusters=80, spread=5.0),
+        _spec("nips", (2500, 2900, 14000, 17), 31_000, synthetic.power_law_tensor,
+              "skewed", "2.5K x 2.9K x 14K x 17", "3.1M", exponent=1.1),
+        _spec("enron", (600, 570, 2400, 120), 54_000, synthetic.power_law_tensor,
+              "skewed", "6K x 5.7K x 244K x 1.2K", "54M", exponent=1.2),
+        _spec("flickr4d", (3200, 28000, 1600, 64), 50_000,
+              synthetic.power_law_tensor, "skewed",
+              "320K x 28M x 1.6M x 731", "112M", exponent=1.3),
+        _spec("deli4d", (5300, 17000, 2400, 64), 60_000,
+              synthetic.power_law_tensor, "skewed",
+              "530K x 17M x 2.4M x 1.4K", "140M", exponent=1.2),
+    ]
+}
+
+
+def names() -> list:
+    """Registered dataset names, 3-D before 4-D, registry order."""
+    return list(REGISTRY)
+
+
+def load(name: str, scale: float = 1.0, seed: Optional[int] = None) -> CooTensor:
+    """Build the named analog tensor.
+
+    ``seed`` defaults to a stable per-name hash so repeated loads (and
+    different benchmark processes) see the same tensor.
+    """
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(REGISTRY)}"
+        )
+    if seed is None:
+        # process-independent per-name seed (built-in hash() is salted)
+        seed = int(np.uint32(
+            sum(ord(c) * 131 ** i for i, c in enumerate(name)) & 0x7FFFFFFF))
+    return REGISTRY[name].build(scale=scale, seed=seed)
+
+
+def summary_rows(scale: float = 1.0) -> list:
+    """Rows of the dataset table (experiment E1): one dict per dataset."""
+    rows = []
+    for name, spec in REGISTRY.items():
+        tensor = load(name, scale=scale)
+        rows.append({
+            "name": name,
+            "order": tensor.nmodes,
+            "shape": "x".join(str(s) for s in tensor.shape),
+            "nnz": tensor.nnz,
+            "density": tensor.density(),
+            "regime": spec.regime,
+            "paper_shape": spec.real_shape,
+            "paper_nnz": spec.real_nnz,
+        })
+    return rows

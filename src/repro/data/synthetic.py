@@ -1,0 +1,228 @@
+"""Synthetic sparse-tensor generators.
+
+The paper evaluates on FROSTT / HaTen2 tensors whose behaviour under HiCOO
+is governed by their *index structure* — how clustered the nonzeros are
+(block ratio alpha_b) and how skewed the per-slice counts are.  These
+generators expose exactly those knobs, so the registry
+(:mod:`repro.data.registry`) can produce scaled-down analogs living in the
+same structural regime as each real dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from ..util.validation import check_shape
+
+__all__ = [
+    "random_tensor",
+    "clustered_tensor",
+    "power_law_tensor",
+    "graph_tensor",
+    "banded_tensor",
+    "lowrank_tensor",
+]
+
+
+def _dedup_fill(shape, draw, nnz, rng, max_rounds: int = 50) -> np.ndarray:
+    """Draw coordinate batches until ``nnz`` distinct tuples are collected.
+
+    ``draw(n)`` must return an (n, N) int array within ``shape``.
+    """
+    seen = np.empty((0, len(shape)), dtype=np.int64)
+    need = nnz
+    for _ in range(max_rounds):
+        batch = draw(int(need * 1.3) + 8)
+        cand = np.vstack([seen, batch])
+        cand = np.unique(cand, axis=0)
+        if len(cand) >= nnz:
+            perm = rng.permutation(len(cand))[:nnz]
+            return cand[perm]
+        seen = cand
+        need = nnz - len(cand)
+    raise RuntimeError(
+        f"could not draw {nnz} distinct coordinates in a "
+        f"{'x'.join(map(str, shape))} tensor — index space too small?"
+    )
+
+
+def _values(rng, n, kind: str = "uniform") -> np.ndarray:
+    if kind == "uniform":
+        return rng.random(n) + 0.1  # bounded away from zero
+    if kind == "normal":
+        return rng.normal(size=n)
+    if kind == "counts":
+        return rng.geometric(0.3, size=n).astype(np.float64)
+    raise ValueError(f"unknown value kind {kind!r}")
+
+
+def random_tensor(shape: Sequence[int], nnz: int, *,
+                  seed: Optional[int] = None,
+                  values: str = "uniform") -> CooTensor:
+    """Uniform-random coordinates — the structure-free worst case for HiCOO
+    (alpha_b -> 1 when the index space is much larger than nnz)."""
+    shape = check_shape(shape)
+    rng = np.random.default_rng(seed)
+    space = np.prod([float(s) for s in shape])
+    if nnz > space:
+        raise ValueError(f"cannot place {nnz} distinct nonzeros in {space:.0f} cells")
+
+    def draw(n):
+        return np.stack([rng.integers(0, s, n) for s in shape], axis=1)
+
+    inds = _dedup_fill(shape, draw, nnz, rng)
+    return CooTensor(shape, inds, _values(rng, nnz, values), sum_duplicates=False)
+
+
+def clustered_tensor(shape: Sequence[int], nnz: int, *,
+                     nclusters: int = 64, spread: float = 8.0,
+                     seed: Optional[int] = None,
+                     values: str = "uniform") -> CooTensor:
+    """Nonzeros gathered around random cluster centres.
+
+    ``spread`` is the per-mode standard deviation of the offsets; small
+    spreads produce dense blocks (small alpha_b, large c_b) and are the
+    regime where HiCOO shines.
+    """
+    shape = check_shape(shape)
+    if nclusters < 1:
+        raise ValueError(f"nclusters must be positive, got {nclusters}")
+    if spread < 0:
+        raise ValueError(f"spread must be non-negative, got {spread}")
+    rng = np.random.default_rng(seed)
+    centers = np.stack([rng.integers(0, s, nclusters) for s in shape], axis=1)
+
+    def draw(n):
+        which = rng.integers(0, nclusters, n)
+        offs = rng.normal(0.0, max(spread, 1e-9), size=(n, len(shape)))
+        pts = centers[which] + np.rint(offs).astype(np.int64)
+        return np.clip(pts, 0, np.asarray(shape) - 1)
+
+    inds = _dedup_fill(shape, draw, nnz, rng)
+    return CooTensor(shape, inds, _values(rng, nnz, values), sum_duplicates=False)
+
+
+def power_law_tensor(shape: Sequence[int], nnz: int, *,
+                     exponent: float = 1.2,
+                     shuffle_labels: bool = False,
+                     seed: Optional[int] = None,
+                     values: str = "counts") -> CooTensor:
+    """Per-mode Zipf-distributed indices — the skew of web/NLP tensors
+    (a few very dense slices, a long sparse tail).
+
+    By default labels follow frequency order (index 0 is the heaviest), as
+    in frequency-sorted real datasets: the Zipf head concentrates nonzeros
+    near the origin, producing the index locality HiCOO exploits.  Pass
+    ``shuffle_labels=True`` for the adversarial variant where the same skew
+    is scattered randomly over the index space (alpha_b -> 1).
+    """
+    shape = check_shape(shape)
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    rng = np.random.default_rng(seed)
+
+    # inverse-CDF sampling of a bounded zipf per mode
+    cdfs = []
+    for s in shape:
+        w = 1.0 / np.arange(1, s + 1, dtype=np.float64) ** exponent
+        cdfs.append(np.cumsum(w) / w.sum())
+
+    def draw(n):
+        cols = []
+        for cdf in cdfs:
+            u = rng.random(n)
+            cols.append(np.searchsorted(cdf, u))
+        return np.stack(cols, axis=1)
+
+    inds = _dedup_fill(shape, draw, nnz, rng)
+    if shuffle_labels:
+        for m, s in enumerate(shape):
+            perm = rng.permutation(s)
+            inds[:, m] = perm[inds[:, m]]
+    return CooTensor(shape, inds, _values(rng, nnz, values), sum_duplicates=False)
+
+
+def graph_tensor(nnodes: int, ntime: int, *, attach: int = 4,
+                 seed: Optional[int] = None,
+                 values: str = "counts") -> CooTensor:
+    """node x node x time tensor from a preferential-attachment graph.
+
+    Models interaction datasets (DARPA, Facebook): a scale-free graph whose
+    edges fire at several random time steps.  Uses networkx's
+    Barabasi-Albert generator as the graph substrate.
+    """
+    import networkx as nx
+
+    if nnodes <= attach:
+        raise ValueError(f"nnodes ({nnodes}) must exceed attach ({attach})")
+    rng = np.random.default_rng(seed)
+    g = nx.barabasi_albert_graph(nnodes, attach, seed=int(rng.integers(1 << 31)))
+    edges = np.asarray(g.edges(), dtype=np.int64)
+    # each edge fires 1..4 times; direction randomized
+    reps = rng.integers(1, 5, size=len(edges))
+    src = np.repeat(edges[:, 0], reps)
+    dst = np.repeat(edges[:, 1], reps)
+    flip = rng.random(len(src)) < 0.5
+    src2 = np.where(flip, dst, src)
+    dst2 = np.where(flip, src, dst)
+    t = rng.integers(0, ntime, size=len(src))
+    inds = np.stack([src2, dst2, t], axis=1)
+    coo = CooTensor((nnodes, nnodes, ntime), inds,
+                    _values(rng, len(inds), values), sum_duplicates=True)
+    return coo
+
+
+def banded_tensor(shape: Sequence[int], nnz: int, *, bandwidth: int = 16,
+                  seed: Optional[int] = None,
+                  values: str = "uniform") -> CooTensor:
+    """Nonzeros near the main diagonal — the most blockable structure
+    (stencil-like tensors); the best case for HiCOO compression."""
+    shape = check_shape(shape)
+    if bandwidth < 1:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    rng = np.random.default_rng(seed)
+    smin = min(shape)
+
+    def draw(n):
+        diag = rng.integers(0, smin, n)
+        cols = []
+        for s in shape:
+            scaled = (diag.astype(np.float64) * s / smin).astype(np.int64)
+            off = rng.integers(-bandwidth, bandwidth + 1, n)
+            cols.append(np.clip(scaled + off, 0, s - 1))
+        return np.stack(cols, axis=1)
+
+    inds = _dedup_fill(shape, draw, nnz, rng)
+    return CooTensor(shape, inds, _values(rng, nnz, values), sum_duplicates=False)
+
+
+def lowrank_tensor(shape: Sequence[int], nnz: int, rank: int, *,
+                   noise: float = 0.0,
+                   seed: Optional[int] = None) -> CooTensor:
+    """Sparse sample of a planted rank-``rank`` Kruskal tensor.
+
+    Coordinates are uniform; the values come from the planted model (plus
+    optional Gaussian noise), so CP-ALS on the result should recover a fit
+    near 1 at the planted rank.  Used for correctness experiments.
+    """
+    shape = check_shape(shape)
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    rng = np.random.default_rng(seed)
+
+    def draw(n):
+        return np.stack([rng.integers(0, s, n) for s in shape], axis=1)
+
+    inds = _dedup_fill(shape, draw, nnz, rng)
+    factors = [rng.random((s, rank)) + 0.1 for s in shape]
+    vals = np.ones(nnz)
+    acc = np.ones((nnz, rank))
+    for m, f in enumerate(factors):
+        acc *= f[inds[:, m]]
+    vals = acc.sum(axis=1)
+    if noise > 0:
+        vals = vals + rng.normal(0.0, noise, nnz)
+    return CooTensor(shape, inds, vals, sum_duplicates=False)

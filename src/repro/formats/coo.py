@@ -1,0 +1,248 @@
+"""COO (coordinate) sparse tensor — the baseline format of the paper.
+
+A COO tensor stores, for each nonzero, its full coordinate tuple plus its
+value.  It is the format tensors arrive in (FROSTT ``.tns`` files are COO)
+and the baseline every HiCOO result is normalized against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..util.bitops import bits_for, morton_sort_order
+from ..util.validation import check_factors, check_indices, check_mode, check_shape
+from .base import SparseTensorFormat
+
+__all__ = ["CooTensor"]
+
+
+class CooTensor(SparseTensorFormat):
+    """Sparse tensor in coordinate format.
+
+    Parameters
+    ----------
+    shape : mode sizes.
+    indices : (nnz, nmodes) integer coordinates.
+    values : (nnz,) nonzero values.
+    sum_duplicates : if True (default), repeated coordinates are combined by
+        summing their values, matching the semantics of sparse constructors
+        in SciPy.
+    """
+
+    format_name = "coo"
+
+    def __init__(self, shape, indices, values, *, sum_duplicates: bool = True):
+        self._shape = check_shape(shape)
+        indices = check_indices(indices, self._shape)
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if len(values) != len(indices):
+            raise ValueError(
+                f"got {len(indices)} coordinates but {len(values)} values"
+            )
+        if sum_duplicates and len(indices):
+            indices, values = _sum_duplicates(indices, values)
+        self.indices = indices
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dense(cls, array: np.ndarray) -> "CooTensor":
+        array = np.asarray(array, dtype=np.float64)
+        idx = np.argwhere(array != 0)
+        vals = array[tuple(idx.T)] if idx.size else np.empty(0)
+        return cls(array.shape, idx, vals, sum_duplicates=False)
+
+    @classmethod
+    def empty(cls, shape) -> "CooTensor":
+        shape = check_shape(shape)
+        return cls(shape, np.empty((0, len(shape)), dtype=np.int64), np.empty(0))
+
+    # ------------------------------------------------------------------
+    # format interface
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def to_coo(self) -> "CooTensor":
+        return self
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense ndarray (guard against huge shapes)."""
+        size = int(np.prod(self._shape))
+        if size > 50_000_000:
+            raise MemoryError(
+                f"refusing to densify a tensor with {size} elements"
+            )
+        out = np.zeros(self._shape)
+        np.add.at(out, tuple(self.indices.T), self.values)
+        return out
+
+    def storage_bytes(self) -> dict:
+        """Canonical COO storage: beta_int = 4 bytes per index per mode and
+        beta_float = 4 bytes per value, as accounted in the paper."""
+        return {
+            "indices": 4 * self.nmodes * self.nnz,
+            "values": 4 * self.nnz,
+        }
+
+    # ------------------------------------------------------------------
+    # ordering
+    # ------------------------------------------------------------------
+    def sort_lexicographic(self, mode_order: Optional[Sequence[int]] = None) -> "CooTensor":
+        """Return a copy sorted lexicographically by ``mode_order``.
+
+        ``mode_order[0]`` is the most significant mode, which is the layout a
+        CSF tree with that root expects.
+        """
+        if mode_order is None:
+            mode_order = range(self.nmodes)
+        mode_order = [check_mode(m, self.nmodes) for m in mode_order]
+        if sorted(mode_order) != list(range(self.nmodes)):
+            raise ValueError(f"mode_order must be a permutation, got {mode_order}")
+        # np.lexsort: last key is primary, so feed least-significant first.
+        keys = tuple(self.indices[:, m] for m in reversed(mode_order))
+        order = np.lexsort(keys) if self.nnz else np.empty(0, dtype=np.int64)
+        return self._permuted(order)
+
+    def sort_morton(self, block_bits: int = 0) -> "CooTensor":
+        """Return a copy sorted in Z-Morton order.
+
+        With ``block_bits > 0`` the Morton code is taken over *block*
+        coordinates (index >> block_bits) and element offsets are ordered
+        lexicographically inside each block — exactly the nonzero ordering
+        HiCOO construction uses.
+        """
+        if self.nnz == 0:
+            return self._permuted(np.empty(0, dtype=np.int64))
+        coords = self.indices.T >> block_bits if block_bits else self.indices.T
+        nbits = bits_for(int(coords.max()) if coords.size else 0)
+        order = morton_sort_order(coords, nbits)
+        if block_bits:
+            # Within each run of equal block coordinates, re-sort by element
+            # offset.  The run id (Morton rank of the block) is the primary
+            # lexsort key, so the Morton ordering *between* blocks survives.
+            permuted = self.indices[order]
+            blocks = permuted >> block_bits
+            offsets = permuted & ((1 << block_bits) - 1)
+            changed = np.any(blocks[1:] != blocks[:-1], axis=1)
+            run_id = np.concatenate([[0], np.cumsum(changed)])
+            keys = tuple(offsets[:, m] for m in reversed(range(self.nmodes)))
+            order = order[np.lexsort(keys + (run_id,))]
+        return self._permuted(order)
+
+    def _permuted(self, order: np.ndarray) -> "CooTensor":
+        out = CooTensor.__new__(CooTensor)
+        out._shape = self._shape
+        out.indices = self.indices[order]
+        out.values = self.values[order]
+        return out
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+        """Vectorized COO MTTKRP.
+
+        For each nonzero ``x[i_1..i_N]`` accumulates
+        ``x * hadamard_{m != mode} U^(m)[i_m, :]`` into row ``i_mode`` of the
+        output.  This is the unsorted-COO algorithm the paper benchmarks as
+        its baseline (one gather per non-target mode, one scatter-add).
+        """
+        factors = check_factors(factors, self._shape)
+        mode = check_mode(mode, self.nmodes)
+        rank = factors[0].shape[1]
+        out = np.zeros((self._shape[mode], rank))
+        if self.nnz == 0:
+            return out
+        acc = self.values[:, None] * _row_products(factors, self.indices, mode)
+        np.add.at(out, self.indices[:, mode], acc)
+        return out
+
+    def ttv(self, vector: np.ndarray, mode: int) -> "CooTensor":
+        """Tensor-times-vector: contract ``mode`` with ``vector``.
+
+        The result is an (N-1)-mode COO tensor; coordinates that coincide
+        after dropping ``mode`` are summed.
+        """
+        mode = check_mode(mode, self.nmodes)
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if len(vector) != self._shape[mode]:
+            raise ValueError(
+                f"vector has length {len(vector)}, expected {self._shape[mode]}"
+            )
+        if self.nmodes == 1:
+            raise ValueError("cannot contract the only mode of a 1-mode tensor")
+        keep = [m for m in range(self.nmodes) if m != mode]
+        new_shape = tuple(self._shape[m] for m in keep)
+        new_vals = self.values * vector[self.indices[:, mode]]
+        new_inds = self.indices[:, keep]
+        return CooTensor(new_shape, new_inds, new_vals, sum_duplicates=True)
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.values))
+
+    def innerprod_ktensor(self, weights: np.ndarray, factors: Sequence[np.ndarray]) -> float:
+        """<X, [[weights; factors]]> without forming the dense Kruskal tensor."""
+        factors = check_factors(factors, self._shape)
+        weights = np.asarray(weights, dtype=np.float64).ravel()
+        if self.nnz == 0:
+            return 0.0
+        prod = np.ones((self.nnz, factors[0].shape[1]))
+        for m, f in enumerate(factors):
+            prod *= f[self.indices[:, m]]
+        return float(self.values @ (prod @ weights))
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def slice_counts(self, mode: int) -> np.ndarray:
+        """nnz per slice along ``mode`` (length ``shape[mode]``)."""
+        mode = check_mode(mode, self.nmodes)
+        return np.bincount(self.indices[:, mode], minlength=self._shape[mode])
+
+    def remove_empty_slices(self) -> "CooTensor":
+        """Re-index every mode so that empty slices disappear (paper-standard
+        preprocessing for real datasets)."""
+        inds = self.indices.copy()
+        new_shape = []
+        for m in range(self.nmodes):
+            used, inverse = np.unique(inds[:, m], return_inverse=True)
+            inds[:, m] = inverse
+            new_shape.append(max(1, len(used)))
+        return CooTensor(tuple(new_shape), inds, self.values, sum_duplicates=False)
+
+
+def _sum_duplicates(indices: np.ndarray, values: np.ndarray):
+    keys = tuple(indices[:, m] for m in reversed(range(indices.shape[1])))
+    order = np.lexsort(keys)
+    indices = indices[order]
+    values = values[order]
+    if len(indices) <= 1:
+        return indices, values
+    new_group = np.any(indices[1:] != indices[:-1], axis=1)
+    group_id = np.concatenate([[0], np.cumsum(new_group)])
+    ngroups = group_id[-1] + 1
+    out_vals = np.zeros(ngroups)
+    np.add.at(out_vals, group_id, values)
+    first = np.concatenate([[0], np.flatnonzero(new_group) + 1])
+    return indices[first], out_vals
+
+
+def _row_products(factors, indices, skip_mode):
+    """Hadamard product of the factor rows of every non-target mode."""
+    rank = factors[0].shape[1]
+    prod = np.ones((len(indices), rank))
+    for m, f in enumerate(factors):
+        if m == skip_mode:
+            continue
+        prod *= f[indices[:, m]]
+    return prod

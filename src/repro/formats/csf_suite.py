@@ -1,0 +1,111 @@
+"""CSF-N: the mode-generic deployment of CSF trees.
+
+A single CSF tree privileges its root mode: MTTKRP is cheapest when the
+target mode sits near the root (the two tree passes touch fewer levels).
+SPLATT therefore keeps up to N trees and serves each mode from the best
+one — the storage/time trade HiCOO's single mode-generic structure is
+evaluated against.  This module implements that deployment:
+
+* :class:`CsfSuite` — K trees (1 <= K <= N) with an assignment of every
+  mode to the tree serving it;
+* the SPLATT allocation heuristic: tree k roots the k-th smallest mode,
+  and each mode is served by the tree where it sits shallowest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..util.validation import check_factors, check_mode
+from .base import SparseTensorFormat
+from .coo import CooTensor
+from .csf import CsfTensor
+
+__all__ = ["CsfSuite"]
+
+
+class CsfSuite(SparseTensorFormat):
+    """A set of CSF trees jointly serving all MTTKRP modes.
+
+    Parameters
+    ----------
+    coo : source tensor.
+    ntrees : number of trees K (default: one per mode — full CSF-N).
+        ``K = 1`` degenerates to a single shared tree.
+    """
+
+    format_name = "csf-suite"
+
+    def __init__(self, coo: CooTensor, ntrees: Optional[int] = None):
+        if not isinstance(coo, CooTensor):
+            raise TypeError(f"expected a CooTensor, got {type(coo).__name__}")
+        nmodes = coo.nmodes
+        if ntrees is None:
+            ntrees = nmodes
+        if not 1 <= ntrees <= nmodes:
+            raise ValueError(
+                f"ntrees must be in [1, {nmodes}], got {ntrees}")
+        self._shape = coo.shape
+
+        # SPLATT-style allocation: sort modes by size; tree k is rooted at
+        # the k-th smallest mode, remaining modes ordered small-to-large.
+        by_size = list(np.argsort(coo.shape, kind="stable"))
+        self.trees: List[CsfTensor] = []
+        for k in range(ntrees):
+            root = by_size[k]
+            rest = [m for m in by_size if m != root]
+            self.trees.append(CsfTensor(coo, mode_order=[root] + rest))
+
+        # each mode served by the tree where it appears shallowest
+        self.mode_tree: Dict[int, int] = {}
+        for mode in range(nmodes):
+            depths = [t.mode_order.index(mode) for t in self.trees]
+            self.mode_tree[mode] = int(np.argmin(depths))
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self._shape
+
+    @property
+    def nnz(self) -> int:
+        return self.trees[0].nnz
+
+    @property
+    def ntrees(self) -> int:
+        return len(self.trees)
+
+    def tree_for(self, mode: int) -> CsfTensor:
+        """The tree assigned to serve mode ``mode``."""
+        mode = check_mode(mode, self.nmodes)
+        return self.trees[self.mode_tree[mode]]
+
+    def depth_of(self, mode: int) -> int:
+        """Tree depth at which ``mode`` sits in its serving tree (0=root —
+        cheaper MTTKRP)."""
+        mode = check_mode(mode, self.nmodes)
+        return self.tree_for(mode).mode_order.index(mode)
+
+    def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+        factors = check_factors(factors, self._shape)
+        mode = check_mode(mode, self.nmodes)
+        return self.tree_for(mode).mttkrp(factors, mode)
+
+    def to_coo(self) -> CooTensor:
+        return self.trees[0].to_coo()
+
+    def storage_bytes(self) -> dict:
+        """Index structures of every tree; values stored once (shared)."""
+        out: dict = {"values": 4 * self.nnz}
+        for k, tree in enumerate(self.trees):
+            parts = tree.storage_bytes(ntrees=1)
+            out[f"tree{k}_fids"] = parts["fids"]
+            out[f"tree{k}_fptr"] = parts["fptr"]
+        return out
+
+    def total_depth_cost(self) -> int:
+        """Sum over modes of the serving depth — the allocation quality
+        metric the heuristic minimizes (lower = cheaper MTTKRPs)."""
+        return sum(self.depth_of(m) for m in range(self.nmodes))

@@ -1,0 +1,88 @@
+"""Dense tensor wrapper providing *reference* semantics.
+
+Every sparse kernel in this library is validated against the dense
+implementations here, which are written for clarity (straight unfoldings and
+explicit Khatri-Rao products), not speed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..util.validation import check_factors, check_mode
+from .base import SparseTensorFormat
+
+__all__ = ["DenseTensor"]
+
+
+class DenseTensor(SparseTensorFormat):
+    """A dense ndarray presented through the sparse-format interface."""
+
+    format_name = "dense"
+
+    def __init__(self, array: np.ndarray):
+        self.array = np.asarray(array, dtype=np.float64)
+        if self.array.ndim == 0:
+            raise ValueError("dense tensor must have at least one mode")
+
+    @property
+    def shape(self) -> tuple:
+        return self.array.shape
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.array))
+
+    def to_coo(self):
+        from .coo import CooTensor
+
+        return CooTensor.from_dense(self.array)
+
+    def storage_bytes(self) -> dict:
+        return {"values": int(self.array.nbytes)}
+
+    # ------------------------------------------------------------------
+    # reference kernels
+    # ------------------------------------------------------------------
+    def unfold(self, mode: int) -> np.ndarray:
+        """Mode-n matricization with the Kolda-Bader column ordering."""
+        mode = check_mode(mode, self.array.ndim)
+        return np.moveaxis(self.array, mode, 0).reshape(self.array.shape[mode], -1)
+
+    def mttkrp(self, factors: Sequence[np.ndarray], mode: int) -> np.ndarray:
+        factors = check_factors(factors, self.shape)
+        mode = check_mode(mode, self.array.ndim)
+        others = [factors[m] for m in range(self.array.ndim) if m != mode]
+        if not others:
+            # degenerate 1-mode tensor: the Khatri-Rao over an empty set is
+            # the 1 x R all-ones matrix
+            return np.repeat(self.unfold(mode), factors[mode].shape[1], axis=1)
+        # ``unfold`` uses a C-order reshape, so among the remaining modes the
+        # last one varies fastest; ``khatri_rao`` below makes *later* matrices
+        # vary fastest, so the natural mode order lines the two up.
+        kr = khatri_rao(others)
+        return self.unfold(mode) @ kr
+
+    def ttv(self, vector: np.ndarray, mode: int) -> "DenseTensor":
+        mode = check_mode(mode, self.array.ndim)
+        vector = np.asarray(vector, dtype=np.float64)
+        return DenseTensor(np.tensordot(self.array, vector, axes=(mode, 0)))
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self.array))
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-wise Kronecker (Khatri-Rao) product of a list of matrices."""
+    matrices = [np.asarray(m, dtype=np.float64) for m in matrices]
+    if not matrices:
+        raise ValueError("need at least one matrix")
+    rank = matrices[0].shape[1]
+    if any(m.shape[1] != rank for m in matrices):
+        raise ValueError("all matrices must have the same number of columns")
+    out = matrices[0]
+    for m in matrices[1:]:
+        out = (out[:, None, :] * m[None, :, :]).reshape(-1, rank)
+    return out

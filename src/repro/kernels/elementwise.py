@@ -1,0 +1,95 @@
+"""Element-wise sparse tensor algebra.
+
+Completes the library surface around the formats: addition, subtraction,
+Hadamard (element-wise) product, scalar scaling, and comparison of sparse
+tensors.  All operate on COO semantics (missing entries are zero) and
+return COO tensors; wrap the result back into HiCOO/CSF when block kernels
+are needed next.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import SparseTensorFormat
+from ..formats.coo import CooTensor
+
+__all__ = ["add", "subtract", "multiply", "scale", "allclose", "residual_norm"]
+
+
+def _as_coo(tensor) -> CooTensor:
+    if isinstance(tensor, CooTensor):
+        return tensor
+    if isinstance(tensor, SparseTensorFormat):
+        return tensor.to_coo()
+    raise TypeError(f"expected a sparse tensor, got {type(tensor).__name__}")
+
+
+def _check_same_shape(a: CooTensor, b: CooTensor) -> None:
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+
+
+def add(a, b) -> CooTensor:
+    """a + b; overlapping coordinates sum (exact zeros are kept explicit
+    only if both operands stored them)."""
+    a, b = _as_coo(a), _as_coo(b)
+    _check_same_shape(a, b)
+    inds = np.vstack([a.indices, b.indices])
+    vals = np.concatenate([a.values, b.values])
+    return CooTensor(a.shape, inds, vals, sum_duplicates=True)
+
+
+def subtract(a, b) -> CooTensor:
+    """a - b."""
+    a, b = _as_coo(a), _as_coo(b)
+    _check_same_shape(a, b)
+    inds = np.vstack([a.indices, b.indices])
+    vals = np.concatenate([a.values, -b.values])
+    return CooTensor(a.shape, inds, vals, sum_duplicates=True)
+
+
+def multiply(a, b) -> CooTensor:
+    """Hadamard product: nonzero only where *both* operands are nonzero."""
+    a, b = _as_coo(a), _as_coo(b)
+    _check_same_shape(a, b)
+    if a.nnz == 0 or b.nnz == 0:
+        return CooTensor.empty(a.shape)
+    # canonicalize: the coordinate join below requires unique coordinates,
+    # but COO tensors built with sum_duplicates=False may carry repeats
+    a = CooTensor(a.shape, a.indices, a.values)
+    b = CooTensor(b.shape, b.indices, b.values)
+    # vectorized coordinate join: view each row as one fixed-size record
+    a_keys = _row_view(np.ascontiguousarray(a.indices))
+    b_keys = _row_view(np.ascontiguousarray(b.indices))
+    _, ia, ib = np.intersect1d(a_keys, b_keys, return_indices=True)
+    if len(ia) == 0:
+        return CooTensor.empty(a.shape)
+    return CooTensor(a.shape, a.indices[ia], a.values[ia] * b.values[ib],
+                     sum_duplicates=False)
+
+
+def _row_view(indices: np.ndarray) -> np.ndarray:
+    """View an (n, N) int64 array as n opaque records for set operations."""
+    return indices.view([("", indices.dtype)] * indices.shape[1]).ravel()
+
+
+def scale(a, alpha: float) -> CooTensor:
+    """alpha * a (alpha == 0 gives an empty tensor)."""
+    a = _as_coo(a)
+    alpha = float(alpha)
+    if alpha == 0.0:
+        return CooTensor.empty(a.shape)
+    return CooTensor(a.shape, a.indices, a.values * alpha,
+                     sum_duplicates=False)
+
+
+def allclose(a, b, atol: float = 1e-12) -> bool:
+    """True iff a and b agree element-wise within ``atol``."""
+    return residual_norm(a, b) <= atol * np.sqrt(max(_as_coo(a).nnz, 1))
+
+
+def residual_norm(a, b) -> float:
+    """||a - b||_F without densifying."""
+    diff = subtract(a, b)
+    return diff.norm()

@@ -1,0 +1,141 @@
+"""Additional tensor kernels operating directly on HiCOO storage.
+
+The paper's evaluation centres on MTTKRP, but HiCOO (like its reference
+implementation in ParTI!) is a general storage format: this module provides
+tensor-times-vector and tensor-times-matrix on HiCOO, plus block-local
+reductions.  TTV/TTM walk the blocks, reconstruct global coordinates from
+``binds``/``einds`` block-by-block, and reduce — never materializing the
+whole coordinate list at once, which is the point of the format.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.hicoo import HicooTensor
+from ..formats.coo import CooTensor
+from ..kernels.ttm import SemiSparseTensor
+from ..util.validation import check_mode
+
+__all__ = ["hicoo_ttv", "hicoo_ttm", "block_norms", "densest_blocks"]
+
+
+def _block_batches(tensor: HicooTensor, batch_blocks: int = 4096):
+    """Yield (global_indices, values) for batches of consecutive blocks.
+
+    Batching bounds the temporary coordinate array to roughly
+    ``batch_blocks * mean_block_nnz`` rows.
+    """
+    shift = tensor.block_bits
+    for lo_blk in range(0, tensor.nblocks, batch_blocks):
+        hi_blk = min(lo_blk + batch_blocks, tensor.nblocks)
+        lo, hi = int(tensor.bptr[lo_blk]), int(tensor.bptr[hi_blk])
+        counts = np.diff(tensor.bptr[lo_blk:hi_blk + 1])
+        blk_of = np.repeat(np.arange(lo_blk, hi_blk), counts)
+        base = tensor.binds.astype(np.int64)[blk_of] << shift
+        ginds = base + tensor.einds[lo:hi].astype(np.int64)
+        yield ginds, tensor.values[lo:hi]
+
+
+def hicoo_ttv(tensor: HicooTensor, vector: np.ndarray, mode: int) -> CooTensor:
+    """Tensor-times-vector on HiCOO: contract ``mode`` with ``vector``.
+
+    Returns an (N-1)-mode COO tensor (coinciding coordinates summed).  Use
+    ``HicooTensor(result, ...)`` to re-block the output if further HiCOO
+    kernels are needed.
+    """
+    mode = check_mode(mode, tensor.nmodes)
+    vector = np.asarray(vector, dtype=np.float64).ravel()
+    if len(vector) != tensor.shape[mode]:
+        raise ValueError(
+            f"vector has length {len(vector)}, expected {tensor.shape[mode]}"
+        )
+    if tensor.nmodes == 1:
+        raise ValueError("cannot contract the only mode of a 1-mode tensor")
+    keep = [m for m in range(tensor.nmodes) if m != mode]
+    new_shape = tuple(tensor.shape[m] for m in keep)
+
+    parts_inds, parts_vals = [], []
+    for ginds, vals in _block_batches(tensor):
+        parts_inds.append(ginds[:, keep])
+        parts_vals.append(vals * vector[ginds[:, mode]])
+    if not parts_inds:
+        return CooTensor.empty(new_shape)
+    return CooTensor(new_shape, np.vstack(parts_inds),
+                     np.concatenate(parts_vals), sum_duplicates=True)
+
+
+def hicoo_ttm(tensor: HicooTensor, matrix: np.ndarray,
+              mode: int) -> SemiSparseTensor:
+    """Tensor-times-matrix on HiCOO: contract ``mode`` with a
+    ``(shape[mode], R)`` matrix; result is semi-sparse (dense R-fibers over
+    the surviving coordinates)."""
+    mode = check_mode(mode, tensor.nmodes)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != tensor.shape[mode]:
+        raise ValueError(
+            f"matrix must be ({tensor.shape[mode]}, R), got {matrix.shape}"
+        )
+    keep = [m for m in range(tensor.nmodes) if m != mode]
+    keep_shape = tuple(tensor.shape[m] for m in keep)
+    rank = matrix.shape[1]
+
+    # per batch: partial (coords, fibers); merged in one vectorized pass
+    part_coords, part_fibers = [], []
+    for ginds, vals in _block_batches(tensor):
+        part_coords.append(ginds[:, keep])
+        part_fibers.append(vals[:, None] * matrix[ginds[:, mode]])
+    if not part_coords:
+        return SemiSparseTensor(
+            shape=keep_shape, mode=mode,
+            indices=np.empty((0, len(keep)), dtype=np.int64),
+            fibers=np.empty((0, rank)),
+        )
+    coords = np.vstack(part_coords)
+    fibers = np.vstack(part_fibers)
+    order = (np.lexsort(tuple(coords[:, c] for c in reversed(range(len(keep)))))
+             if len(keep) else np.arange(len(coords)))
+    coords = coords[order]
+    fibers = fibers[order]
+    if len(keep) and len(coords) > 1:
+        new_group = np.any(coords[1:] != coords[:-1], axis=1)
+        group_id = np.concatenate([[0], np.cumsum(new_group)])
+        first = np.concatenate([[0], np.flatnonzero(new_group) + 1])
+    else:
+        group_id = np.zeros(len(coords), dtype=np.int64)
+        first = np.array([0]) if len(coords) else np.empty(0, dtype=np.int64)
+    sums = np.zeros((int(group_id[-1]) + 1 if len(coords) else 0, rank))
+    np.add.at(sums, group_id, fibers)
+    return SemiSparseTensor(
+        shape=keep_shape, mode=mode, indices=coords[first], fibers=sums
+    )
+
+
+def block_norms(tensor: HicooTensor, ord: float = 2.0) -> np.ndarray:
+    """Per-block value norm (length ``nblocks``) — block-level statistics
+    used by the density analysis and the anomaly example."""
+    if tensor.nblocks == 0:
+        return np.zeros(0)
+    out = np.zeros(tensor.nblocks)
+    blk = tensor._nnz_block_of
+    if ord == 2.0:
+        np.add.at(out, blk, tensor.values ** 2)
+        return np.sqrt(out)
+    if ord == 1.0:
+        np.add.at(out, blk, np.abs(tensor.values))
+        return out
+    if np.isinf(ord):
+        np.maximum.at(out, blk, np.abs(tensor.values))
+        return out
+    raise ValueError(f"unsupported norm order {ord}; use 1, 2, or inf")
+
+
+def densest_blocks(tensor: HicooTensor, k: int = 10) -> list:
+    """The ``k`` blocks with the most nonzeros: (block_coords, nnz) pairs,
+    densest first.  Block-structure inspection utility."""
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    counts = tensor.block_nnz()
+    order = np.argsort(counts, kind="stable")[::-1][:k]
+    return [(tuple(int(c) for c in tensor.binds[b]), int(counts[b]))
+            for b in order]

@@ -1,0 +1,49 @@
+"""Dense matrix utilities of CP-ALS: Khatri-Rao, Hadamard, Gram products."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["khatri_rao", "hadamard_all", "gram", "hadamard_grams"]
+
+
+def khatri_rao(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Column-wise Kronecker product; later matrices vary fastest.
+
+    For ``A (I x R)`` and ``B (J x R)`` the result is ``IJ x R`` with row
+    ``i*J + j`` equal to ``A[i] * B[j]``.
+    """
+    from ..formats.dense import khatri_rao as _kr
+
+    return _kr(matrices)
+
+
+def hadamard_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise product of equally-shaped matrices."""
+    matrices = [np.asarray(m, dtype=np.float64) for m in matrices]
+    if not matrices:
+        raise ValueError("need at least one matrix")
+    out = matrices[0].copy()
+    for m in matrices[1:]:
+        if m.shape != out.shape:
+            raise ValueError(f"shape mismatch: {m.shape} vs {out.shape}")
+        out *= m
+    return out
+
+
+def gram(matrix: np.ndarray) -> np.ndarray:
+    """Gram matrix ``U^T U`` (R x R)."""
+    m = np.asarray(matrix, dtype=np.float64)
+    return m.T @ m
+
+
+def hadamard_grams(factors: Sequence[np.ndarray], skip_mode: int) -> np.ndarray:
+    """``*_{m != skip} U^(m)T U^(m)`` — the normal-equation matrix of the
+    CP-ALS subproblem for ``skip_mode``."""
+    grams = [gram(f) for m, f in enumerate(factors) if m != skip_mode]
+    if not grams:
+        rank = np.asarray(factors[skip_mode]).shape[1]
+        return np.ones((rank, rank))
+    return hadamard_all(grams)

@@ -1,0 +1,52 @@
+"""Mode-n matricization (unfolding) for sparse and dense tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from ..formats.coo import CooTensor
+from ..util.validation import check_mode
+
+__all__ = ["unfold_dense", "unfold_coo", "column_index"]
+
+
+def column_index(indices: np.ndarray, shape, mode: int) -> np.ndarray:
+    """Column of each nonzero in the mode-``mode`` unfolding.
+
+    Columns are ordered C-style over the remaining modes (last remaining mode
+    varies fastest), matching :meth:`repro.formats.dense.DenseTensor.unfold`.
+    """
+    mode = check_mode(mode, len(shape))
+    rest = [m for m in range(len(shape)) if m != mode]
+    col = np.zeros(len(indices), dtype=np.int64)
+    for m in rest:
+        col = col * shape[m] + indices[:, m]
+    return col
+
+
+def unfold_dense(array: np.ndarray, mode: int) -> np.ndarray:
+    """Dense mode-n unfolding (rows = mode ``mode``)."""
+    mode = check_mode(mode, array.ndim)
+    return np.moveaxis(np.asarray(array), mode, 0).reshape(array.shape[mode], -1)
+
+
+def unfold_coo(tensor: CooTensor, mode: int) -> sp.csr_matrix:
+    """Sparse CSR mode-n unfolding of a COO tensor.
+
+    Raises if the column dimension would overflow practical sparse-matrix
+    limits (product of remaining mode sizes beyond 2**62).
+    """
+    mode = check_mode(mode, tensor.nmodes)
+    ncols = 1
+    for m, s in enumerate(tensor.shape):
+        if m != mode:
+            ncols *= s
+    if ncols >= 1 << 62:
+        raise ValueError("unfolded tensor has too many columns to index")
+    rows = tensor.indices[:, mode]
+    cols = column_index(tensor.indices, tensor.shape, mode)
+    mat = sp.coo_matrix(
+        (tensor.values, (rows, cols)), shape=(tensor.shape[mode], ncols)
+    )
+    return mat.tocsr()

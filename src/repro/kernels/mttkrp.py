@@ -1,0 +1,392 @@
+"""MTTKRP kernels: sequential dispatch and the parallel strategies.
+
+Sequential MTTKRP lives on each format class; this module adds
+
+* :func:`mttkrp` — format dispatch (the function CP-ALS calls), and
+* :func:`mttkrp_parallel` — the paper's parallel algorithms:
+
+  - **COO/atomic**: nonzeros split across threads, shared output, every
+    scatter is an atomic update (the penalty the machine model charges);
+  - **COO/privatize**: same split, per-thread outputs, reduction at the end;
+  - **HiCOO/schedule**: the lock-free superblock schedule — threads own
+    disjoint output row ranges, no atomics, no extra memory;
+  - **HiCOO/privatize**: superblocks split contiguously, private outputs;
+  - **CSF**: root subtrees split across threads; writes are naturally
+    disjoint when the target mode is the tree root, privatized otherwise.
+
+Every parallel run returns the output *and* an execution record with the
+per-thread work counts the analytic machine model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.hicoo import HicooTensor
+from ..core.scheduler import Schedule, choose_strategy, schedule_mode
+from ..core.superblock import SuperblockIndex, build_superblocks
+from ..formats.base import SparseTensorFormat
+from ..formats.coo import CooTensor
+from ..formats.csf import CsfTensor
+from ..parallel.executor import ExecutionReport, run_tasks
+from ..parallel.partition import balanced_ranges
+from ..parallel.privatize import PrivateBuffers
+from ..util.validation import check_factors, check_mode
+
+__all__ = ["MttkrpRun", "mttkrp", "mttkrp_parallel"]
+
+
+@dataclass
+class MttkrpRun:
+    """Result and accounting of one parallel MTTKRP launch."""
+
+    output: np.ndarray
+    strategy: str
+    nthreads: int
+    thread_nnz: np.ndarray
+    atomic_updates: int = 0
+    reduction_flops: int = 0
+    schedule: Optional[Schedule] = None
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+
+    def makespan_nnz(self) -> int:
+        """Work on the critical path, in nonzeros."""
+        return int(self.thread_nnz.max()) if len(self.thread_nnz) else 0
+
+    def load_imbalance(self) -> float:
+        if not len(self.thread_nnz):
+            return 1.0
+        mean = self.thread_nnz.sum() / self.nthreads
+        return float(self.thread_nnz.max() / mean) if mean else 1.0
+
+
+def mttkrp(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
+           mode: int) -> np.ndarray:
+    """Sequential MTTKRP on any supported format."""
+    return tensor.mttkrp(factors, mode)
+
+
+def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
+                    mode: int, nthreads: int, strategy: str = "auto",
+                    superblock_bits: Optional[int] = None,
+                    real_threads: bool = False,
+                    plan=None) -> MttkrpRun:
+    """Parallel MTTKRP with the strategy set of the paper.
+
+    ``strategy``:
+
+    * ``"auto"`` — the paper's heuristic (:func:`choose_strategy` for HiCOO,
+      privatization for COO);
+    * ``"atomic"``, ``"privatize"`` — COO and HiCOO;
+    * ``"schedule"`` — HiCOO only (lock-free superblock scheduling).
+
+    ``plan`` — a precomputed :class:`repro.kernels.plan.MttkrpPlan` for a
+    HiCOO tensor; skips superblock construction and scheduling entirely
+    (CP-ALS builds one plan and reuses it every iteration).
+    """
+    factors = check_factors(factors, tensor.shape)
+    mode = check_mode(mode, tensor.nmodes)
+    if nthreads < 1:
+        raise ValueError(f"nthreads must be positive, got {nthreads}")
+
+    if isinstance(tensor, HicooTensor):
+        if plan is not None:
+            return _parallel_hicoo_planned(tensor, factors, mode, plan,
+                                           real_threads)
+        return _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
+                               superblock_bits, real_threads)
+    if isinstance(tensor, CsfTensor):
+        return _parallel_csf(tensor, factors, mode, nthreads, strategy,
+                             real_threads)
+    if isinstance(tensor, CooTensor):
+        return _parallel_coo(tensor, factors, mode, nthreads, strategy,
+                             real_threads)
+    raise TypeError(f"no parallel MTTKRP for format {type(tensor).__name__}")
+
+
+# ----------------------------------------------------------------------
+# COO
+# ----------------------------------------------------------------------
+def _coo_chunk(indices, values, factors, mode, out):
+    rank = out.shape[1]
+    if not len(values):
+        return
+    acc = np.repeat(values[:, None], rank, axis=1)
+    for m, f in enumerate(factors):
+        if m != mode:
+            acc *= f[indices[:, m]]
+    np.add.at(out, indices[:, mode], acc)
+
+
+def _parallel_coo(tensor, factors, mode, nthreads, strategy, real_threads):
+    if strategy == "auto":
+        strategy = "privatize"
+    if strategy not in ("privatize", "atomic"):
+        raise ValueError(f"COO supports 'privatize' or 'atomic', got {strategy!r}")
+    rank = factors[0].shape[1]
+    rows = tensor.shape[mode]
+    ranges = balanced_ranges(np.ones(tensor.nnz), nthreads)
+    thread_nnz = np.array([hi - lo for lo, hi in ranges], dtype=np.int64)
+
+    if strategy == "privatize":
+        bufs = PrivateBuffers.allocate(nthreads, rows, rank)
+
+        def make_task(tid, lo, hi):
+            def task():
+                _coo_chunk(tensor.indices[lo:hi], tensor.values[lo:hi],
+                           factors, mode, bufs.view(tid))
+            return task
+
+        tasks = [make_task(t, lo, hi) for t, (lo, hi) in enumerate(ranges)]
+        report = run_tasks(tasks, real_threads=False)  # buffers are private but
+        # reduce after all tasks regardless of thread mode
+        out = bufs.reduce()
+        return MttkrpRun(output=out, strategy="privatize", nthreads=nthreads,
+                         thread_nnz=thread_nnz,
+                         reduction_flops=bufs.reduction_flops(), report=report)
+
+    # atomic: shared output. With simulated threads the sequential execution
+    # is exact; the atomic cost is charged by the machine model.
+    out = np.zeros((rows, rank))
+
+    def make_task(lo, hi):
+        def task():
+            _coo_chunk(tensor.indices[lo:hi], tensor.values[lo:hi],
+                       factors, mode, out)
+        return task
+
+    tasks = [make_task(lo, hi) for lo, hi in ranges]
+    report = run_tasks(tasks, real_threads=False)
+    return MttkrpRun(output=out, strategy="atomic", nthreads=nthreads,
+                     thread_nnz=thread_nnz,
+                     atomic_updates=tensor.nnz if nthreads > 1 else 0,
+                     report=report)
+
+
+# ----------------------------------------------------------------------
+# HiCOO
+# ----------------------------------------------------------------------
+def _hicoo_block_range_chunk(tensor, block_ids, factors, mode, out):
+    """Process the nonzeros of a list of blocks into ``out``."""
+    if not len(block_ids):
+        return
+    rank = out.shape[1]
+    shift = tensor.block_bits
+    # gather the nonzero ranges of all assigned blocks
+    pieces_i = []
+    pieces_blk = []
+    for blk in block_ids:
+        lo, hi = int(tensor.bptr[blk]), int(tensor.bptr[blk + 1])
+        pieces_i.append(np.arange(lo, hi))
+        pieces_blk.append(np.full(hi - lo, blk, dtype=np.int64))
+    nz = np.concatenate(pieces_i)
+    blk_of = np.concatenate(pieces_blk)
+    base = tensor.binds.astype(np.int64)[blk_of] << shift
+    ginds = base + tensor.einds[nz].astype(np.int64)
+    acc = np.repeat(tensor.values[nz, None], rank, axis=1)
+    for m, f in enumerate(factors):
+        if m != mode:
+            acc *= f[ginds[:, m]]
+    np.add.at(out, ginds[:, mode], acc)
+
+
+def _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
+                    superblock_bits, real_threads):
+    rank = factors[0].shape[1]
+    rows = tensor.shape[mode]
+    sb_bits = superblock_bits if superblock_bits is not None else min(
+        tensor.block_bits + 3, 20)
+    sbs = build_superblocks(tensor, sb_bits)
+
+    if strategy == "auto":
+        strategy = choose_strategy(sbs, mode, nthreads, rows, rank)
+    if strategy not in ("schedule", "privatize"):
+        raise ValueError(
+            f"HiCOO supports 'schedule' or 'privatize', got {strategy!r}")
+
+    if strategy == "schedule":
+        sched = schedule_mode(sbs, mode, nthreads)
+        out = np.zeros((rows, rank))
+
+        def make_task(sb_list):
+            blocks = []
+            for sb in sb_list:
+                lo, hi = sbs.block_range(sb)
+                blocks.extend(range(lo, hi))
+
+            def task():
+                _hicoo_block_range_chunk(tensor, blocks, factors, mode, out)
+            return task
+
+        tasks = [make_task(sb_list) for sb_list in sched.assignment]
+        report = run_tasks(tasks, real_threads=real_threads)
+        return MttkrpRun(output=out, strategy="schedule", nthreads=nthreads,
+                         thread_nnz=sched.thread_nnz.copy(), schedule=sched,
+                         report=report)
+
+    # privatize: contiguous superblock ranges balanced by nnz
+    ranges = balanced_ranges(sbs.nnz_per_superblock, nthreads)
+    bufs = PrivateBuffers.allocate(nthreads, rows, rank)
+    thread_nnz = np.array(
+        [int(sbs.nnz_per_superblock[lo:hi].sum()) for lo, hi in ranges],
+        dtype=np.int64)
+
+    def make_task(tid, lo, hi):
+        if lo < hi:
+            blo, bhi = int(sbs.sptr[lo]), int(sbs.sptr[hi])
+            blocks = list(range(blo, bhi))
+        else:
+            blocks = []
+
+        def task():
+            _hicoo_block_range_chunk(tensor, blocks, factors, mode,
+                                     bufs.view(tid))
+        return task
+
+    tasks = [make_task(t, lo, hi) for t, (lo, hi) in enumerate(ranges)]
+    report = run_tasks(tasks, real_threads=False)
+    return MttkrpRun(output=bufs.reduce(), strategy="privatize",
+                     nthreads=nthreads, thread_nnz=thread_nnz,
+                     reduction_flops=bufs.reduction_flops(), report=report)
+
+
+def _parallel_hicoo_planned(tensor, factors, mode, plan, real_threads):
+    """Execute a mode's MTTKRP from a precomputed plan (no symbolic work)."""
+    rank = factors[0].shape[1]
+    rows = tensor.shape[mode]
+    mp = plan.for_mode(mode)
+
+    if mp.strategy == "schedule":
+        out = np.zeros((rows, rank))
+
+        def make_task(blocks):
+            def task():
+                _hicoo_block_range_chunk(tensor, blocks, factors, mode, out)
+            return task
+
+        tasks = [make_task(blocks) for blocks in mp.thread_blocks]
+        report = run_tasks(tasks, real_threads=real_threads)
+        return MttkrpRun(output=out, strategy="schedule",
+                         nthreads=plan.nthreads,
+                         thread_nnz=mp.thread_nnz.copy(),
+                         schedule=mp.schedule, report=report)
+
+    sbs = plan.superblocks
+    bufs = PrivateBuffers.allocate(plan.nthreads, rows, rank)
+
+    def make_task(tid, lo, hi):
+        if lo < hi:
+            blocks = list(range(int(sbs.sptr[lo]), int(sbs.sptr[hi])))
+        else:
+            blocks = []
+
+        def task():
+            _hicoo_block_range_chunk(tensor, blocks, factors, mode,
+                                     bufs.view(tid))
+        return task
+
+    tasks = [make_task(t, lo, hi)
+             for t, (lo, hi) in enumerate(mp.superblock_ranges)]
+    report = run_tasks(tasks, real_threads=False)
+    return MttkrpRun(output=bufs.reduce(), strategy="privatize",
+                     nthreads=plan.nthreads,
+                     thread_nnz=mp.thread_nnz.copy(),
+                     reduction_flops=bufs.reduction_flops(), report=report)
+
+
+# ----------------------------------------------------------------------
+# CSF
+# ----------------------------------------------------------------------
+def _parallel_csf(tensor, factors, mode, nthreads, strategy, real_threads):
+    if strategy == "auto":
+        strategy = "subtree"
+    if strategy not in ("subtree", "privatize"):
+        raise ValueError(f"CSF supports 'subtree' or 'privatize', got {strategy!r}")
+    rank = factors[0].shape[1]
+    rows = tensor.shape[mode]
+    nroot = tensor.levels[0].nnodes
+
+    # weight of each root subtree = its leaf count
+    subtree_nnz = _root_subtree_nnz(tensor)
+    ranges = balanced_ranges(subtree_nnz, nthreads)
+    thread_nnz = np.array(
+        [int(subtree_nnz[lo:hi].sum()) for lo, hi in ranges], dtype=np.int64)
+
+    root_is_target = tensor.mode_order[0] == mode
+    shared = root_is_target and strategy == "subtree"
+    out = np.zeros((rows, rank))
+    bufs = None if shared else PrivateBuffers.allocate(nthreads, rows, rank)
+
+    def make_task(tid, lo, hi):
+        def task():
+            if lo >= hi:
+                return
+            target = out if shared else bufs.view(tid)
+            _csf_subtree_mttkrp(tensor, factors, mode, lo, hi, target)
+        return task
+
+    tasks = [make_task(t, lo, hi) for t, (lo, hi) in enumerate(ranges)]
+    report = run_tasks(tasks, real_threads=real_threads and shared)
+    if not shared:
+        out = bufs.reduce()
+    return MttkrpRun(
+        output=out,
+        strategy="subtree" if shared else "privatize",
+        nthreads=nthreads,
+        thread_nnz=thread_nnz,
+        reduction_flops=bufs.reduction_flops() if bufs else 0,
+        report=report,
+    )
+
+
+def _root_subtree_nnz(tensor: CsfTensor) -> np.ndarray:
+    """Leaf (nonzero) count under each root node."""
+    counts = np.ones(tensor.levels[-1].nnodes, dtype=np.int64)
+    for depth in range(len(tensor.levels) - 1, 0, -1):
+        parent = tensor.levels[depth].parent
+        up = np.zeros(tensor.levels[depth - 1].nnodes, dtype=np.int64)
+        np.add.at(up, parent, counts)
+        counts = up
+    return counts
+
+
+def _csf_subtree_mttkrp(tensor, factors, mode, root_lo, root_hi, out):
+    """Run the two-pass tree MTTKRP restricted to root nodes [lo, hi)."""
+    nmodes = tensor.nmodes
+    depth_of_mode = tensor.mode_order.index(mode)
+    # per-level node ranges covered by the root slice
+    los, his = [root_lo], [root_hi]
+    for depth in range(1, nmodes):
+        fptr = tensor.levels[depth - 1].fptr
+        los.append(int(fptr[los[-1]]))
+        his.append(int(fptr[his[-1]]))
+
+    values = tensor.values[los[-1]:his[-1]]
+    below = values[:, None]
+    rank = out.shape[1]
+    for depth in range(nmodes - 1, depth_of_mode, -1):
+        level = tensor.levels[depth]
+        lo, hi = los[depth], his[depth]
+        factor = factors[tensor.mode_order[depth]]
+        contrib = below * factor[level.fids[lo:hi]]
+        plo, phi = los[depth - 1], his[depth - 1]
+        agg = np.zeros((phi - plo, rank))
+        np.add.at(agg, level.parent[lo:hi] - plo, contrib)
+        below = agg
+
+    above = np.ones((his[0] - los[0], rank))
+    for depth in range(1, depth_of_mode + 1):
+        level = tensor.levels[depth]
+        prev = tensor.levels[depth - 1]
+        lo, hi = los[depth], his[depth]
+        plo = los[depth - 1]
+        parent = level.parent[lo:hi] - plo
+        factor = factors[tensor.mode_order[depth - 1]]
+        above = above[parent] * factor[prev.fids[los[depth - 1]:his[depth - 1]]][parent]
+
+    target = tensor.levels[depth_of_mode]
+    lo, hi = los[depth_of_mode], his[depth_of_mode]
+    np.add.at(out, target.fids[lo:hi], above * below)

@@ -1,0 +1,102 @@
+"""Precomputed parallel-MTTKRP plans for HiCOO.
+
+A CP-ALS run issues the same N MTTKRPs every iteration; rebuilding the
+superblock index, strategy choice, and lock-free schedule each time wastes
+the symbolic work the paper explicitly amortizes ("construction cost is
+paid once").  A :class:`MttkrpPlan` captures all of it — one superblock
+index plus a per-mode strategy/schedule — and is reused across iterations
+(and across CP-ALS restarts, which share the tensor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.hicoo import HicooTensor
+from ..core.scheduler import Schedule, choose_strategy, schedule_mode
+from ..core.superblock import SuperblockIndex, build_superblocks
+from ..parallel.partition import balanced_ranges
+
+__all__ = ["ModePlan", "MttkrpPlan", "plan_mttkrp"]
+
+
+@dataclass
+class ModePlan:
+    """Parallel execution recipe for one MTTKRP mode."""
+
+    mode: int
+    strategy: str  # "schedule" | "privatize"
+    #: schedule strategy: per-thread block-id lists (flattened superblocks)
+    thread_blocks: Optional[List[List[int]]] = None
+    schedule: Optional[Schedule] = None
+    #: privatize strategy: per-thread contiguous superblock ranges
+    superblock_ranges: Optional[List[Tuple[int, int]]] = None
+    thread_nnz: Optional[np.ndarray] = None
+
+
+@dataclass
+class MttkrpPlan:
+    """All symbolic parallel state for one (tensor, rank, nthreads)."""
+
+    nthreads: int
+    rank: int
+    superblock_bits: int
+    superblocks: SuperblockIndex
+    modes: List[ModePlan]
+
+    def for_mode(self, mode: int) -> ModePlan:
+        return self.modes[mode]
+
+
+def plan_mttkrp(tensor: HicooTensor, rank: int, nthreads: int,
+                superblock_bits: Optional[int] = None,
+                strategy: str = "auto") -> MttkrpPlan:
+    """Build the reusable parallel plan for every mode of ``tensor``.
+
+    ``strategy`` forces one strategy for all modes, or ``"auto"`` applies
+    the paper's per-mode heuristic.
+    """
+    if not isinstance(tensor, HicooTensor):
+        raise TypeError(f"plans are HiCOO-specific, got {type(tensor).__name__}")
+    if rank < 1:
+        raise ValueError(f"rank must be positive, got {rank}")
+    if nthreads < 1:
+        raise ValueError(f"nthreads must be positive, got {nthreads}")
+    if strategy not in ("auto", "schedule", "privatize"):
+        raise ValueError(f"unknown strategy {strategy!r}")
+    sb_bits = superblock_bits if superblock_bits is not None else min(
+        tensor.block_bits + 3, 20)
+    sbs = build_superblocks(tensor, sb_bits)
+
+    modes: List[ModePlan] = []
+    for mode in range(tensor.nmodes):
+        strat = strategy
+        if strat == "auto":
+            strat = choose_strategy(sbs, mode, nthreads,
+                                    tensor.shape[mode], rank)
+        if strat == "schedule":
+            sched = schedule_mode(sbs, mode, nthreads)
+            thread_blocks = []
+            for sb_list in sched.assignment:
+                blocks: List[int] = []
+                for sb in sb_list:
+                    lo, hi = sbs.block_range(sb)
+                    blocks.extend(range(lo, hi))
+                thread_blocks.append(blocks)
+            modes.append(ModePlan(mode=mode, strategy="schedule",
+                                  thread_blocks=thread_blocks,
+                                  schedule=sched,
+                                  thread_nnz=sched.thread_nnz.copy()))
+        else:
+            ranges = balanced_ranges(sbs.nnz_per_superblock, nthreads)
+            thread_nnz = np.array(
+                [int(sbs.nnz_per_superblock[lo:hi].sum())
+                 for lo, hi in ranges], dtype=np.int64)
+            modes.append(ModePlan(mode=mode, strategy="privatize",
+                                  superblock_ranges=ranges,
+                                  thread_nnz=thread_nnz))
+    return MttkrpPlan(nthreads=nthreads, rank=rank,
+                      superblock_bits=sb_bits, superblocks=sbs, modes=modes)

@@ -1,0 +1,84 @@
+"""Tensor-times-matrix (TTM) along one mode for COO tensors.
+
+Used by the HOSVD-style initialization of CP-ALS and exposed as part of the
+public kernel API.  The result is dense along the contracted mode (as in all
+sparse-TTM implementations) and is returned as a semi-sparse structure:
+coordinates over the untouched modes, with an R-vector per coordinate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from ..util.validation import check_mode
+
+__all__ = ["SemiSparseTensor", "ttm"]
+
+
+@dataclass
+class SemiSparseTensor:
+    """Sparse over ``shape`` modes, dense along a trailing ``rank`` axis.
+
+    The fibers along the dense axis correspond to mode-``mode`` fibers of the
+    TTM input contracted with the matrix.
+    """
+
+    shape: tuple
+    mode: int  # the mode that was contracted in the source tensor
+    indices: np.ndarray  # (nfibers, nmodes-1) coordinates of surviving modes
+    fibers: np.ndarray  # (nfibers, rank)
+
+    @property
+    def nfibers(self) -> int:
+        return len(self.indices)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape + (self.fibers.shape[1],))
+        if self.nfibers:
+            out[tuple(self.indices.T)] = self.fibers
+        return out
+
+
+def ttm(tensor: CooTensor, matrix: np.ndarray, mode: int) -> SemiSparseTensor:
+    """Contract ``mode`` of a COO tensor with ``matrix`` (shape[mode] x R).
+
+    Every nonzero ``x[..., i_mode, ...]`` contributes ``x * matrix[i_mode]``
+    to the fiber of its remaining coordinates.
+    """
+    mode = check_mode(mode, tensor.nmodes)
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != tensor.shape[mode]:
+        raise ValueError(
+            f"matrix must be ({tensor.shape[mode]}, R), got {matrix.shape}"
+        )
+    keep = [m for m in range(tensor.nmodes) if m != mode]
+    keep_shape = tuple(tensor.shape[m] for m in keep)
+    if tensor.nnz == 0:
+        return SemiSparseTensor(
+            shape=keep_shape, mode=mode,
+            indices=np.empty((0, len(keep)), dtype=np.int64),
+            fibers=np.empty((0, matrix.shape[1])),
+        )
+    kept = tensor.indices[:, keep]
+    # group nonzeros by surviving coordinate
+    keys = tuple(kept[:, c] for c in reversed(range(kept.shape[1])))
+    order = np.lexsort(keys) if kept.shape[1] else np.arange(tensor.nnz)
+    kept = kept[order]
+    vals = tensor.values[order]
+    rows = matrix[tensor.indices[order, mode]]
+    if len(kept) > 1 and kept.shape[1]:
+        new_group = np.any(kept[1:] != kept[:-1], axis=1)
+        group_id = np.concatenate([[0], np.cumsum(new_group)])
+        first = np.concatenate([[0], np.flatnonzero(new_group) + 1])
+    else:
+        group_id = np.zeros(len(kept), dtype=np.int64)
+        first = np.array([0]) if len(kept) else np.empty(0, dtype=np.int64)
+    ngroups = int(group_id[-1]) + 1 if len(kept) else 0
+    fibers = np.zeros((ngroups, matrix.shape[1]))
+    np.add.at(fibers, group_id, vals[:, None] * rows)
+    return SemiSparseTensor(
+        shape=keep_shape, mode=mode, indices=kept[first], fibers=fibers
+    )

@@ -1,0 +1,62 @@
+"""Tensor-times-vector (TTV) chains on sparse tensors.
+
+CP-ALS itself only needs MTTKRP, but TTV is the primitive MTTKRP decomposes
+into (one column of the MTTKRP output is a chain of N-1 TTVs), and the tests
+use that identity as an independent correctness oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from ..util.validation import check_mode
+
+__all__ = ["ttv", "ttv_chain", "mttkrp_via_ttv"]
+
+
+def ttv(tensor: CooTensor, vector: np.ndarray, mode: int) -> CooTensor:
+    """Contract one mode of a COO tensor with a vector."""
+    return tensor.ttv(vector, mode)
+
+
+def ttv_chain(tensor: CooTensor, vectors: Dict[int, np.ndarray]) -> CooTensor:
+    """Contract several modes (given as ``{mode: vector}``) in sequence.
+
+    Modes are contracted from highest to lowest so earlier contractions do
+    not shift the mode numbering of later ones.
+    """
+    nmodes = tensor.nmodes
+    modes = sorted(check_mode(m, nmodes) for m in vectors)
+    if len(set(modes)) != len(modes):
+        raise ValueError("duplicate modes in TTV chain")
+    result = tensor
+    removed = 0
+    for m in modes:
+        result = result.ttv(np.asarray(vectors[m]), m - removed)
+        removed += 1
+    return result
+
+
+def mttkrp_via_ttv(tensor: CooTensor, factors: Sequence[np.ndarray],
+                   mode: int) -> np.ndarray:
+    """Reference MTTKRP computed column-by-column as TTV chains.
+
+    Column ``r`` of the MTTKRP output equals the tensor contracted with the
+    ``r``-th column of every non-target factor.  O(R) full passes over the
+    tensor — slow, used only as a test oracle.
+    """
+    mode = check_mode(mode, tensor.nmodes)
+    rank = np.asarray(factors[0]).shape[1]
+    out = np.zeros((tensor.shape[mode], rank))
+    for r in range(rank):
+        vectors = {
+            m: np.asarray(f)[:, r]
+            for m, f in enumerate(factors)
+            if m != mode
+        }
+        reduced = ttv_chain(tensor, vectors)  # 1-mode tensor along `mode`
+        out[reduced.indices[:, 0], r] = reduced.values
+    return out

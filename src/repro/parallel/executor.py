@@ -1,0 +1,92 @@
+"""Task execution with per-thread accounting.
+
+Python cannot reproduce OpenMP's parallel wall-clock behaviour (the GIL
+serializes the index-manipulation parts of our kernels), so parallel runs
+are executed through this shim, which
+
+* runs every thread's task (optionally on a real thread pool — NumPy
+  releases the GIL inside large vector operations, so this can still help),
+* measures each task's *own* CPU time, and
+* reports the makespan ``max_t(time_t)`` — the quantity a real parallel run
+  would have taken, which the machine model combines with memory-bandwidth
+  limits.
+
+This is the documented substitution for the paper's OpenMP testbed; see
+DESIGN.md section 2.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+__all__ = ["TaskResult", "ExecutionReport", "run_tasks"]
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one thread's task."""
+
+    tid: int
+    elapsed: float
+    value: object = None
+
+
+@dataclass
+class ExecutionReport:
+    """Per-thread timing of one parallel region."""
+
+    results: List[TaskResult] = field(default_factory=list)
+    real_threads: bool = False
+
+    @property
+    def nthreads(self) -> int:
+        return len(self.results)
+
+    def makespan(self) -> float:
+        """The simulated parallel time: the slowest thread's own time."""
+        return max((r.elapsed for r in self.results), default=0.0)
+
+    def total_work_time(self) -> float:
+        """Sum of per-thread times — the sequential-equivalent cost."""
+        return sum(r.elapsed for r in self.results)
+
+    def load_imbalance(self) -> float:
+        if not self.results:
+            return 1.0
+        mean = self.total_work_time() / self.nthreads
+        return self.makespan() / mean if mean else 1.0
+
+    def values(self) -> list:
+        return [r.value for r in self.results]
+
+
+def run_tasks(tasks: Sequence[Callable[[], object]],
+              real_threads: bool = False) -> ExecutionReport:
+    """Execute one callable per logical thread.
+
+    With ``real_threads=False`` (default) the tasks run sequentially but each
+    is timed individually, so the report's ``makespan`` is what a perfectly
+    overlapping parallel execution would cost.  With ``real_threads=True``
+    the tasks run on a ``ThreadPoolExecutor``.
+    """
+    report = ExecutionReport(real_threads=real_threads)
+    if real_threads and len(tasks) > 1:
+        def timed_call(pair):
+            tid, task = pair
+            t0 = time.perf_counter()
+            value = task()
+            return TaskResult(tid=tid, elapsed=time.perf_counter() - t0, value=value)
+
+        with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+            report.results = list(pool.map(timed_call, enumerate(tasks)))
+    else:
+        for tid, task in enumerate(tasks):
+            t0 = time.perf_counter()
+            value = task()
+            report.results.append(
+                TaskResult(tid=tid, elapsed=time.perf_counter() - t0, value=value)
+            )
+    return report

@@ -1,0 +1,112 @@
+"""GPU execution model for MTTKRP — the paper's follow-on direction.
+
+HiCOO's follow-on work ports the format to GPUs, where the trade-offs
+shift: enormous bandwidth and thread counts, but atomics remain costly per
+*conflicting* update and gather locality matters even more (coalescing).
+This module extends the roofline machine model with a GPU profile so the
+benchmark harness can show the predicted *shape* of that comparison —
+HiCOO's scheduled, conflict-free writes pay off more on a GPU than on a
+CPU, while COO's per-nonzero atomics become the dominant term.
+
+The profile models:
+
+* ``bandwidth`` — HBM-class memory throughput;
+* ``flops`` — aggregate multiply-add rate;
+* ``atomic_throughput`` — conflicting atomic updates retired per second
+  (conflicts serialize per output row; non-conflicting atomics ride the
+  memory system);
+* ``coalescing`` — the fraction of peak bandwidth random gathers achieve
+  (block-local gathers approach 1.0, scattered COO gathers sit low).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.traffic import mttkrp_work
+from ..core.hicoo import HicooTensor
+from ..formats.base import SparseTensorFormat
+
+__all__ = ["GpuProfile", "predict_gpu_mttkrp", "gpu_speedup_over_coo"]
+
+
+@dataclass(frozen=True)
+class GpuProfile:
+    """A GPU described by four aggregate rates.
+
+    Defaults approximate a V100-class accelerator (the hardware of the
+    follow-on GPU-HiCOO work): 900 GB/s HBM2, ~7 TFLOP/s double precision,
+    ~2e9 conflicting atomics/s.
+    """
+
+    bandwidth: float = 900.0e9
+    flops: float = 7.0e12
+    atomic_throughput: float = 2.0e9
+    coalesced_fraction: float = 1.0
+    scattered_fraction: float = 0.25
+
+    def __post_init__(self):
+        for name in ("bandwidth", "flops", "atomic_throughput"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0 < self.scattered_fraction <= self.coalesced_fraction <= 1.0:
+            raise ValueError(
+                "need 0 < scattered_fraction <= coalesced_fraction <= 1")
+
+
+@dataclass
+class GpuPrediction:
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    atomic_seconds: float
+
+    @property
+    def bound(self) -> str:
+        parts = {
+            "compute": self.compute_seconds,
+            "memory": self.memory_seconds,
+            "atomics": self.atomic_seconds,
+        }
+        return max(parts, key=parts.get)
+
+
+def predict_gpu_mttkrp(tensor: SparseTensorFormat, mode: int, rank: int,
+                       gpu: GpuProfile) -> GpuPrediction:
+    """Predicted GPU seconds for one MTTKRP launch.
+
+    Gathers are charged at the scattered-bandwidth fraction for COO/CSF
+    (row accesses are effectively random) and at the coalesced fraction for
+    HiCOO (all accesses inside a block hit a <=256-wide row window, which
+    coalesces).  COO's scatter updates are atomic; HiCOO's scheduled writes
+    and CSF's subtree-private rows are not.
+    """
+    work = mttkrp_work(tensor, mode, rank, parallel=True)
+    gather = work.detail["gather_bytes"]
+    other = work.bytes_moved - gather
+    if isinstance(tensor, HicooTensor):
+        gather_bw = gpu.bandwidth * gpu.coalesced_fraction
+    else:
+        gather_bw = gpu.bandwidth * gpu.scattered_fraction
+    memory = other / gpu.bandwidth + gather / gather_bw
+    compute = work.flops / gpu.flops
+    atomics = work.atomic_updates / gpu.atomic_throughput
+    return GpuPrediction(
+        seconds=max(compute, memory) + atomics,
+        compute_seconds=compute,
+        memory_seconds=memory,
+        atomic_seconds=atomics,
+    )
+
+
+def gpu_speedup_over_coo(suite: dict, rank: int, gpu: GpuProfile) -> dict:
+    """All-mode GPU speedups relative to COO for a format suite
+    (as built by :func:`repro.analysis.model.build_format_suite`)."""
+    totals = {}
+    for name, tensor in suite.items():
+        totals[name] = sum(
+            predict_gpu_mttkrp(tensor, m, rank, gpu).seconds
+            for m in range(tensor.nmodes)
+        )
+    base = totals["coo"]
+    return {name: base / t if t else float("inf") for name, t in totals.items()}

@@ -1,0 +1,129 @@
+"""Analytic multicore machine model (roofline style).
+
+The paper's parallel results come from OpenMP kernels on Haswell/KNL; a pure
+Python reproduction cannot time those directly, so parallel *shapes* are
+reproduced by combining exactly-counted work (flops and bytes per format,
+see :mod:`repro.analysis.traffic`) with this machine model:
+
+``time = max(flops / (P * F_core), bytes / min(BW_socket, P * BW_core))
+        + serialization``
+
+* ``F_core``   — per-core flop rate,
+* ``BW_core``  — bandwidth one core can draw (a few cores saturate a socket),
+* ``BW_socket``— sustained socket bandwidth,
+* serialization — COO's atomic scatter updates pay an extra per-update cost
+  that does not parallelize; HiCOO's scheduled kernels pay none.
+
+``Machine.detect()`` calibrates ``F_core`` and the bandwidths with small
+NumPy measurements on the current host so predicted absolute times are
+plausible; all *ratios* (who wins, crossovers) depend only on counted work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["Machine", "Prediction"]
+
+
+@dataclass
+class Prediction:
+    """Predicted execution time for one kernel launch."""
+
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    serial_seconds: float
+
+    @property
+    def bound(self) -> str:
+        """Which resource limits this kernel: 'compute' or 'memory'."""
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A multicore node described by a handful of rates."""
+
+    cores: int = 16
+    flops_per_core: float = 4.0e9  # sustained scalar-ish FMA rate per core
+    core_bandwidth: float = 12.0e9  # bytes/s one core can stream
+    socket_bandwidth: float = 60.0e9  # bytes/s the memory system sustains
+    atomic_cost: float = 6.0e-9  # seconds of serialization per atomic update
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ValueError("a machine needs at least one core")
+        for name in ("flops_per_core", "core_bandwidth", "socket_bandwidth"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------
+    def predict(self, flops: float, bytes_moved: float, nthreads: int = 1,
+                atomic_updates: float = 0.0) -> Prediction:
+        """Roofline time estimate for ``nthreads`` threads.
+
+        ``atomic_updates`` is the number of scatter updates that contend; in
+        the model each costs ``atomic_cost`` seconds of *non-parallelizable*
+        time once more than one thread is running (a single thread pays
+        nothing — there is no contention).
+        """
+        if nthreads < 1:
+            raise ValueError(f"nthreads must be positive, got {nthreads}")
+        nthreads = min(nthreads, self.cores)
+        compute = flops / (nthreads * self.flops_per_core)
+        bw = min(self.socket_bandwidth, nthreads * self.core_bandwidth)
+        memory = bytes_moved / bw
+        serial = atomic_updates * self.atomic_cost if nthreads > 1 else 0.0
+        return Prediction(
+            seconds=max(compute, memory) + serial,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            serial_seconds=serial,
+        )
+
+    def speedup(self, flops: float, bytes_moved: float, nthreads: int,
+                atomic_updates: float = 0.0) -> float:
+        """Predicted speedup of ``nthreads`` threads over one thread."""
+        t1 = self.predict(flops, bytes_moved, 1).seconds
+        tp = self.predict(flops, bytes_moved, nthreads, atomic_updates).seconds
+        return t1 / tp if tp else float("inf")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    @lru_cache(maxsize=1)
+    def detect(cores: int | None = None) -> "Machine":
+        """Calibrate a Machine from quick measurements on this host."""
+        import os
+
+        ncores = cores or os.cpu_count() or 4
+
+        # flop rate: repeated fused multiply-add on a cache-resident array
+        x = np.ones(1 << 16)
+        y = np.ones(1 << 16)
+        reps = 200
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            y += 1.000001 * x
+        dt = max(time.perf_counter() - t0, 1e-9)
+        flops = 2.0 * x.size * reps / dt
+
+        # stream bandwidth: copy a memory-resident array
+        big = np.ones(1 << 24)  # 128 MB
+        t0 = time.perf_counter()
+        for _ in range(4):
+            big2 = big * 1.0000001
+        dt = max(time.perf_counter() - t0, 1e-9)
+        bw = 2.0 * big.nbytes * 4 / dt
+        del big, big2
+
+        return Machine(
+            cores=ncores,
+            flops_per_core=flops,
+            core_bandwidth=bw * 0.6,  # one core rarely sustains full socket BW
+            socket_bandwidth=bw * min(4, ncores) * 0.6,
+        )

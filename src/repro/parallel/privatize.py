@@ -1,0 +1,51 @@
+"""Output privatization for parallel reductions.
+
+The first of the paper's two parallel-MTTKRP strategies: every thread
+accumulates into a private copy of the output matrix and the copies are
+summed afterwards.  Race-free regardless of which rows each thread touches,
+at the cost of ``nthreads x output`` extra memory and a reduction pass —
+which is why the strategy heuristic reserves it for small output matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PrivateBuffers"]
+
+
+@dataclass
+class PrivateBuffers:
+    """Per-thread private copies of a (rows x rank) output matrix."""
+
+    buffers: np.ndarray  # (nthreads, rows, rank)
+
+    @classmethod
+    def allocate(cls, nthreads: int, rows: int, rank: int) -> "PrivateBuffers":
+        if nthreads < 1:
+            raise ValueError(f"nthreads must be positive, got {nthreads}")
+        return cls(buffers=np.zeros((nthreads, rows, rank)))
+
+    @property
+    def nthreads(self) -> int:
+        return self.buffers.shape[0]
+
+    def view(self, tid: int) -> np.ndarray:
+        """The private output of thread ``tid`` (a writable view)."""
+        return self.buffers[tid]
+
+    def reduce(self) -> np.ndarray:
+        """Sum the private copies into the final output."""
+        return self.buffers.sum(axis=0)
+
+    def reduction_flops(self) -> int:
+        """Flops of the reduction pass (counted for the machine model)."""
+        t, rows, rank = self.buffers.shape
+        return (t - 1) * rows * rank
+
+    def extra_bytes(self) -> int:
+        """Memory overhead versus a single shared output."""
+        t, rows, rank = self.buffers.shape
+        return (t - 1) * rows * rank * self.buffers.itemsize

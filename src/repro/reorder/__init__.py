@@ -1,0 +1,27 @@
+"""Tensor reordering — the paper's 'improve alpha_b' extension direction.
+
+Renumbering mode indices never changes the tensor mathematically but can
+concentrate nonzeros into fewer HiCOO blocks.  Provided orderings:
+
+* :func:`~repro.reorder.lexi.lexi_order` — lexicographic slice sorting;
+* :func:`~repro.reorder.bfs.bfs_mcs` — BFS over the index-fiber bipartite
+  graph, highest-degree-first;
+* :func:`~repro.reorder.apply.random_permutations` — the locality-destroying
+  baseline.
+"""
+
+from .apply import (  # noqa: F401
+    alpha_effect,
+    apply_permutations,
+    identity_permutations,
+    invert_permutation,
+    random_permutations,
+)
+from .bfs import bfs_mcs, bfs_mcs_mode  # noqa: F401
+from .lexi import lexi_order, slice_sort_mode  # noqa: F401
+
+__all__ = [
+    "alpha_effect", "apply_permutations", "identity_permutations",
+    "invert_permutation", "random_permutations",
+    "bfs_mcs", "bfs_mcs_mode", "lexi_order", "slice_sort_mode",
+]

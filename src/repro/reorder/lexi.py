@@ -1,0 +1,92 @@
+"""Lexi-order: lexicographic slice reordering to densify HiCOO blocks.
+
+The HiCOO authors' follow-up work ("Efficient and Effective Sparse Tensor
+Reordering") renumbers each mode so that slices with similar sparsity
+patterns become neighbours; nonzeros then concentrate in fewer blocks
+(smaller alpha_b), improving both HiCOO storage and MTTKRP locality.
+
+This implementation performs the practical core of Lexi-order: for one mode
+at a time, sort the slice indices lexicographically by their nonzero
+patterns (each slice viewed as a sorted list of linearized positions over
+the other modes), and iterate over modes for a few rounds so improvements in
+one mode sharpen the keys of the next.  Empty slices sort last, preserving
+their count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from .apply import apply_permutations, invert_permutation
+
+__all__ = ["lexi_order", "slice_sort_mode"]
+
+
+def slice_sort_mode(coo: CooTensor, mode: int) -> np.ndarray:
+    """Permutation for one mode: old index -> new index, ordering slices
+    lexicographically by their nonzero patterns.
+
+    The key of slice ``i`` is the ascending list of linearized
+    other-coordinate positions of its nonzeros.  Slices with identical
+    patterns stay adjacent (they will land in the same blocks), and empty
+    slices go to the end.
+    """
+    nmodes = coo.nmodes
+    dim = coo.shape[mode]
+    rest = [m for m in range(nmodes) if m != mode]
+    if not rest:
+        return np.arange(dim, dtype=np.int64)
+
+    lin = np.zeros(coo.nnz, dtype=np.int64)
+    for m in rest:
+        lin = lin * coo.shape[m] + coo.indices[:, m]
+
+    keys: List[list] = [[] for _ in range(dim)]
+    for idx, pos in zip(coo.indices[:, mode], lin):
+        keys[idx].append(int(pos))
+    for k in keys:
+        k.sort()
+
+    # order slice ids: non-empty first, lexicographically by pattern
+    order = sorted(range(dim), key=lambda i: (not keys[i], keys[i]))
+    # order[k] = old slice placed at new position k  ->  perm[old] = new
+    perm = np.empty(dim, dtype=np.int64)
+    perm[np.asarray(order)] = np.arange(dim)
+    return perm
+
+
+def lexi_order(coo: CooTensor, iterations: int = 2,
+               modes: Optional[List[int]] = None) -> List[np.ndarray]:
+    """Compute Lexi-order permutations for every mode.
+
+    Parameters
+    ----------
+    coo : input tensor (not modified).
+    iterations : rounds over all modes; each round re-sorts every mode
+        using the coordinates produced by the previous round.  2 rounds
+        capture most of the benefit (as reported in the reordering paper).
+    modes : restrict reordering to these modes (others get identity).
+
+    Returns
+    -------
+    list of per-mode permutations (old index -> new index), composed over
+    all iterations, directly usable with
+    :func:`repro.reorder.apply.apply_permutations`.
+    """
+    if iterations < 1:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    active = list(range(coo.nmodes)) if modes is None else [
+        m % coo.nmodes for m in modes]
+    total = [np.arange(dim, dtype=np.int64) for dim in coo.shape]
+    work = coo
+    for _ in range(iterations):
+        for mode in active:
+            perm = slice_sort_mode(work, mode)
+            perms = [None] * coo.nmodes
+            perms[mode] = perm
+            work = apply_permutations(work, perms)
+            total[mode] = perm[total[mode]]
+    return total

@@ -1,0 +1,134 @@
+"""Public verification oracles for sparse-tensor formats and kernels.
+
+Downstream users adding a new storage format (the reason a format paper
+gets adopted) need a way to certify it.  This module packages the oracles
+the internal test suite uses:
+
+* :func:`assert_valid_format` — structural contract of
+  :class:`~repro.formats.base.SparseTensorFormat`;
+* :func:`assert_mttkrp_consistent` — MTTKRP equivalence against the dense
+  reference on every mode;
+* :func:`assert_roundtrip` — lossless conversion to/from COO;
+* :func:`check_format` — all of the above over a battery of structured
+  random tensors, returning a report dict.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from .formats.base import SparseTensorFormat
+from .formats.coo import CooTensor
+from .formats.dense import DenseTensor
+
+__all__ = [
+    "assert_valid_format",
+    "assert_mttkrp_consistent",
+    "assert_roundtrip",
+    "check_format",
+]
+
+#: format constructor: CooTensor -> SparseTensorFormat
+FormatFactory = Callable[[CooTensor], SparseTensorFormat]
+
+
+def assert_valid_format(tensor: SparseTensorFormat) -> None:
+    """Structural contract: shape/nnz sane, storage accounting positive and
+    additive, repr usable."""
+    if not isinstance(tensor, SparseTensorFormat):
+        raise AssertionError(
+            f"{type(tensor).__name__} is not a SparseTensorFormat")
+    shape = tensor.shape
+    if len(shape) < 1 or any(s < 1 for s in shape):
+        raise AssertionError(f"invalid shape {shape}")
+    if tensor.nnz < 0:
+        raise AssertionError(f"negative nnz {tensor.nnz}")
+    parts = tensor.storage_bytes()
+    if not parts:
+        raise AssertionError("storage_bytes returned no components")
+    if any(v < 0 for v in parts.values()):
+        raise AssertionError(f"negative storage component in {parts}")
+    if tensor.total_bytes() != sum(parts.values()):
+        raise AssertionError("total_bytes != sum of components")
+    if tensor.nmodes != len(shape):
+        raise AssertionError("nmodes inconsistent with shape")
+
+
+def assert_roundtrip(tensor: SparseTensorFormat,
+                     reference: CooTensor,
+                     atol: float = 0.0) -> None:
+    """``tensor.to_coo()`` must reproduce ``reference`` exactly (as a
+    coordinate->value mapping)."""
+    back = tensor.to_coo().sort_lexicographic()
+    ref = reference.sort_lexicographic()
+    if back.shape != ref.shape:
+        raise AssertionError(
+            f"shape changed in roundtrip: {back.shape} != {ref.shape}")
+    if back.nnz != ref.nnz:
+        raise AssertionError(
+            f"nnz changed in roundtrip: {back.nnz} != {ref.nnz}")
+    if not np.array_equal(back.indices, ref.indices):
+        raise AssertionError("coordinates changed in roundtrip")
+    if not np.allclose(back.values, ref.values, atol=atol):
+        raise AssertionError("values changed in roundtrip")
+
+
+def assert_mttkrp_consistent(tensor: SparseTensorFormat,
+                             rank: int = 4,
+                             seed: int = 0,
+                             atol: float = 1e-8) -> None:
+    """MTTKRP along every mode must match the dense reference."""
+    coo = tensor.to_coo()
+    dense = DenseTensor(coo.to_dense())
+    rng = np.random.default_rng(seed)
+    factors = [rng.normal(size=(s, rank)) for s in tensor.shape]
+    for mode in range(tensor.nmodes):
+        got = tensor.mttkrp(factors, mode)
+        ref = dense.mttkrp(factors, mode)
+        if got.shape != ref.shape:
+            raise AssertionError(
+                f"mode {mode}: MTTKRP shape {got.shape} != {ref.shape}")
+        err = float(np.abs(got - ref).max()) if got.size else 0.0
+        if err > atol:
+            raise AssertionError(
+                f"mode {mode}: MTTKRP mismatch, max abs error {err:.3e}")
+
+
+def check_format(factory: FormatFactory,
+                 shapes: Optional[Sequence[tuple]] = None,
+                 nnz: int = 120, seed: int = 0) -> Dict[str, int]:
+    """Run the full oracle battery over structured random tensors.
+
+    Parameters
+    ----------
+    factory : builds the format under test from a COO tensor.
+    shapes : test shapes (defaults cover 2-D, 3-D, 4-D and skewed modes).
+    nnz : nonzeros per test tensor (capped by the index space).
+
+    Returns a report dict (counts of tensors/oracles exercised).  Raises
+    ``AssertionError`` with a precise message on the first violation.
+    """
+    if shapes is None:
+        shapes = [(16, 16), (20, 12, 8), (9, 9, 9, 9), (128, 4, 30)]
+    rng = np.random.default_rng(seed)
+    checks = 0
+    for shape in shapes:
+        space = int(np.prod(shape))
+        n = min(nnz, space // 2)
+        flat = rng.choice(space, size=n, replace=False)
+        inds = np.stack(np.unravel_index(flat, shape), axis=1)
+        coo = CooTensor(shape, inds, rng.normal(size=n), sum_duplicates=False)
+        tensor = factory(coo)
+        assert_valid_format(tensor)
+        assert_roundtrip(tensor, coo)
+        assert_mttkrp_consistent(tensor)
+        checks += 3
+        # empty-tensor behaviour
+        empty = factory(CooTensor.empty(shape))
+        assert_valid_format(empty)
+        if empty.nnz != 0:
+            raise AssertionError("format invented nonzeros for an empty tensor")
+        checks += 1
+    return {"tensors": 2 * len(shapes), "oracle_checks": checks}

@@ -1,0 +1,336 @@
+"""Command-line interface for the HiCOO reproduction library.
+
+Usage (also available as ``python -m repro.tools``)::
+
+    hicoo-repro inspect  tensor.tns             # shape / nnz / alpha_b sweep
+    hicoo-repro convert  tensor.tns out.hicoo   # COO text -> HiCOO binary
+    hicoo-repro storage  tensor.tns             # COO/CSF/HiCOO byte table
+    hicoo-repro mttkrp   tensor.tns -r 16 -m 0  # run + time one MTTKRP
+    hicoo-repro cpd      tensor.tns -r 8        # CP-ALS, print fit trace
+    hicoo-repro reorder  tensor.tns out.tns --method bfs
+    hicoo-repro dataset  deli out.tns           # emit a registry analog
+
+Every subcommand accepts ``.tns`` (FROSTT text) or ``.hicoo`` (binary,
+written by ``convert``) inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.report import render_table
+from ..core.hicoo import HicooTensor, best_block_bits
+from ..core.io import load_hicoo, save_hicoo
+from ..core.params import analyze_block_sizes
+from ..core.storage import compare_formats, format_table
+from ..cpd.cp_als import cp_als
+from ..data.frostt import read_tns, write_tns
+from ..data.registry import REGISTRY, load as load_dataset
+from ..formats.coo import CooTensor
+from ..formats.csf import CsfTensor
+from ..kernels.mttkrp import mttkrp_parallel
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_tensor(path: str) -> CooTensor:
+    p = Path(path)
+    if not p.exists():
+        raise SystemExit(f"error: no such file: {path}")
+    if p.suffix == ".hicoo":
+        return load_hicoo(p).to_coo()
+    return read_tns(p)
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_inspect(args) -> int:
+    coo = _read_tensor(args.tensor)
+    print(f"file      : {args.tensor}")
+    print(f"order     : {coo.nmodes}")
+    print(f"shape     : {'x'.join(str(s) for s in coo.shape)}")
+    print(f"nonzeros  : {coo.nnz}")
+    print(f"density   : {coo.density():.3e}")
+    print(f"norm      : {coo.norm():.6g}")
+    rows = [
+        {
+            "B": p.block_size,
+            "nblocks": p.nblocks,
+            "alpha_b": p.alpha_b,
+            "c_b": p.c_b,
+            "B/nnz": p.bytes_per_nnz,
+        }
+        for p in analyze_block_sizes(coo, range(2, 9))
+    ]
+    print()
+    print(render_table(rows, ["B", "nblocks", "alpha_b", "c_b", "B/nnz"],
+                       title="HiCOO block-size sweep"))
+    if args.viz and coo.nmodes >= 2:
+        from ..analysis.blockviz import block_density_grid, render_heatmap
+
+        bits = args.block_bits or best_block_bits(coo)
+        hic = HicooTensor(coo, block_bits=bits)
+        grid = block_density_grid(hic, 0, 1)
+        print()
+        print(render_heatmap(grid, title=f"block density, modes 0 x 1 (B={1 << bits})"))
+    return 0
+
+
+def cmd_convert(args) -> int:
+    coo = _read_tensor(args.tensor)
+    bits = args.block_bits or best_block_bits(coo)
+    hic = HicooTensor(coo, block_bits=bits)
+    save_hicoo(hic, args.output)
+    print(f"wrote {args.output}: B={hic.block_size}, {hic.nblocks} blocks, "
+          f"{hic.bytes_per_nnz():.2f} B/nnz "
+          f"(COO: {coo.bytes_per_nnz():.2f})")
+    return 0
+
+
+def cmd_storage(args) -> int:
+    coo = _read_tensor(args.tensor)
+    bits = args.block_bits or best_block_bits(coo)
+    rows = compare_formats(coo, block_bits=bits, csf_trees=(1, coo.nmodes))
+    print(format_table(rows, title=f"storage comparison (b={bits})"))
+    return 0
+
+
+def cmd_mttkrp(args) -> int:
+    coo = _read_tensor(args.tensor)
+    # construct only the requested format (CSF/HiCOO builds cost a sort)
+    if args.format == "coo":
+        tensor = coo
+    elif args.format == "csf":
+        tensor = CsfTensor(coo)
+    else:
+        bits = args.block_bits or best_block_bits(coo)
+        tensor = HicooTensor(coo, block_bits=bits)
+    rng = np.random.default_rng(args.seed)
+    factors = [rng.random((s, args.rank)) for s in coo.shape]
+    t0 = time.perf_counter()
+    if args.threads > 1:
+        run = mttkrp_parallel(tensor, factors, args.mode, args.threads)
+        out = run.output
+        extra = f" strategy={run.strategy} imbalance={run.load_imbalance():.2f}"
+    else:
+        out = tensor.mttkrp(factors, args.mode)
+        extra = ""
+    dt = time.perf_counter() - t0
+    print(f"{args.format} MTTKRP mode={args.mode} R={args.rank}: "
+          f"{dt * 1e3:.2f} ms, output {out.shape},"
+          f" |out|_F={np.linalg.norm(out):.6g}{extra}")
+    return 0
+
+
+def cmd_cpd(args) -> int:
+    coo = _read_tensor(args.tensor)
+    bits = args.block_bits or best_block_bits(coo)
+    hic = HicooTensor(coo, block_bits=bits)
+    if args.method == "apr":
+        from ..cpd.cp_apr import cp_apr
+
+        res = cp_apr(hic, args.rank, maxiters=args.maxiters, tol=args.tol,
+                     seed=args.seed)
+        for it, ll in enumerate(res.log_likelihoods):
+            print(f"iter {it + 1:3d}: logL = {ll:.4f}")
+        print(f"converged={res.converged} "
+              f"weights={np.round(res.ktensor.weights, 3)}")
+        return 0
+    res = cp_als(hic, args.rank, maxiters=args.maxiters, tol=args.tol,
+                 seed=args.seed, nthreads=args.threads)
+    for it, fit in enumerate(res.fits):
+        print(f"iter {it + 1:3d}: fit = {fit:.6f}")
+    print(f"converged={res.converged} "
+          f"mttkrp={res.mttkrp_seconds:.3f}s/{res.total_seconds:.3f}s "
+          f"weights={np.round(res.ktensor.weights, 3)}")
+    return 0
+
+
+def cmd_tucker(args) -> int:
+    from ..tucker import hooi
+
+    coo = _read_tensor(args.tensor)
+    ranks = tuple(min(args.rank, s) for s in coo.shape)
+    res = hooi(coo, ranks, maxiters=args.maxiters, tol=args.tol,
+               seed=args.seed)
+    for it, fit in enumerate(res.fits):
+        print(f"iter {it + 1:3d}: fit = {fit:.6f}")
+    print(f"converged={res.converged} core={res.tucker.ranks} "
+          f"core_norm={res.tucker.norm():.6g}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from ..core.tuner import tune
+    from ..parallel.machine import Machine
+
+    coo = _read_tensor(args.tensor)
+    machine = Machine.detect(cores=args.cores) if args.calibrate else Machine(
+        cores=args.cores)
+    out = tune(coo, args.rank, machine, nthreads=args.threads,
+               storage_weight=args.storage_weight)
+    rows = [
+        {
+            "b": c.block_bits,
+            "sb": c.superblock_bits,
+            "alpha_b": c.alpha_b,
+            "KB": c.total_bytes / 1024,
+            "pred_ms": c.predicted_seconds * 1e3,
+            "score": c.score * 1e3,
+            "strategies": "/".join(s[:4] for s in c.strategies),
+        }
+        for c in out["scoreboard"][:args.top]
+    ]
+    print(render_table(
+        rows, ["b", "sb", "alpha_b", "KB", "pred_ms", "score", "strategies"],
+        title=f"tuner scoreboard (R={args.rank}, P={args.threads}; best first)",
+        widths={"strategies": 20}))
+    best = out["best"]
+    print(f"\nrecommended: --block-bits {best.block_bits} "
+          f"(B={best.block_size}), superblock bits {best.superblock_bits}")
+    return 0
+
+
+def cmd_reorder(args) -> int:
+    from ..reorder import (alpha_effect, apply_permutations, bfs_mcs,
+                           lexi_order, random_permutations)
+
+    coo = _read_tensor(args.tensor)
+    if args.method == "lexi":
+        perms = lexi_order(coo, iterations=args.iterations)
+    elif args.method == "bfs":
+        perms = bfs_mcs(coo)
+    else:
+        perms = random_permutations(coo.shape, seed=args.seed)
+    bits = args.block_bits or best_block_bits(coo)
+    effect = alpha_effect(coo, perms, block_bits=bits)
+    print(f"{args.method}: alpha_b {effect['before']['alpha_b']:.4f} -> "
+          f"{effect['after']['alpha_b']:.4f} "
+          f"(bytes x{effect['bytes_ratio']:.3f})")
+    write_tns(apply_permutations(coo, perms), args.output,
+              header=f"reordered with method={args.method}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    if args.name not in REGISTRY:
+        raise SystemExit(
+            f"error: unknown dataset {args.name!r}; "
+            f"available: {', '.join(REGISTRY)}")
+    coo = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    write_tns(coo, args.output, header=f"registry analog: {args.name}")
+    print(f"wrote {args.output}: {coo!r}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hicoo-repro",
+        description="HiCOO sparse-tensor format toolkit (SC'18 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, output=False):
+        p.add_argument("tensor", help=".tns or .hicoo input file")
+        if output:
+            p.add_argument("output", help="output file")
+        p.add_argument("--block-bits", type=int, default=None,
+                       help="HiCOO block bits b (default: storage-optimal)")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("inspect", help="structure and block statistics")
+    add_common(p)
+    p.add_argument("--viz", action="store_true",
+                   help="render an ASCII block-density heatmap (modes 0 x 1)")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("convert", help="convert to binary .hicoo")
+    add_common(p, output=True)
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("storage", help="COO/CSF/HiCOO storage table")
+    add_common(p)
+    p.set_defaults(func=cmd_storage)
+
+    p = sub.add_parser("mttkrp", help="run and time one MTTKRP")
+    add_common(p)
+    p.add_argument("-r", "--rank", type=int, default=16)
+    p.add_argument("-m", "--mode", type=int, default=0)
+    p.add_argument("-t", "--threads", type=int, default=1)
+    p.add_argument("-f", "--format", choices=["coo", "csf", "hicoo"],
+                   default="hicoo")
+    p.set_defaults(func=cmd_mttkrp)
+
+    p = sub.add_parser("cpd", help="CP decomposition (ALS or Poisson APR)")
+    add_common(p)
+    p.add_argument("-r", "--rank", type=int, default=8)
+    p.add_argument("--maxiters", type=int, default=20)
+    p.add_argument("--tol", type=float, default=1e-4)
+    p.add_argument("-t", "--threads", type=int, default=1)
+    p.add_argument("--method", choices=["als", "apr"], default="als")
+    p.set_defaults(func=cmd_cpd)
+
+    p = sub.add_parser("tucker", help="sparse Tucker decomposition (HOOI)")
+    add_common(p)
+    p.add_argument("-r", "--rank", type=int, default=4,
+                   help="core size per mode (capped at the mode size)")
+    p.add_argument("--maxiters", type=int, default=10)
+    p.add_argument("--tol", type=float, default=1e-4)
+    p.set_defaults(func=cmd_tucker)
+
+    p = sub.add_parser("tune", help="model-driven (b, sb, strategy) tuning")
+    add_common(p)
+    p.add_argument("-r", "--rank", type=int, default=16)
+    p.add_argument("-t", "--threads", type=int, default=8)
+    p.add_argument("--cores", type=int, default=16)
+    p.add_argument("--calibrate", action="store_true",
+                   help="measure this host's rates instead of defaults")
+    p.add_argument("--storage-weight", type=float, default=0.0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("reorder", help="reorder indices to improve blocking")
+    add_common(p, output=True)
+    p.add_argument("--method", choices=["lexi", "bfs", "random"],
+                   default="lexi")
+    p.add_argument("--iterations", type=int, default=2,
+                   help="lexi-order rounds")
+    p.set_defaults(func=cmd_reorder)
+
+    p = sub.add_parser("dataset", help="emit a registry analog as .tns")
+    p.add_argument("name", help="registry name (e.g. deli, uber)")
+    p.add_argument("output")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=None)
+    p.set_defaults(func=cmd_dataset)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError, OSError) as exc:
+        # domain errors (bad parameters, malformed files, corrupt archives)
+        # become clean one-line diagnostics rather than tracebacks
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except Exception as exc:  # zipfile.BadZipFile and friends
+        if type(exc).__module__ in ("zipfile", "zlib"):
+            print(f"error: not a valid .hicoo archive: {exc}", file=sys.stderr)
+            return 1
+        raise
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

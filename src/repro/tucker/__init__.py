@@ -1,0 +1,11 @@
+"""Sparse Tucker decomposition substrate (HOOI over sparse TTM chains).
+
+HiCOO's reference library (ParTI!) pairs the format with both CP and
+Tucker solvers; this subpackage provides the Tucker side: semi-sparse TTM
+chains and the HOOI algorithm with orthonormal factors and a dense core.
+"""
+
+from .hooi import HooiResult, TuckerTensor, hooi  # noqa: F401
+from .ttm_chain import SemiSparse, ttm_chain  # noqa: F401
+
+__all__ = ["HooiResult", "TuckerTensor", "hooi", "SemiSparse", "ttm_chain"]

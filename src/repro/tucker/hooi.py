@@ -1,0 +1,189 @@
+"""Sparse Tucker decomposition via HOOI (higher-order orthogonal iteration).
+
+Approximates a sparse tensor as ``X ~ G x_1 U_1 x_2 ... x_N U_N`` with a
+small dense core ``G`` and orthonormal factors ``U_m`` (I_m x R_m).  Each
+HOOI subiteration computes the TTM chain ``Y_n = X x_{m != n} U_m^T``
+(sparse, via :mod:`repro.tucker.ttm_chain`), takes the R_n leading left
+singular vectors of ``Y_n``'s unfolding as the new ``U_n``, and at the end
+contracts the last chain once more to obtain the core.
+
+The fit uses the orthonormal-factor identity
+``||X - G x {U}||^2 = ||X||^2 - ||G||^2`` — no residual is ever formed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..formats.base import SparseTensorFormat
+from ..formats.coo import CooTensor
+from .ttm_chain import ttm_chain
+
+__all__ = ["TuckerTensor", "HooiResult", "hooi"]
+
+
+@dataclass
+class TuckerTensor:
+    """Dense core + orthonormal factor matrices."""
+
+    core: np.ndarray
+    factors: List[np.ndarray]
+
+    def __post_init__(self):
+        self.core = np.asarray(self.core, dtype=np.float64)
+        self.factors = [np.asarray(f, dtype=np.float64) for f in self.factors]
+        if self.core.ndim != len(self.factors):
+            raise ValueError(
+                f"core has {self.core.ndim} modes but "
+                f"{len(self.factors)} factors given")
+        for m, (f, r) in enumerate(zip(self.factors, self.core.shape)):
+            if f.ndim != 2 or f.shape[1] != r:
+                raise ValueError(
+                    f"factor {m} must have {r} columns, got shape {f.shape}")
+
+    @property
+    def shape(self) -> tuple:
+        return tuple(f.shape[0] for f in self.factors)
+
+    @property
+    def ranks(self) -> tuple:
+        return self.core.shape
+
+    def full(self) -> np.ndarray:
+        """Densify (small tensors only)."""
+        size = int(np.prod(self.shape))
+        if size > 50_000_000:
+            raise MemoryError(f"refusing to densify {size} elements")
+        out = self.core
+        for mode, f in enumerate(self.factors):
+            out = np.moveaxis(
+                np.tensordot(f, out, axes=(1, mode)), 0, mode)
+        return out
+
+    def norm(self) -> float:
+        """With orthonormal factors, ``||X_approx|| = ||core||``."""
+        return float(np.linalg.norm(self.core))
+
+    def fit(self, tensor: CooTensor, tensor_norm: Optional[float] = None) -> float:
+        """1 - ||X - approx|| / ||X|| using the core-norm identity."""
+        xnorm = tensor.norm() if tensor_norm is None else tensor_norm
+        if xnorm == 0:
+            return 1.0 if self.norm() == 0 else 0.0
+        resid_sq = max(xnorm**2 - self.norm()**2, 0.0)
+        return 1.0 - np.sqrt(resid_sq) / xnorm
+
+
+@dataclass
+class HooiResult:
+    tucker: TuckerTensor
+    fits: List[float] = field(default_factory=list)
+    iterations: int = 0
+    converged: bool = False
+    total_seconds: float = 0.0
+
+    @property
+    def final_fit(self) -> float:
+        return self.fits[-1] if self.fits else 0.0
+
+
+def _leading_left_singular(matrix: np.ndarray, rank: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """R leading left singular vectors, padded with random orthonormal
+    columns when the matrix has deficient rank."""
+    u, s, _ = np.linalg.svd(matrix, full_matrices=False)
+    u = u[:, :rank]
+    if u.shape[1] < rank:
+        pad = rng.standard_normal((u.shape[0], rank - u.shape[1]))
+        pad -= u @ (u.T @ pad)
+        q, _ = np.linalg.qr(pad)
+        u = np.hstack([u, q[:, : rank - u.shape[1]]])
+    return u
+
+
+def hooi(tensor: SparseTensorFormat, ranks: Sequence[int], *,
+         maxiters: int = 25, tol: float = 1e-5,
+         seed: Optional[int] = None,
+         init: Optional[List[np.ndarray]] = None) -> HooiResult:
+    """Rank-``ranks`` Tucker decomposition of a sparse tensor by HOOI.
+
+    Parameters
+    ----------
+    tensor : any sparse format (converted to COO once for the TTM chains).
+    ranks : target core size per mode; each must not exceed the mode size.
+    maxiters / tol : outer iteration cap and fit-change threshold.
+    seed / init : random-init seed, or explicit (orthonormalized) factors.
+    """
+    coo = tensor.to_coo()
+    nmodes = coo.nmodes
+    ranks = tuple(int(r) for r in ranks)
+    if len(ranks) != nmodes:
+        raise ValueError(f"need {nmodes} ranks, got {len(ranks)}")
+    if any(r < 1 for r in ranks):
+        raise ValueError(f"ranks must be positive, got {ranks}")
+    if any(r > s for r, s in zip(ranks, coo.shape)):
+        raise ValueError(f"ranks {ranks} exceed tensor shape {coo.shape}")
+    if maxiters < 1:
+        raise ValueError(f"maxiters must be positive, got {maxiters}")
+
+    rng = np.random.default_rng(seed)
+    if init is None:
+        factors = []
+        for dim, rank in zip(coo.shape, ranks):
+            q, _ = np.linalg.qr(rng.standard_normal((dim, rank)))
+            factors.append(q)
+    else:
+        factors = [np.array(f, dtype=np.float64, copy=True) for f in init]
+        if len(factors) != nmodes:
+            raise ValueError(f"need {nmodes} init factors")
+        for m, (f, r) in enumerate(zip(factors, ranks)):
+            if f.shape != (coo.shape[m], r):
+                raise ValueError(
+                    f"init factor {m} must be {(coo.shape[m], r)}, "
+                    f"got {f.shape}")
+            q, _ = np.linalg.qr(f)
+            factors[m] = q
+
+    xnorm = coo.norm()
+    result = HooiResult(tucker=TuckerTensor(np.zeros(ranks), factors))
+    t0 = time.perf_counter()
+    prev_fit = -np.inf
+    core = np.zeros(ranks)
+
+    for it in range(maxiters):
+        for mode in range(nmodes):
+            semi = ttm_chain(coo, factors, skip_mode=mode)
+            unfolding = semi.to_dense_matrix()  # (I_mode, prod other ranks)
+            factors[mode] = _leading_left_singular(unfolding, ranks[mode], rng)
+            if mode == nmodes - 1:
+                # core = U_N^T @ Y_N, reshaped into natural mode order
+                core = _assemble_core(semi, factors[mode], ranks, mode)
+        kt = TuckerTensor(core, [f.copy() for f in factors])
+        fit = kt.fit(coo, tensor_norm=xnorm)
+        result.fits.append(fit)
+        result.iterations = it + 1
+        if it > 0 and abs(fit - prev_fit) < tol:
+            result.converged = True
+            break
+        prev_fit = fit
+
+    result.total_seconds = time.perf_counter() - t0
+    result.tucker = TuckerTensor(core, factors)
+    return result
+
+
+def _assemble_core(semi, factor: np.ndarray, ranks, mode: int) -> np.ndarray:
+    """Contract the remaining sparse mode with ``factor`` and reorder the
+    rank axes of the TTM chain into natural mode order."""
+    flat = factor.T @ semi.to_dense_matrix()  # (R_mode, prod other ranks)
+    # rank axes of the chain, skipping the leading dummy axis
+    chain_modes = [m for m in semi.rank_modes if m is not None]
+    chain_ranks = [r for r, m in zip(semi.ranks, semi.rank_modes)
+                   if m is not None]
+    core = flat.reshape([ranks[mode]] + chain_ranks)
+    axis_modes = [mode] + chain_modes
+    perm = [axis_modes.index(m) for m in range(len(ranks))]
+    return np.transpose(core, perm)

@@ -1,0 +1,148 @@
+"""Chained sparse TTM: contract every mode but one with small matrices.
+
+The workhorse of sparse Tucker (HOOI): ``Y_n = X x_{m != n} U_m^T`` where
+each ``U_m`` is a tall factor (I_m x R_m).  Done naively this densifies
+immediately; the sparse formulation keeps the tensor *semi-sparse* —
+coordinates over the not-yet-contracted modes, a dense array over the
+contracted ranks — and contracts one mode at a time, grouping coordinates
+after each step.  This is the same computational pattern ParTI! (HiCOO's
+reference library) uses for its sparse Tucker kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..formats.coo import CooTensor
+from ..util.validation import check_mode
+
+__all__ = ["SemiSparse", "ttm_chain"]
+
+
+class SemiSparse:
+    """Sparse over ``modes``, dense over contracted rank axes.
+
+    Attributes
+    ----------
+    shape : sizes of the remaining sparse modes.
+    modes : the original tensor modes the sparse axes correspond to.
+    indices : (n, len(modes)) coordinates.
+    values : (n, prod(ranks)) dense payload per coordinate; ``ranks`` keeps
+        the per-contracted-mode factorization of that trailing axis.
+    ranks : contracted-rank sizes, in contraction order.
+    rank_modes : the original mode each rank axis came from (parallel to
+        ``ranks``; the leading entry is the dummy size-1 axis of the raw
+        values).
+    """
+
+    def __init__(self, shape, modes, indices, values, ranks,
+                 rank_modes=None):
+        self.shape = tuple(shape)
+        self.modes = tuple(modes)
+        self.indices = indices
+        self.values = values
+        self.ranks = tuple(ranks)
+        self.rank_modes = tuple(rank_modes) if rank_modes is not None \
+            else (None,) * len(self.ranks)
+        if len(self.shape) != len(self.modes):
+            raise ValueError("shape/modes mismatch")
+        if indices.shape != (len(values), len(self.modes)):
+            raise ValueError("indices/values mismatch")
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @classmethod
+    def from_coo(cls, coo: CooTensor) -> "SemiSparse":
+        return cls(coo.shape, range(coo.nmodes), coo.indices,
+                   coo.values[:, None].copy(), ranks=(1,),
+                   rank_modes=(None,))
+
+    def contract(self, orig_mode: int, matrix: np.ndarray) -> "SemiSparse":
+        """Contract the sparse axis for ``orig_mode`` with ``matrix``
+        (I_mode x R): payload grows by a factor of R, coordinates that
+        coincide after dropping the mode are summed."""
+        if orig_mode not in self.modes:
+            raise ValueError(f"mode {orig_mode} already contracted")
+        axis = self.modes.index(orig_mode)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != self.shape[axis]:
+            raise ValueError(
+                f"matrix must be ({self.shape[axis]}, R), got {matrix.shape}")
+        r_new = matrix.shape[1]
+        # payload outer product: (n, P) x (n, R) -> (n, P * R)
+        if self.n:
+            rows = matrix[self.indices[:, axis]]
+            payload = (self.values[:, :, None] * rows[:, None, :]).reshape(
+                self.n, -1)
+        else:
+            payload = np.zeros((0, self.values.shape[1] * r_new))
+        keep = [a for a in range(len(self.modes)) if a != axis]
+        kept = self.indices[:, keep]
+        new_modes = tuple(m for m in self.modes if m != orig_mode)
+        new_shape = tuple(self.shape[a] for a in keep)
+
+        if kept.shape[1] and self.n > 1:
+            order = np.lexsort(tuple(kept[:, c]
+                                     for c in reversed(range(kept.shape[1]))))
+            kept = kept[order]
+            payload = payload[order]
+            changed = np.any(kept[1:] != kept[:-1], axis=1)
+            group = np.concatenate([[0], np.cumsum(changed)])
+            first = np.concatenate([[0], np.flatnonzero(changed) + 1])
+        else:
+            group = np.zeros(self.n, dtype=np.int64)
+            first = (np.array([0]) if self.n
+                     else np.empty(0, dtype=np.int64))
+        ngroups = int(group[-1]) + 1 if self.n else 0
+        summed = np.zeros((ngroups, payload.shape[1]))
+        np.add.at(summed, group, payload)
+        return SemiSparse(new_shape, new_modes, kept[first], summed,
+                          ranks=self.ranks + (r_new,),
+                          rank_modes=self.rank_modes + (orig_mode,))
+
+    def to_dense_matrix(self) -> np.ndarray:
+        """For a single remaining sparse mode: the (I_mode, prod ranks)
+        dense matrix (the mode-n unfolding HOOI feeds to the SVD)."""
+        if len(self.modes) != 1:
+            raise ValueError(
+                f"{len(self.modes)} sparse modes remain; contract first")
+        out = np.zeros((self.shape[0], self.values.shape[1]))
+        np.add.at(out, self.indices[:, 0], self.values)
+        return out
+
+
+def ttm_chain(coo: CooTensor, factors: Sequence[np.ndarray],
+              skip_mode: int,
+              order: Optional[List[int]] = None) -> SemiSparse:
+    """Compute ``X x_{m != skip} factors[m]`` as a semi-sparse tensor.
+
+    ``factors[m]`` is (I_m x R_m); the contraction uses it directly (pass
+    transposed-factor semantics by transposing at the call site — HOOI
+    contracts with ``U_m`` since ``X x_m U_m^T`` unfolds to ``U_m^T X_(m)``,
+    i.e. payload rows ``U_m[i_m, :]``, which is what :meth:`SemiSparse
+    .contract` gathers).
+
+    ``order`` optionally fixes the contraction order; by default modes are
+    contracted smallest-rank-first, which keeps the intermediate payload
+    small.
+    """
+    skip_mode = check_mode(skip_mode, coo.nmodes)
+    if len(factors) != coo.nmodes:
+        raise ValueError(f"expected {coo.nmodes} factors, got {len(factors)}")
+    todo = [m for m in range(coo.nmodes) if m != skip_mode]
+    if order is not None:
+        order = [check_mode(m, coo.nmodes) for m in order]
+        if sorted(order) != sorted(todo):
+            raise ValueError(
+                f"order must cover modes {todo}, got {order}")
+        todo = order
+    else:
+        todo.sort(key=lambda m: np.asarray(factors[m]).shape[1])
+    semi = SemiSparse.from_coo(coo)
+    for m in todo:
+        semi = semi.contract(m, factors[m])
+    return semi

@@ -1,0 +1,21 @@
+"""Logging setup shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Package logger with a one-time stream-handler setup."""
+    logger = logging.getLogger(name)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,87 @@
+"""Lightweight timers used by examples and benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Timer", "Stopwatch", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating timer: repeated start/stop adds to ``elapsed``."""
+
+    elapsed: float = 0.0
+    count: int = 0
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        dt = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += dt
+        self.count += 1
+        return dt
+
+    @property
+    def mean(self) -> float:
+        return self.elapsed / self.count if self.count else 0.0
+
+
+@dataclass
+class Stopwatch:
+    """A named collection of :class:`Timer` objects.
+
+    >>> sw = Stopwatch()
+    >>> with sw.section("mttkrp"):
+    ...     pass
+    >>> sw.timers["mttkrp"].count
+    1
+    """
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[Timer]:
+        timer = self.timers.setdefault(name, Timer())
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def report(self) -> List[str]:
+        """Human-readable per-section lines, longest section first."""
+        rows = sorted(self.timers.items(), key=lambda kv: -kv[1].elapsed)
+        return [
+            f"{name:<24s} {t.elapsed * 1e3:10.3f} ms  ({t.count} calls)"
+            for name, t in rows
+        ]
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a one-shot timer.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer._start is not None:
+            timer.stop()

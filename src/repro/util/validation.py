@@ -1,0 +1,98 @@
+"""Argument-validation helpers shared across the library.
+
+Kernels validate their inputs once at the boundary and then run unchecked
+vectorized code, per the usual NumPy performance discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_indices",
+    "check_shape",
+    "check_mode",
+    "check_factors",
+    "as_index_array",
+]
+
+
+def check_shape(shape: Sequence[int]) -> tuple:
+    """Validate a tensor shape: a non-empty sequence of positive ints."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        raise ValueError("tensor shape must have at least one mode")
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"all mode sizes must be positive, got {shape}")
+    return shape
+
+
+def as_index_array(indices, nmodes: int | None = None) -> np.ndarray:
+    """Coerce ``indices`` to a 2-D (nnz, nmodes) int64 array."""
+    arr = np.asarray(indices)
+    if arr.ndim == 1 and arr.size == 0:
+        arr = arr.reshape(0, nmodes if nmodes else 1)
+    if arr.ndim != 2:
+        raise ValueError(f"indices must be 2-D (nnz, nmodes), got shape {arr.shape}")
+    if nmodes is not None and arr.shape[1] != nmodes:
+        raise ValueError(f"indices have {arr.shape[1]} modes, expected {nmodes}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if arr.size and not np.all(arr == np.floor(arr)):
+            raise TypeError("indices must be integers")
+        arr = arr.astype(np.int64)
+    return arr.astype(np.int64, copy=False)
+
+
+def check_indices(indices: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate coordinates against ``shape``; returns an int64 copy/view."""
+    shape = check_shape(shape)
+    arr = as_index_array(indices, nmodes=len(shape))
+    if arr.size:
+        if arr.min() < 0:
+            raise ValueError("indices must be non-negative")
+        maxima = arr.max(axis=0)
+        for mode, (hi, dim) in enumerate(zip(maxima, shape)):
+            if hi >= dim:
+                raise ValueError(
+                    f"index {int(hi)} out of range for mode {mode} with size {dim}"
+                )
+    return arr
+
+
+def check_mode(mode: int, nmodes: int) -> int:
+    """Validate a mode number, supporting negative indexing like NumPy axes."""
+    mode = int(mode)
+    if not -nmodes <= mode < nmodes:
+        raise ValueError(f"mode {mode} out of range for a {nmodes}-mode tensor")
+    return mode % nmodes
+
+
+def check_factors(factors: Sequence[np.ndarray], shape: Sequence[int]) -> list:
+    """Validate a list of factor matrices against a tensor shape.
+
+    Every factor must be 2-D with matching mode size, and all must share a
+    common rank (number of columns).
+    """
+    shape = check_shape(shape)
+    if len(factors) != len(shape):
+        raise ValueError(f"expected {len(shape)} factor matrices, got {len(factors)}")
+    out = []
+    rank = None
+    for mode, (factor, dim) in enumerate(zip(factors, shape)):
+        f = np.asarray(factor, dtype=np.float64)
+        if f.ndim != 2:
+            raise ValueError(f"factor {mode} must be 2-D, got shape {f.shape}")
+        if f.shape[0] != dim:
+            raise ValueError(
+                f"factor {mode} has {f.shape[0]} rows, expected {dim}"
+            )
+        if rank is None:
+            rank = f.shape[1]
+        elif f.shape[1] != rank:
+            raise ValueError(
+                f"factor {mode} has rank {f.shape[1]}, expected {rank}"
+            )
+        out.append(f)
+    return out

@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import CooTensor
+
+
+def make_random_coo(shape, nnz, seed=0, values="normal"):
+    """Random COO tensor with distinct coordinates (test helper)."""
+    rng = np.random.default_rng(seed)
+    space = int(np.prod(shape))
+    if nnz > space:
+        raise ValueError("too many nonzeros for the shape")
+    flat = rng.choice(space, size=nnz, replace=False)
+    inds = np.stack(np.unravel_index(flat, shape), axis=1)
+    if values == "normal":
+        vals = rng.normal(size=nnz)
+    else:
+        vals = rng.random(nnz) + 0.1
+    return CooTensor(shape, inds, vals, sum_duplicates=False)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small3d():
+    """30 x 20 x 10 tensor with 300 nonzeros."""
+    return make_random_coo((30, 20, 10), 300, seed=7)
+
+
+@pytest.fixture
+def small4d():
+    """12 x 9 x 17 x 8 tensor with 250 nonzeros."""
+    return make_random_coo((12, 9, 17, 8), 250, seed=11)
+
+
+@pytest.fixture
+def factors3d(small3d, rng):
+    return [rng.normal(size=(s, 6)) for s in small3d.shape]
+
+
+@pytest.fixture
+def factors4d(small4d, rng):
+    return [rng.normal(size=(s, 5)) for s in small4d.shape]

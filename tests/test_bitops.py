@@ -1,0 +1,132 @@
+"""Unit tests for Morton codes and bit utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util.bitops import (
+    bits_for,
+    interleave_words,
+    morton_decode,
+    morton_encode,
+    morton_sort_order,
+)
+
+
+class TestBitsFor:
+    def test_small_values(self):
+        assert bits_for(0) == 1
+        assert bits_for(1) == 1
+        assert bits_for(2) == 2
+        assert bits_for(255) == 8
+        assert bits_for(256) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_for(-1)
+
+
+class TestMortonEncode:
+    def test_known_2d_values(self):
+        # classic Z-order: (x=1, y=0) -> 0b01 = 1; (0,1) -> 0b10 = 2; (1,1) -> 3
+        coords = np.array([[1, 0, 1], [0, 1, 1]])
+        words = morton_encode(coords, nbits=1)
+        assert words.shape == (1, 3)
+        assert list(words[0]) == [1, 2, 3]
+
+    def test_known_3d_value(self):
+        # (1, 1, 1) with 2 bits: bits interleave to 0b000111 = 7
+        words = morton_encode(np.array([[1], [1], [1]]), nbits=2)
+        assert words[0, 0] == 7
+
+    def test_mode0_varies_fastest(self):
+        # increasing mode-0 coordinate flips the lowest bit first
+        a = morton_encode(np.array([[0], [0]]), nbits=4)[0, 0]
+        b = morton_encode(np.array([[1], [0]]), nbits=4)[0, 0]
+        c = morton_encode(np.array([[0], [1]]), nbits=4)[0, 0]
+        assert b == a + 1
+        assert c == a + 2
+
+    def test_multiword_output(self):
+        # 3 modes x 30 bits = 90 bits -> 2 words
+        coords = np.array([[(1 << 29)], [(1 << 29)], [(1 << 29)]], dtype=np.uint64)
+        words = morton_encode(coords, nbits=30)
+        assert words.shape[0] == 2
+        assert words[0, 0] != 0  # high word is populated
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            morton_encode(np.array([[4]]), nbits=2)
+
+    def test_bad_nbits_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[1]]), nbits=0)
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[1]]), nbits=65)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([1, 2, 3]), nbits=4)
+
+
+class TestMortonRoundtrip:
+    @pytest.mark.parametrize("nmodes,nbits", [(1, 8), (2, 5), (3, 10), (4, 7), (5, 13)])
+    def test_roundtrip_random(self, nmodes, nbits):
+        rng = np.random.default_rng(nmodes * 100 + nbits)
+        coords = rng.integers(0, 1 << nbits, size=(nmodes, 200)).astype(np.uint64)
+        words = morton_encode(coords, nbits)
+        back = morton_decode(words, nmodes, nbits)
+        assert np.array_equal(back, coords)
+
+    def test_decode_shape_mismatch(self):
+        words = np.zeros((1, 4), dtype=np.uint64)
+        with pytest.raises(ValueError, match="expected"):
+            morton_decode(words, nmodes=3, nbits=30)  # needs 2 words
+
+
+class TestMortonSortOrder:
+    def test_sorts_by_morton_code(self):
+        rng = np.random.default_rng(3)
+        coords = rng.integers(0, 64, size=(3, 500))
+        order = morton_sort_order(coords, nbits=6)
+        codes = morton_encode(coords.astype(np.uint64), 6)[0]
+        assert np.all(np.diff(codes[order].astype(np.int64)) >= 0)
+
+    def test_is_permutation(self):
+        coords = np.array([[3, 1, 2, 0], [0, 0, 0, 0]])
+        order = morton_sort_order(coords, nbits=2)
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_stability_for_duplicates(self):
+        coords = np.array([[1, 1, 0], [2, 2, 0]])
+        order = morton_sort_order(coords, nbits=3)
+        # the two identical points keep input order (stable sort)
+        dup_positions = [int(np.where(order == i)[0][0]) for i in (0, 1)]
+        assert dup_positions[0] < dup_positions[1]
+
+    def test_groups_blocks_contiguously(self):
+        # after Morton sorting, equal coordinates must be adjacent
+        rng = np.random.default_rng(4)
+        coords = rng.integers(0, 4, size=(3, 300))
+        order = morton_sort_order(coords, nbits=2)
+        sorted_c = coords[:, order]
+        seen = set()
+        prev = None
+        for i in range(sorted_c.shape[1]):
+            key = tuple(sorted_c[:, i])
+            if key != prev:
+                assert key not in seen, "block coordinates reappeared"
+                seen.add(key)
+                prev = key
+
+
+class TestInterleaveWords:
+    def test_stacks(self):
+        hi = np.array([1, 2], dtype=np.uint64)
+        lo = np.array([3, 4], dtype=np.uint64)
+        out = interleave_words(hi, lo)
+        assert out.shape == (2, 2)
+        assert np.array_equal(out[0], hi)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            interleave_words(np.zeros(2, dtype=np.uint64), np.zeros(3, dtype=np.uint64))

@@ -1,0 +1,79 @@
+"""Unit tests for the block decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import MAX_BLOCK_BITS, decompose
+from repro.formats.coo import CooTensor
+from tests.conftest import make_random_coo
+
+
+class TestDecompose:
+    def test_block_limits_enforced(self, small3d):
+        with pytest.raises(ValueError, match="block_bits"):
+            decompose(small3d, 0)
+        with pytest.raises(ValueError, match="block_bits"):
+            decompose(small3d, MAX_BLOCK_BITS + 1)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            decompose(np.zeros((2, 2)), 3)
+
+    def test_every_nonzero_covered_once(self, small3d):
+        dec = decompose(small3d, 3)
+        assert dec.nnz == small3d.nnz
+        assert dec.block_ptr[0] == 0
+        assert dec.block_ptr[-1] == small3d.nnz
+        assert np.all(np.diff(dec.block_ptr) > 0)  # no empty blocks
+
+    def test_offsets_within_block(self, small3d):
+        bits = 3
+        dec = decompose(small3d, bits)
+        assert dec.elem_offsets.dtype == np.uint8
+        assert dec.elem_offsets.max() < (1 << bits)
+
+    def test_reconstruction(self, small3d):
+        bits = 2
+        dec = decompose(small3d, bits)
+        blk = dec.nnz_block_of()
+        global_inds = (dec.block_coords[blk] << bits) + dec.elem_offsets
+        rebuilt = {tuple(i): v for i, v in zip(global_inds, dec.values)}
+        orig = {tuple(i): v for i, v in zip(small3d.indices, small3d.values)}
+        assert rebuilt == orig
+
+    def test_blocks_unique(self, small3d):
+        dec = decompose(small3d, 3)
+        keys = {tuple(c) for c in dec.block_coords}
+        assert len(keys) == dec.nblocks
+
+    def test_block_coords_consistent_with_members(self, small3d):
+        bits = 3
+        dec = decompose(small3d, bits)
+        blk = dec.nnz_block_of()
+        # every nonzero's block coordinate matches its assigned block
+        sorted_coo = small3d.sort_morton(block_bits=bits)
+        expected = sorted_coo.indices >> bits
+        np.testing.assert_array_equal(dec.block_coords[blk], expected)
+
+    def test_empty_tensor(self):
+        dec = decompose(CooTensor.empty((8, 8)), 2)
+        assert dec.nblocks == 0
+        assert dec.nnz == 0
+        assert list(dec.block_ptr) == [0]
+
+    def test_single_block_when_tensor_fits(self):
+        coo = make_random_coo((8, 8, 8), 50, seed=3)
+        dec = decompose(coo, 3)  # B=8 covers the whole tensor
+        assert dec.nblocks == 1
+        assert np.all(dec.block_coords == 0)
+
+    def test_max_blocks_for_scattered(self):
+        # one nonzero per block corner -> nblocks == nnz
+        inds = [[i * 16, i * 16] for i in range(10)]
+        coo = CooTensor((256, 256), inds, np.ones(10))
+        dec = decompose(coo, 4)
+        assert dec.nblocks == 10
+
+    def test_block_nnz_sums(self, small4d):
+        dec = decompose(small4d, 2)
+        assert dec.block_nnz().sum() == small4d.nnz

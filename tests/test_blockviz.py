@@ -1,0 +1,72 @@
+"""Tests for the ASCII block-density visualization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.blockviz import block_density_grid, render_heatmap
+from repro.core.hicoo import HicooTensor
+from repro.formats.coo import CooTensor
+from tests.conftest import make_random_coo
+
+
+@pytest.fixture
+def hic(small3d):
+    return HicooTensor(small3d, block_bits=2)
+
+
+class TestBlockDensityGrid:
+    def test_mass_conserved(self, hic):
+        grid = block_density_grid(hic, 0, 1)
+        assert grid.sum() == hic.nnz
+
+    def test_grid_capped(self, hic):
+        grid = block_density_grid(hic, 0, 1, max_cells=4)
+        assert grid.shape[0] <= 4 and grid.shape[1] <= 4
+        assert grid.sum() == hic.nnz
+
+    def test_same_mode_rejected(self, hic):
+        with pytest.raises(ValueError, match="differ"):
+            block_density_grid(hic, 1, 1)
+
+    def test_bad_max_cells(self, hic):
+        with pytest.raises(ValueError):
+            block_density_grid(hic, 0, 1, max_cells=0)
+
+    def test_empty_tensor(self):
+        hic = HicooTensor(CooTensor.empty((16, 16)), block_bits=2)
+        grid = block_density_grid(hic, 0, 1)
+        assert grid.sum() == 0
+
+    def test_corner_concentration(self):
+        """All nonzeros near the origin light up only the first cell."""
+        inds = [[i, j, 0] for i in range(4) for j in range(4)]
+        coo = CooTensor((256, 256, 4), inds, np.ones(16))
+        hic = HicooTensor(coo, block_bits=2)
+        grid = block_density_grid(hic, 0, 1, max_cells=8)
+        assert grid[0, 0] == 16
+        assert grid.sum() == 16
+
+
+class TestRenderHeatmap:
+    def test_basic_render(self):
+        grid = np.array([[0.0, 1.0], [10.0, 100.0]])
+        text = render_heatmap(grid, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 2 + 1  # title + rows + footer
+        assert lines[1][0] == " "  # zero density renders as space
+
+    def test_monotone_shading(self):
+        grid = np.array([[0.0, 1.0, 10.0, 100.0]])
+        row = render_heatmap(grid).splitlines()[0]
+        shades = " .:-=+*#%@"
+        levels = [shades.index(c) for c in row]
+        assert levels == sorted(levels)
+
+    def test_all_zero(self):
+        text = render_heatmap(np.zeros((2, 2)))
+        assert "0 nonzeros" in text
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros(3))

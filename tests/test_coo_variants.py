@@ -1,0 +1,83 @@
+"""Tests for the sorted-COO segment-reduction MTTKRP."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import CooTensor
+from repro.kernels.coo_variants import (
+    build_all_plans,
+    build_sort_plan,
+    mttkrp_sorted,
+)
+
+
+class TestSortPlan:
+    def test_order_sorts_target_mode(self, small3d):
+        plan = build_sort_plan(small3d, 1)
+        keys = small3d.indices[plan.order, 1]
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_segments_cover_nnz(self, small3d):
+        plan = build_sort_plan(small3d, 0)
+        assert plan.segments[0] == 0
+        assert plan.segments[-1] == small3d.nnz
+        assert np.all(np.diff(plan.segments) > 0)
+
+    def test_rows_are_distinct_and_sorted(self, small3d):
+        plan = build_sort_plan(small3d, 2)
+        assert np.all(np.diff(plan.rows) > 0)
+        assert len(plan.rows) == len(np.unique(small3d.indices[:, 2]))
+
+    def test_stability(self, small3d):
+        """Within a segment (equal keys) the original order survives."""
+        plan = build_sort_plan(small3d, 0)
+        for row_start, row_end in zip(plan.segments[:-1], plan.segments[1:]):
+            seg = plan.order[row_start:row_end]
+            assert np.all(np.diff(seg) > 0)
+
+    def test_empty_tensor(self):
+        plan = build_sort_plan(CooTensor.empty((3, 3)), 0)
+        assert len(plan.rows) == 0
+        assert list(plan.segments) == [0]
+
+    def test_build_all_plans(self, small3d):
+        plans = build_all_plans(small3d)
+        assert [p.mode for p in plans] == [0, 1, 2]
+
+
+class TestMttkrpSorted:
+    def test_matches_baseline(self, small3d, factors3d):
+        for mode in range(3):
+            np.testing.assert_allclose(
+                mttkrp_sorted(small3d, factors3d, mode),
+                small3d.mttkrp(factors3d, mode), atol=1e-10)
+
+    def test_4d(self, small4d, factors4d):
+        for mode in range(4):
+            np.testing.assert_allclose(
+                mttkrp_sorted(small4d, factors4d, mode),
+                small4d.mttkrp(factors4d, mode), atol=1e-10)
+
+    def test_with_precomputed_plan(self, small3d, factors3d):
+        plan = build_sort_plan(small3d, 1)
+        a = mttkrp_sorted(small3d, factors3d, 1, plan=plan)
+        b = mttkrp_sorted(small3d, factors3d, 1)
+        np.testing.assert_allclose(a, b)
+
+    def test_plan_mode_mismatch(self, small3d, factors3d):
+        plan = build_sort_plan(small3d, 0)
+        with pytest.raises(ValueError, match="mode"):
+            mttkrp_sorted(small3d, factors3d, 1, plan=plan)
+
+    def test_empty(self):
+        t = CooTensor.empty((4, 5))
+        out = mttkrp_sorted(t, [np.ones((4, 2)), np.ones((5, 2))], 0)
+        assert np.all(out == 0)
+
+    def test_single_row_output(self):
+        """All nonzeros in one slice: one segment, one output row."""
+        t = CooTensor((5, 4), [[2, 0], [2, 1], [2, 3]], [1.0, 2.0, 3.0])
+        fs = [np.ones((5, 2)), np.arange(8, dtype=float).reshape(4, 2)]
+        out = mttkrp_sorted(t, fs, 0)
+        np.testing.assert_allclose(out, t.mttkrp(fs, 0))
+        assert np.count_nonzero(out.sum(axis=1)) == 1

@@ -1,0 +1,108 @@
+"""Tests for CP-APR (Poisson CP decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.cpd.cp_apr import cp_apr
+from repro.cpd.ktensor import KruskalTensor
+from repro.formats.coo import CooTensor
+from repro.formats.csf import CsfTensor
+
+
+@pytest.fixture(scope="module")
+def count_tensor():
+    """Poisson counts sampled from a planted rank-2 nonnegative model."""
+    rng = np.random.default_rng(5)
+    shape = (20, 15, 10)
+    true = KruskalTensor(np.array([8000.0, 5000.0]),
+                         [rng.dirichlet(np.ones(s), 2).T for s in shape])
+    rates = true.full()
+    counts = rng.poisson(rates)
+    return CooTensor.from_dense(counts.astype(np.float64)), true
+
+
+class TestConvergence:
+    def test_log_likelihood_monotone(self, count_tensor):
+        coo, _ = count_tensor
+        res = cp_apr(coo, 2, maxiters=15, tol=0.0, seed=0)
+        lls = np.array(res.log_likelihoods)
+        assert np.all(np.diff(lls) > -1e-6), lls
+
+    def test_converges(self, count_tensor):
+        coo, _ = count_tensor
+        res = cp_apr(coo, 2, maxiters=200, tol=1e-6, seed=1)
+        assert res.converged
+        assert res.iterations < 200
+
+    def test_recovers_planted_factors(self, count_tensor):
+        coo, true = count_tensor
+        res = cp_apr(coo, 2, maxiters=80, tol=1e-9, seed=2)
+        assert res.ktensor.congruence(true) > 0.85
+
+    def test_total_mass_tracked(self, count_tensor):
+        """At a Poisson MLE, the model's total mass matches the data's."""
+        coo, _ = count_tensor
+        res = cp_apr(coo, 2, maxiters=100, tol=1e-9, seed=3)
+        kt = res.ktensor
+        col_sums = np.ones(2)
+        for f in kt.factors:
+            col_sums = col_sums * f.sum(axis=0)
+        assert np.isclose(kt.weights @ col_sums, coo.values.sum(), rtol=0.01)
+
+
+class TestInterface:
+    def test_nonnegative_factors_maintained(self, count_tensor):
+        coo, _ = count_tensor
+        res = cp_apr(coo, 3, maxiters=10, seed=4)
+        assert all(f.min() >= 0 for f in res.ktensor.factors)
+        assert res.ktensor.weights.min() >= 0
+
+    def test_negative_values_rejected(self):
+        coo = CooTensor((3, 3), [[0, 0]], [-1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            cp_apr(coo, 1)
+
+    def test_negative_init_rejected(self, count_tensor):
+        coo, _ = count_tensor
+        init = [-np.ones((s, 2)) for s in coo.shape]
+        with pytest.raises(ValueError, match="non-negative"):
+            cp_apr(coo, 2, init=init)
+
+    def test_bad_rank_and_iters(self, count_tensor):
+        coo, _ = count_tensor
+        with pytest.raises(ValueError):
+            cp_apr(coo, 0)
+        with pytest.raises(ValueError):
+            cp_apr(coo, 2, maxiters=0)
+        with pytest.raises(ValueError):
+            cp_apr(coo, 2, inner_iters=0)
+
+    def test_init_rank_mismatch(self, count_tensor):
+        coo, _ = count_tensor
+        init = [np.ones((s, 3)) for s in coo.shape]
+        with pytest.raises(ValueError, match="rank"):
+            cp_apr(coo, 2, init=init)
+
+    def test_seed_reproducibility(self, count_tensor):
+        coo, _ = count_tensor
+        a = cp_apr(coo, 2, maxiters=5, tol=0.0, seed=7)
+        b = cp_apr(coo, 2, maxiters=5, tol=0.0, seed=7)
+        np.testing.assert_allclose(a.log_likelihoods, b.log_likelihoods)
+
+    def test_empty_tensor(self):
+        res = cp_apr(CooTensor.empty((4, 4)), 1, maxiters=2)
+        assert res.iterations >= 1
+
+
+class TestFormatGeneric:
+    def test_same_trace_across_formats(self, count_tensor, rng):
+        coo, _ = count_tensor
+        init = [rng.random((s, 2)) + 0.1 for s in coo.shape]
+        runs = [
+            cp_apr(t, 2, maxiters=4, tol=0.0, init=init)
+            for t in (coo, CsfTensor(coo), HicooTensor(coo, block_bits=3))
+        ]
+        for other in runs[1:]:
+            np.testing.assert_allclose(runs[0].log_likelihoods,
+                                       other.log_likelihoods, atol=1e-8)

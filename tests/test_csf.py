@@ -1,0 +1,119 @@
+"""Unit tests for the CSF (compressed sparse fiber) format."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import CooTensor
+from repro.formats.csf import CsfTensor
+from repro.formats.dense import DenseTensor
+from tests.conftest import make_random_coo
+
+
+class TestConstruction:
+    def test_known_small_tree(self):
+        # tensor: (0,0,0)=1, (0,0,1)=2, (0,1,0)=3, (1,0,0)=4
+        coo = CooTensor((2, 2, 2),
+                        [[0, 0, 0], [0, 0, 1], [0, 1, 0], [1, 0, 0]],
+                        [1.0, 2.0, 3.0, 4.0])
+        csf = CsfTensor(coo, mode_order=[0, 1, 2])
+        assert csf.fiber_counts() == [2, 3, 4]  # roots {0,1}, fibers {00,01,10}
+        assert list(csf.levels[0].fids) == [0, 1]
+        assert list(csf.levels[1].fids) == [0, 1, 0]
+        assert list(csf.levels[0].fptr) == [0, 2, 3]
+
+    def test_default_mode_order_smallest_first(self):
+        coo = make_random_coo((50, 5, 20), 100, seed=1)
+        csf = CsfTensor(coo)
+        assert csf.mode_order == (1, 2, 0)
+
+    def test_invalid_mode_order(self, small3d):
+        with pytest.raises(ValueError, match="permutation"):
+            CsfTensor(small3d, mode_order=[0, 0, 1])
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            CsfTensor(np.zeros((2, 2)))
+
+    def test_empty_tensor(self):
+        coo = CooTensor.empty((4, 5, 6))
+        csf = CsfTensor(coo)
+        assert csf.nnz == 0
+        assert csf.to_coo().nnz == 0
+
+    def test_parent_pointers_consistent(self, small3d):
+        csf = CsfTensor(small3d)
+        for depth in range(1, 3):
+            level = csf.levels[depth]
+            prev = csf.levels[depth - 1]
+            # every node's parent is valid and fptr ranges cover children
+            assert level.parent.min() >= 0
+            assert level.parent.max() < prev.nnodes
+            for node in range(prev.nnodes):
+                lo, hi = prev.fptr[node], prev.fptr[node + 1]
+                assert np.all(level.parent[lo:hi] == node)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("order", [None, [0, 1, 2], [2, 1, 0], [1, 0, 2]])
+    def test_to_coo_roundtrip(self, small3d, order):
+        csf = CsfTensor(small3d, mode_order=order)
+        back = csf.to_coo().sort_lexicographic()
+        orig = small3d.sort_lexicographic()
+        assert np.array_equal(back.indices, orig.indices)
+        np.testing.assert_allclose(back.values, orig.values)
+
+    def test_4d_roundtrip(self, small4d):
+        csf = CsfTensor(small4d)
+        back = csf.to_coo().sort_lexicographic()
+        orig = small4d.sort_lexicographic()
+        assert np.array_equal(back.indices, orig.indices)
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("order", [None, [0, 1, 2], [2, 0, 1]])
+    def test_all_modes_match_dense(self, small3d, factors3d, order):
+        dense = DenseTensor(small3d.to_dense())
+        csf = CsfTensor(small3d, mode_order=order)
+        for mode in range(3):
+            np.testing.assert_allclose(
+                csf.mttkrp(factors3d, mode),
+                dense.mttkrp(factors3d, mode), atol=1e-10)
+
+    def test_4d_all_modes(self, small4d, factors4d):
+        dense = DenseTensor(small4d.to_dense())
+        csf = CsfTensor(small4d)
+        for mode in range(4):
+            np.testing.assert_allclose(
+                csf.mttkrp(factors4d, mode),
+                dense.mttkrp(factors4d, mode), atol=1e-10)
+
+    def test_empty(self):
+        csf = CsfTensor(CooTensor.empty((3, 4)))
+        out = csf.mttkrp([np.ones((3, 2)), np.ones((4, 2))], 0)
+        assert np.all(out == 0)
+
+
+class TestStorage:
+    def test_compresses_structured_tensor(self):
+        # all nonzeros share mode-0 index -> 1 root node
+        inds = [[0, j, k] for j in range(10) for k in range(10)]
+        coo = CooTensor((5, 10, 10), inds, np.ones(100))
+        csf = CsfTensor(coo, mode_order=[0, 1, 2])
+        assert csf.fiber_counts()[0] == 1
+        assert csf.compression_ratio() > 1.0
+
+    def test_ntrees_scales_indices_only(self, small3d):
+        csf = CsfTensor(small3d)
+        one = csf.storage_bytes(ntrees=1)
+        three = csf.storage_bytes(ntrees=3)
+        assert three["fids"] == 3 * one["fids"]
+        assert three["fptr"] == 3 * one["fptr"]
+        assert three["values"] == one["values"]
+
+    def test_bad_ntrees(self, small3d):
+        with pytest.raises(ValueError):
+            CsfTensor(small3d).storage_bytes(ntrees=0)
+
+    def test_leaf_count_equals_nnz(self, small3d):
+        csf = CsfTensor(small3d)
+        assert csf.fiber_counts()[-1] == small3d.nnz

@@ -1,0 +1,124 @@
+"""Tests for the CSF-N suite and element-wise tensor algebra."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import CooTensor
+from repro.formats.csf import CsfTensor
+from repro.formats.csf_suite import CsfSuite
+from repro.kernels.elementwise import (
+    add,
+    allclose,
+    multiply,
+    residual_norm,
+    scale,
+    subtract,
+)
+from repro.testing import check_format
+from tests.conftest import make_random_coo
+
+
+class TestCsfSuite:
+    def test_default_is_full_csf_n(self, small3d):
+        suite = CsfSuite(small3d)
+        assert suite.ntrees == 3
+        # with one tree per mode, every mode is served from a root
+        assert all(suite.depth_of(m) == 0 for m in range(3))
+        assert suite.total_depth_cost() == 0
+
+    def test_single_tree(self, small3d):
+        suite = CsfSuite(small3d, ntrees=1)
+        assert suite.ntrees == 1
+        depths = sorted(suite.depth_of(m) for m in range(3))
+        assert depths == [0, 1, 2]
+
+    def test_intermediate_tree_counts(self, small4d):
+        for k in (1, 2, 3, 4):
+            suite = CsfSuite(small4d, ntrees=k)
+            assert suite.ntrees == k
+            # more trees never increase the total depth cost
+        costs = [CsfSuite(small4d, ntrees=k).total_depth_cost()
+                 for k in (1, 2, 3, 4)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_mttkrp_matches_single_tree(self, small3d, factors3d):
+        suite = CsfSuite(small3d, ntrees=2)
+        single = CsfTensor(small3d)
+        for mode in range(3):
+            np.testing.assert_allclose(
+                suite.mttkrp(factors3d, mode),
+                single.mttkrp(factors3d, mode), atol=1e-10)
+
+    def test_storage_scales_with_trees(self, small3d):
+        one = CsfSuite(small3d, ntrees=1).total_bytes()
+        three = CsfSuite(small3d, ntrees=3).total_bytes()
+        assert three > 2 * one - 4 * small3d.nnz  # values shared once
+
+    def test_ntrees_validation(self, small3d):
+        with pytest.raises(ValueError):
+            CsfSuite(small3d, ntrees=0)
+        with pytest.raises(ValueError):
+            CsfSuite(small3d, ntrees=4)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            CsfSuite(np.zeros((2, 2)))
+
+    def test_passes_format_oracles(self):
+        check_format(lambda coo: CsfSuite(coo, ntrees=2),
+                     shapes=[(20, 12, 8)])
+
+
+class TestElementwise:
+    def test_add_matches_dense(self, small3d):
+        other = make_random_coo(small3d.shape, 200, seed=99)
+        got = add(small3d, other).to_dense()
+        np.testing.assert_allclose(got,
+                                   small3d.to_dense() + other.to_dense())
+
+    def test_subtract_self_is_zero(self, small3d):
+        diff = subtract(small3d, small3d)
+        assert diff.norm() == pytest.approx(0.0, abs=1e-12)
+
+    def test_multiply_matches_dense(self, small3d):
+        other = make_random_coo(small3d.shape, 250, seed=98)
+        got = multiply(small3d, other).to_dense()
+        np.testing.assert_allclose(got,
+                                   small3d.to_dense() * other.to_dense())
+
+    def test_multiply_disjoint_supports(self):
+        a = CooTensor((4, 4), [[0, 0]], [2.0])
+        b = CooTensor((4, 4), [[1, 1]], [3.0])
+        assert multiply(a, b).nnz == 0
+
+    def test_scale(self, small3d):
+        doubled = scale(small3d, 2.0)
+        np.testing.assert_allclose(doubled.to_dense(),
+                                   2.0 * small3d.to_dense())
+        assert scale(small3d, 0.0).nnz == 0
+
+    def test_shape_mismatch(self, small3d):
+        other = CooTensor((1, 2, 3), [[0, 0, 0]], [1.0])
+        for op in (add, subtract, multiply):
+            with pytest.raises(ValueError, match="shape"):
+                op(small3d, other)
+
+    def test_type_check(self, small3d):
+        with pytest.raises(TypeError):
+            add(small3d, np.zeros((2, 2)))
+
+    def test_allclose_and_residual(self, small3d):
+        assert allclose(small3d, small3d)
+        perturbed = scale(small3d, 1.0 + 1e-3)
+        assert not allclose(small3d, perturbed, atol=1e-9)
+        assert residual_norm(small3d, perturbed) > 0
+
+    def test_accepts_other_formats(self, small3d):
+        from repro.core.hicoo import HicooTensor
+
+        hic = HicooTensor(small3d, block_bits=3)
+        assert allclose(hic, small3d)
+
+    def test_linearity_identity(self, small3d):
+        """a + a == 2a (exercises duplicate merging in add)."""
+        assert allclose(add(small3d, small3d), scale(small3d, 2.0))

@@ -1,0 +1,199 @@
+"""Tests for the data substrate: generators, FROSTT I/O, registry."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.data import registry
+from repro.data.frostt import read_tns, write_tns
+from repro.data.synthetic import (
+    banded_tensor,
+    clustered_tensor,
+    graph_tensor,
+    lowrank_tensor,
+    power_law_tensor,
+    random_tensor,
+)
+from repro.formats.coo import CooTensor
+
+
+class TestGenerators:
+    def test_random_basic(self):
+        t = random_tensor((50, 60, 70), 500, seed=0)
+        assert t.nnz == 500
+        assert t.shape == (50, 60, 70)
+        # coordinates distinct
+        assert len({tuple(i) for i in t.indices}) == 500
+
+    def test_random_reproducible(self):
+        a = random_tensor((40, 40), 100, seed=7)
+        b = random_tensor((40, 40), 100, seed=7)
+        assert np.array_equal(a.indices, b.indices)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_random_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            random_tensor((2, 2), 5, seed=0)
+
+    def test_clustered_lowers_alpha(self):
+        shape = (1024, 1024, 1024)
+        tight = clustered_tensor(shape, 3000, nclusters=8, spread=2.0, seed=1)
+        loose = random_tensor(shape, 3000, seed=1)
+        a_tight = HicooTensor(tight, block_bits=5).block_ratio()
+        a_loose = HicooTensor(loose, block_bits=5).block_ratio()
+        assert a_tight < 0.5 * a_loose
+
+    def test_clustered_validation(self):
+        with pytest.raises(ValueError):
+            clustered_tensor((10, 10), 5, nclusters=0)
+        with pytest.raises(ValueError):
+            clustered_tensor((10, 10), 5, spread=-1)
+
+    def test_power_law_skew(self):
+        t = power_law_tensor((500, 500, 500), 5000, exponent=1.5, seed=2)
+        counts = np.sort(t.slice_counts(0))[::-1]
+        nonzero_slices = counts[counts > 0]
+        # heavy head: top 10% of slices hold far more than 10% of nonzeros
+        top = nonzero_slices[: max(1, len(nonzero_slices) // 10)].sum()
+        assert top > 0.3 * t.nnz
+
+    def test_power_law_validation(self):
+        with pytest.raises(ValueError):
+            power_law_tensor((10, 10), 5, exponent=0.0)
+
+    def test_graph_tensor(self):
+        t = graph_tensor(200, 16, attach=3, seed=3)
+        assert t.nmodes == 3
+        assert t.shape == (200, 200, 16)
+        assert t.nnz > 200  # BA graph has ~attach*n edges
+
+    def test_graph_tensor_validation(self):
+        with pytest.raises(ValueError):
+            graph_tensor(3, 4, attach=5)
+
+    def test_banded_near_diagonal(self):
+        t = banded_tensor((200, 200, 200), 1000, bandwidth=4, seed=4)
+        scaled = t.indices.astype(float)
+        # all coordinates within bandwidth of the shared diagonal position
+        spread = scaled.max(axis=1) - scaled.min(axis=1)
+        assert np.all(spread <= 2 * 4 + 1)
+
+    def test_lowrank_values_match_model(self):
+        t = lowrank_tensor((20, 20, 20), 200, rank=2, noise=0.0, seed=5)
+        assert t.nnz == 200
+        assert np.all(t.values > 0)  # positive factors -> positive values
+
+
+class TestFrosttIO:
+    def test_roundtrip_via_buffer(self, small3d):
+        buf = io.StringIO()
+        write_tns(small3d, buf, header="test tensor")
+        buf.seek(0)
+        back = read_tns(buf, shape=small3d.shape)
+        a = small3d.sort_lexicographic()
+        b = back.sort_lexicographic()
+        assert np.array_equal(a.indices, b.indices)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_roundtrip_via_file(self, small4d, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(small4d, path)
+        back = read_tns(path, shape=small4d.shape)
+        assert back.nnz == small4d.nnz
+
+    def test_shape_inferred(self):
+        buf = io.StringIO("1 1 1 5.0\n3 2 4 1.5\n")
+        t = read_tns(buf)
+        assert t.shape == (3, 2, 4)
+        assert t.nnz == 2
+
+    def test_comments_and_blanks_skipped(self):
+        buf = io.StringIO("# header\n\n% other comment\n1 1 2.0\n")
+        t = read_tns(buf)
+        assert t.nnz == 1
+
+    def test_duplicates_summed(self):
+        buf = io.StringIO("1 1 2.0\n1 1 3.0\n")
+        t = read_tns(buf)
+        assert t.nnz == 1
+        assert t.values[0] == 5.0
+
+    def test_ragged_rejected(self):
+        buf = io.StringIO("1 1 2.0\n1 1 1 3.0\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_tns(buf)
+
+    def test_non_numeric_rejected(self):
+        buf = io.StringIO("1 x 2.0\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_tns(buf)
+
+    def test_zero_based_rejected(self):
+        buf = io.StringIO("0 1 2.0\n")
+        with pytest.raises(ValueError, match="one-based"):
+            read_tns(buf)
+
+    def test_fractional_index_rejected(self):
+        buf = io.StringIO("1.5 1 2.0\n")
+        with pytest.raises(ValueError, match="integers"):
+            read_tns(buf)
+
+    def test_mode_count_checked(self):
+        buf = io.StringIO("1 1 2.0\n")
+        with pytest.raises(ValueError, match="modes"):
+            read_tns(buf, nmodes=3)
+
+    def test_empty_needs_shape(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_tns(io.StringIO(""))
+        t = read_tns(io.StringIO(""), shape=(3, 3))
+        assert t.nnz == 0
+
+    def test_value_precision_roundtrip(self, tmp_path):
+        t = CooTensor((2, 2), [[0, 1]], [1.0 / 3.0])
+        path = tmp_path / "p.tns"
+        write_tns(t, path)
+        back = read_tns(path, shape=(2, 2))
+        assert back.values[0] == t.values[0]  # repr round-trips doubles
+
+
+class TestRegistry:
+    def test_names_nonempty(self):
+        assert len(registry.names()) >= 12
+
+    def test_load_reproducible(self):
+        a = registry.load("uber")
+        b = registry.load("uber")
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            registry.load("nope")
+
+    def test_scale(self):
+        small = registry.load("vast", scale=0.25)
+        full = registry.load("vast")
+        assert small.nnz < full.nnz
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            registry.REGISTRY["vast"].build(scale=0)
+
+    @pytest.mark.parametrize("name", ["vast", "crime", "rand3d"])
+    def test_loaded_tensor_usable(self, name):
+        t = registry.load(name, scale=0.2)
+        hic = HicooTensor(t, block_bits=4)
+        assert hic.nnz == t.nnz
+
+    def test_summary_rows(self):
+        rows = registry.summary_rows(scale=0.1)
+        assert len(rows) == len(registry.names())
+        for row in rows:
+            assert {"name", "order", "shape", "nnz", "density",
+                    "regime"} <= set(row)
+
+    def test_mix_of_orders(self):
+        orders = {len(registry.REGISTRY[n].shape) for n in registry.names()}
+        assert {3, 4} <= orders

@@ -1,0 +1,98 @@
+"""Unit tests for the dense reference tensor."""
+
+import numpy as np
+import pytest
+
+from repro.formats.dense import DenseTensor, khatri_rao
+
+
+class TestKhatriRao:
+    def test_two_matrices(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0, 6.0], [7.0, 8.0], [9.0, 10.0]])
+        kr = khatri_rao([a, b])
+        assert kr.shape == (6, 2)
+        # row (i*3 + j) = a[i] * b[j]
+        np.testing.assert_allclose(kr[0], a[0] * b[0])
+        np.testing.assert_allclose(kr[2], a[0] * b[2])
+        np.testing.assert_allclose(kr[5], a[1] * b[2])
+
+    def test_single_matrix(self):
+        a = np.ones((3, 2))
+        np.testing.assert_allclose(khatri_rao([a]), a)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            khatri_rao([])
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            khatri_rao([np.ones((2, 2)), np.ones((2, 3))])
+
+    def test_associativity_of_sizes(self):
+        mats = [np.random.default_rng(i).random((d, 4)) for i, d in enumerate((2, 3, 5))]
+        kr = khatri_rao(mats)
+        assert kr.shape == (30, 4)
+
+
+class TestDenseTensor:
+    def test_unfold_known(self):
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        u0 = DenseTensor(x).unfold(0)
+        assert u0.shape == (2, 12)
+        np.testing.assert_allclose(u0[0], x[0].ravel())
+
+    def test_unfold_all_modes_shapes(self):
+        x = np.zeros((2, 3, 4, 5))
+        t = DenseTensor(x)
+        for mode, dim in enumerate(x.shape):
+            assert t.unfold(mode).shape == (dim, x.size // dim)
+
+    def test_mttkrp_vs_explicit(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 5, 6))
+        t = DenseTensor(x)
+        factors = [rng.normal(size=(s, 3)) for s in x.shape]
+        # explicit computation element by element
+        for mode in range(3):
+            ref = np.zeros((x.shape[mode], 3))
+            for idx in np.ndindex(*x.shape):
+                for r in range(3):
+                    prod = x[idx]
+                    for m in range(3):
+                        if m != mode:
+                            prod *= factors[m][idx[m], r]
+                    ref[idx[mode], r] += prod
+            np.testing.assert_allclose(t.mttkrp(factors, mode), ref, atol=1e-10)
+
+    def test_mttkrp_1mode(self):
+        x = np.array([1.0, 2.0, 3.0])
+        out = DenseTensor(x).mttkrp([np.ones((3, 4))], 0)
+        np.testing.assert_allclose(out, np.repeat(x[:, None], 4, axis=1))
+
+    def test_ttv(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(3, 4, 5))
+        v = rng.normal(size=4)
+        got = DenseTensor(x).ttv(v, 1).array
+        np.testing.assert_allclose(got, np.tensordot(x, v, axes=(1, 0)))
+
+    def test_norm_and_nnz(self):
+        x = np.array([[1.0, 0.0], [0.0, 2.0]])
+        t = DenseTensor(x)
+        assert np.isclose(t.norm(), np.sqrt(5))
+        assert t.nnz == 2
+
+    def test_to_coo(self):
+        x = np.array([[1.0, 0.0], [0.0, 2.0]])
+        coo = DenseTensor(x).to_coo()
+        assert coo.nnz == 2
+        np.testing.assert_allclose(coo.to_dense(), x)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            DenseTensor(np.float64(3.0))
+
+    def test_storage_bytes(self):
+        t = DenseTensor(np.zeros((2, 3)))
+        assert t.storage_bytes()["values"] == 6 * 8

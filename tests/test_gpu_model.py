@@ -1,0 +1,72 @@
+"""Tests for the GPU execution-model extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import build_format_suite
+from repro.core.hicoo import HicooTensor
+from repro.data.synthetic import clustered_tensor, random_tensor
+from repro.parallel.gpu import (
+    GpuProfile,
+    gpu_speedup_over_coo,
+    predict_gpu_mttkrp,
+)
+
+
+class TestGpuProfile:
+    def test_defaults_valid(self):
+        gpu = GpuProfile()
+        assert gpu.bandwidth > 0 and gpu.flops > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuProfile(bandwidth=0)
+        with pytest.raises(ValueError):
+            GpuProfile(scattered_fraction=0.0)
+        with pytest.raises(ValueError):
+            GpuProfile(scattered_fraction=0.9, coalesced_fraction=0.5)
+
+
+class TestPrediction:
+    def test_positive_times(self, small3d):
+        gpu = GpuProfile()
+        for fmt in build_format_suite(small3d, block_bits=3).values():
+            pred = predict_gpu_mttkrp(fmt, 0, 8, gpu)
+            assert pred.seconds > 0
+            assert pred.bound in ("compute", "memory", "atomics")
+
+    def test_coo_pays_atomics(self, small3d):
+        gpu = GpuProfile()
+        coo_pred = predict_gpu_mttkrp(small3d, 0, 8, gpu)
+        hic_pred = predict_gpu_mttkrp(HicooTensor(small3d, 3), 0, 8, gpu)
+        assert coo_pred.atomic_seconds > 0
+        assert hic_pred.atomic_seconds == 0
+
+    def test_hicoo_gathers_coalesce(self, small3d):
+        """With identical byte counts, HiCOO's gathers ride the faster
+        coalesced path."""
+        gpu = GpuProfile(coalesced_fraction=1.0, scattered_fraction=0.1)
+        hic = HicooTensor(small3d, 3)
+        hp = predict_gpu_mttkrp(hic, 0, 8, gpu)
+        cp = predict_gpu_mttkrp(small3d, 0, 8, gpu)
+        assert hp.memory_seconds < cp.memory_seconds
+
+    def test_speedup_shape_blocked_vs_random(self):
+        gpu = GpuProfile()
+        blocked = clustered_tensor((1024, 1024, 1024), 8000, nclusters=32,
+                                   spread=3.0, seed=0)
+        scattered = random_tensor((1 << 20, 1 << 20, 1 << 20), 8000, seed=0)
+        s_blocked = gpu_speedup_over_coo(
+            build_format_suite(blocked, block_bits=5), 16, gpu)
+        s_scattered = gpu_speedup_over_coo(
+            build_format_suite(scattered, block_bits=5), 16, gpu)
+        assert s_blocked["hicoo"] > s_scattered["hicoo"]
+        assert s_blocked["coo"] == pytest.approx(1.0)
+
+    def test_atomic_throughput_knob(self, small3d):
+        """Cheaper atomics shrink COO's penalty and thus HiCOO's edge."""
+        slow = GpuProfile(atomic_throughput=1e8)
+        fast = GpuProfile(atomic_throughput=1e12)
+        suite = build_format_suite(small3d, block_bits=3)
+        assert gpu_speedup_over_coo(suite, 8, slow)["hicoo"] >= \
+            gpu_speedup_over_coo(suite, 8, fast)["hicoo"]

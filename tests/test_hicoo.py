@@ -1,0 +1,164 @@
+"""Unit tests for the HiCOO format."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import DEFAULT_BLOCK_BITS, HicooTensor, best_block_bits
+from repro.formats.coo import CooTensor
+from repro.formats.dense import DenseTensor
+from tests.conftest import make_random_coo
+
+
+class TestConstruction:
+    def test_defaults(self, small3d):
+        hic = HicooTensor(small3d)
+        assert hic.block_bits == DEFAULT_BLOCK_BITS
+        assert hic.block_size == 128
+        assert hic.nnz == small3d.nnz
+
+    def test_array_dtypes(self, small3d):
+        hic = HicooTensor(small3d, block_bits=3)
+        assert hic.bptr.dtype == np.int64
+        assert hic.binds.dtype == np.uint32
+        assert hic.einds.dtype == np.uint8
+
+    def test_block_bits_bounds(self, small3d):
+        with pytest.raises(ValueError):
+            HicooTensor(small3d, block_bits=0)
+        with pytest.raises(ValueError):
+            HicooTensor(small3d, block_bits=9)
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            HicooTensor(np.zeros((3, 3)))
+
+    def test_empty(self):
+        hic = HicooTensor(CooTensor.empty((10, 10)), block_bits=2)
+        assert hic.nnz == 0
+        assert hic.nblocks == 0
+        assert hic.to_coo().nnz == 0
+
+    def test_einds_bounded_by_block(self, small3d):
+        for bits in (1, 3, 5):
+            hic = HicooTensor(small3d, block_bits=bits)
+            if hic.nnz:
+                assert hic.einds.max() < (1 << bits)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("bits", [1, 2, 4, 7, 8])
+    def test_to_coo(self, small3d, bits):
+        hic = HicooTensor(small3d, block_bits=bits)
+        back = hic.to_coo().sort_lexicographic()
+        orig = small3d.sort_lexicographic()
+        assert np.array_equal(back.indices, orig.indices)
+        np.testing.assert_allclose(back.values, orig.values)
+
+    def test_4d(self, small4d):
+        hic = HicooTensor(small4d, block_bits=2)
+        back = hic.to_coo().sort_lexicographic()
+        orig = small4d.sort_lexicographic()
+        assert np.array_equal(back.indices, orig.indices)
+
+    def test_global_indices_in_range(self, small3d):
+        hic = HicooTensor(small3d, block_bits=4)
+        g = hic.global_indices()
+        assert g.min() >= 0
+        assert np.all(g.max(axis=0) < np.asarray(small3d.shape))
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("kernel", ["flat", "blocked"])
+    def test_matches_dense(self, small3d, factors3d, kernel):
+        dense = DenseTensor(small3d.to_dense())
+        hic = HicooTensor(small3d, block_bits=3)
+        for mode in range(3):
+            np.testing.assert_allclose(
+                hic.mttkrp(factors3d, mode, kernel=kernel),
+                dense.mttkrp(factors3d, mode), atol=1e-10)
+
+    def test_4d_both_kernels(self, small4d, factors4d):
+        dense = DenseTensor(small4d.to_dense())
+        hic = HicooTensor(small4d, block_bits=2)
+        for mode in range(4):
+            ref = dense.mttkrp(factors4d, mode)
+            np.testing.assert_allclose(hic.mttkrp(factors4d, mode), ref, atol=1e-10)
+            np.testing.assert_allclose(
+                hic.mttkrp(factors4d, mode, kernel="blocked"), ref, atol=1e-10)
+
+    def test_unknown_kernel(self, small3d, factors3d):
+        hic = HicooTensor(small3d, block_bits=3)
+        with pytest.raises(ValueError, match="kernel"):
+            hic.mttkrp(factors3d, 0, kernel="nope")
+
+    def test_empty(self):
+        hic = HicooTensor(CooTensor.empty((4, 4)), block_bits=2)
+        out = hic.mttkrp([np.ones((4, 2)), np.ones((4, 2))], 0)
+        assert np.all(out == 0)
+
+
+class TestStatistics:
+    def test_alpha_b_range(self, small3d):
+        hic = HicooTensor(small3d, block_bits=3)
+        assert 0 < hic.block_ratio() <= 1.0
+
+    def test_alpha_c_relationship(self, small3d):
+        hic = HicooTensor(small3d, block_bits=4)
+        # c_b == 1 / (alpha_b * B)
+        assert np.isclose(hic.avg_slice_size(),
+                          1.0 / (hic.block_ratio() * hic.block_size))
+
+    def test_clustered_beats_random_alpha(self):
+        from repro.data.synthetic import clustered_tensor, random_tensor
+
+        clustered = clustered_tensor((512, 512, 512), 5000, nclusters=10,
+                                     spread=3.0, seed=0)
+        scattered = random_tensor((512, 512, 512), 5000, seed=0)
+        a_c = HicooTensor(clustered, block_bits=5).block_ratio()
+        a_r = HicooTensor(scattered, block_bits=5).block_ratio()
+        assert a_c < a_r
+
+    def test_geometry_keys(self, small3d):
+        geo = HicooTensor(small3d, block_bits=3).geometry()
+        for key in ("block_bits", "nblocks", "alpha_b", "c_b",
+                    "max_block_nnz", "mean_block_nnz", "bytes_per_nnz"):
+            assert key in geo
+
+
+class TestStorage:
+    def test_formula(self, small3d):
+        hic = HicooTensor(small3d, block_bits=3)
+        parts = hic.storage_bytes()
+        assert parts["bptr"] == 8 * (hic.nblocks + 1)
+        assert parts["binds"] == 4 * 3 * hic.nblocks
+        assert parts["einds"] == 3 * hic.nnz
+        assert parts["values"] == 4 * hic.nnz
+
+    def test_beats_coo_on_dense_blocks(self):
+        # fully dense 64^3 corner: every 8-edge block is full
+        inds = [[i, j, k] for i in range(16) for j in range(16) for k in range(16)]
+        coo = CooTensor((512, 512, 512), inds, np.ones(len(inds)))
+        hic = HicooTensor(coo, block_bits=3)
+        assert hic.total_bytes() < 0.6 * coo.total_bytes()
+
+    def test_worst_case_overhead_bounded(self):
+        # scattered tensor: HiCOO adds per-block overhead but the einds are
+        # small, keeping total within ~2.3x of COO for 3 modes
+        coo = make_random_coo((4096, 4096, 4096), 500, seed=5)
+        hic = HicooTensor(coo, block_bits=7)
+        assert hic.total_bytes() <= 2.5 * coo.total_bytes()
+
+
+class TestBestBlockBits:
+    def test_returns_valid(self, small3d):
+        bits = best_block_bits(small3d)
+        assert 1 <= bits <= 8
+
+    def test_respects_candidates(self, small3d):
+        bits = best_block_bits(small3d, candidates=[2, 3])
+        assert bits in (2, 3)
+
+    def test_prefers_larger_on_tie(self):
+        coo = CooTensor((8, 8), [[0, 0]], [1.0])
+        # single nonzero: all block sizes give 1 block, tie -> largest wins
+        assert best_block_bits(coo, candidates=[2, 3]) == 3

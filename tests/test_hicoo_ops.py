@@ -1,0 +1,114 @@
+"""Tests for TTV/TTM and block statistics on HiCOO storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.formats.coo import CooTensor
+from repro.kernels.hicoo_ops import (
+    block_norms,
+    densest_blocks,
+    hicoo_ttm,
+    hicoo_ttv,
+)
+from repro.kernels.ttm import ttm
+
+
+@pytest.fixture
+def hic(small3d):
+    return HicooTensor(small3d, block_bits=2)
+
+
+class TestHicooTtv:
+    def test_matches_coo_ttv(self, small3d, hic, rng):
+        for mode in range(3):
+            v = rng.normal(size=small3d.shape[mode])
+            a = hicoo_ttv(hic, v, mode).sort_lexicographic()
+            b = small3d.ttv(v, mode).sort_lexicographic()
+            assert np.array_equal(a.indices, b.indices)
+            np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+    def test_4d(self, small4d, rng):
+        hic = HicooTensor(small4d, block_bits=2)
+        v = rng.normal(size=small4d.shape[1])
+        a = hicoo_ttv(hic, v, 1).sort_lexicographic()
+        b = small4d.ttv(v, 1).sort_lexicographic()
+        assert np.array_equal(a.indices, b.indices)
+        np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+    def test_wrong_length(self, hic):
+        with pytest.raises(ValueError, match="length"):
+            hicoo_ttv(hic, np.ones(3), 0)
+
+    def test_1mode_rejected(self):
+        hic = HicooTensor(CooTensor((16,), [[3]], [1.0]), block_bits=2)
+        with pytest.raises(ValueError, match="only mode"):
+            hicoo_ttv(hic, np.ones(16), 0)
+
+    def test_empty(self):
+        hic = HicooTensor(CooTensor.empty((8, 8)), block_bits=2)
+        out = hicoo_ttv(hic, np.ones(8), 0)
+        assert out.nnz == 0
+        assert out.shape == (8,)
+
+
+class TestHicooTtm:
+    def test_matches_coo_ttm(self, small3d, hic, rng):
+        for mode in range(3):
+            mat = rng.normal(size=(small3d.shape[mode], 3))
+            a = hicoo_ttm(hic, mat, mode)
+            b = ttm(small3d, mat, mode)
+            np.testing.assert_allclose(a.to_dense(), b.to_dense(), atol=1e-10)
+
+    def test_fibers_unique(self, hic, rng, small3d):
+        mat = rng.normal(size=(small3d.shape[0], 2))
+        semi = hicoo_ttm(hic, mat, 0)
+        keys = {tuple(i) for i in semi.indices}
+        assert len(keys) == semi.nfibers
+
+    def test_shape_check(self, hic):
+        with pytest.raises(ValueError, match="matrix"):
+            hicoo_ttm(hic, np.ones((5, 2)), 0)
+
+    def test_empty(self):
+        hic = HicooTensor(CooTensor.empty((8, 8, 8)), block_bits=2)
+        semi = hicoo_ttm(hic, np.ones((8, 2)), 1)
+        assert semi.nfibers == 0
+
+
+class TestBlockStatistics:
+    def test_block_norms_l2(self, hic):
+        norms = block_norms(hic)
+        assert len(norms) == hic.nblocks
+        assert np.isclose(np.sqrt((norms ** 2).sum()),
+                          np.linalg.norm(hic.values))
+
+    def test_block_norms_l1_inf(self, hic):
+        l1 = block_norms(hic, ord=1.0)
+        linf = block_norms(hic, ord=np.inf)
+        assert np.isclose(l1.sum(), np.abs(hic.values).sum())
+        assert np.isclose(linf.max(), np.abs(hic.values).max())
+        assert np.all(linf <= l1 + 1e-12)
+
+    def test_block_norms_bad_order(self, hic):
+        with pytest.raises(ValueError, match="norm order"):
+            block_norms(hic, ord=3.0)
+
+    def test_block_norms_empty(self):
+        hic = HicooTensor(CooTensor.empty((4, 4)), block_bits=2)
+        assert len(block_norms(hic)) == 0
+
+    def test_densest_blocks(self, hic):
+        top = densest_blocks(hic, k=3)
+        assert len(top) == min(3, hic.nblocks)
+        counts = [c for _, c in top]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] == int(hic.block_nnz().max())
+
+    def test_densest_blocks_k_validation(self, hic):
+        with pytest.raises(ValueError):
+            densest_blocks(hic, k=0)
+
+    def test_densest_blocks_k_exceeds(self, hic):
+        top = densest_blocks(hic, k=10 ** 6)
+        assert len(top) == hic.nblocks

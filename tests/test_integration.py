@@ -1,0 +1,127 @@
+"""Integration tests: whole pipelines across modules."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro import (
+    CooTensor,
+    CsfTensor,
+    HicooTensor,
+    Machine,
+    best_block_bits,
+    compare_formats,
+    cp_als,
+    mttkrp_parallel,
+)
+from repro.analysis.model import predict_all_modes, speedup_over_coo
+from repro.data import load, read_tns, write_tns
+from repro.data.synthetic import clustered_tensor, lowrank_tensor
+
+
+class TestEndToEndPipeline:
+    def test_tns_to_cp_decomposition(self, tmp_path):
+        """File -> COO -> HiCOO -> parallel CP-ALS -> sane fit."""
+        src = lowrank_tensor((24, 20, 16), 1500, rank=3, seed=0)
+        path = tmp_path / "tensor.tns"
+        write_tns(src, path, header="integration test")
+        coo = read_tns(path, shape=src.shape)
+
+        bits = best_block_bits(coo)
+        hic = HicooTensor(coo, block_bits=bits)
+        res = cp_als(hic, rank=3, maxiters=15, seed=1, nthreads=4)
+        assert 0.0 <= res.final_fit <= 1.0
+        assert res.iterations >= 1
+
+    def test_registry_dataset_full_comparison(self):
+        """Registry tensor through storage + model + kernels, consistent."""
+        coo = load("uber", scale=0.3)
+        rows = compare_formats(coo, block_bits=5)
+        assert {r.format_name for r in rows} == {"coo", "csf", "hicoo"}
+
+        machine = Machine()
+        speeds = speedup_over_coo(coo, rank=8, machine=machine,
+                                  nthreads=4, block_bits=5)
+        assert speeds["coo"] == pytest.approx(1.0)
+        assert speeds["hicoo"] > 0
+
+    def test_all_formats_identical_mttkrp_on_real_analog(self):
+        coo = load("crime", scale=0.2)
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, 4)) for s in coo.shape]
+        hic = HicooTensor(coo, block_bits=4)
+        csf = CsfTensor(coo)
+        for mode in range(coo.nmodes):
+            ref = coo.mttkrp(factors, mode)
+            np.testing.assert_allclose(hic.mttkrp(factors, mode), ref,
+                                       atol=1e-8)
+            np.testing.assert_allclose(csf.mttkrp(factors, mode), ref,
+                                       atol=1e-8)
+            run = mttkrp_parallel(hic, factors, mode, nthreads=4)
+            np.testing.assert_allclose(run.output, ref, atol=1e-8)
+
+    def test_cp_als_same_result_any_format_any_threads(self):
+        coo = clustered_tensor((64, 48, 32), 1200, nclusters=16, spread=4.0,
+                               seed=2)
+        rng = np.random.default_rng(3)
+        init = [rng.random((s, 3)) for s in coo.shape]
+        fits = []
+        for tensor in (coo, CsfTensor(coo), HicooTensor(coo, block_bits=4)):
+            for nthreads in (1, 3):
+                res = cp_als(tensor, 3, maxiters=4, tol=0.0, init=init,
+                             nthreads=nthreads)
+                fits.append(res.fits)
+        for other in fits[1:]:
+            np.testing.assert_allclose(fits[0], other, atol=1e-9)
+
+    def test_model_predictions_cover_all_registry(self):
+        machine = Machine()
+        for name in ("vast", "nips"):
+            coo = load(name, scale=0.2)
+            for fmt in (coo, CsfTensor(coo), HicooTensor(coo, block_bits=4)):
+                timing = predict_all_modes(fmt, 8, machine, nthreads=8)
+                assert timing.total > 0
+
+    def test_roundtrip_through_every_format(self):
+        coo = load("vast", scale=0.2)
+        canonical = coo.sort_lexicographic()
+        for convert in (lambda t: CsfTensor(t).to_coo(),
+                        lambda t: HicooTensor(t, 4).to_coo()):
+            back = convert(coo).sort_lexicographic()
+            assert np.array_equal(back.indices, canonical.indices)
+            np.testing.assert_allclose(back.values, canonical.values)
+
+
+class TestFailureInjection:
+    def test_corrupt_tns_rejected(self):
+        with pytest.raises(ValueError):
+            read_tns(io.StringIO("1 2\n1 2 3 4\n"))
+
+    def test_cp_als_on_empty_tensor(self):
+        coo = CooTensor.empty((5, 5, 5))
+        res = cp_als(coo, 2, maxiters=2, seed=0)
+        assert res.final_fit == pytest.approx(1.0)  # zero tensor fits exactly
+
+    def test_single_nonzero_tensor(self):
+        coo = CooTensor((100, 100, 100), [[3, 4, 5]], [2.0])
+        hic = HicooTensor(coo, block_bits=7)
+        assert hic.nblocks == 1
+        res = cp_als(hic, 1, maxiters=5, seed=0)
+        assert res.final_fit > 0.99  # rank-1 tensor, rank-1 model
+
+    def test_tensor_with_size_one_modes(self):
+        coo = CooTensor((50, 1, 30), [[0, 0, 0], [10, 0, 20]], [1.0, 2.0])
+        hic = HicooTensor(coo, block_bits=3)
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, 2)) for s in coo.shape]
+        np.testing.assert_allclose(hic.mttkrp(factors, 0),
+                                   coo.mttkrp(factors, 0), atol=1e-12)
+
+    def test_huge_mode_sizes_ok(self):
+        # indices near 2^31: binds (uint32 of index >> b) must cope
+        big = 2**31
+        coo = CooTensor((big, 4), [[big - 1, 0], [0, 1]], [1.0, 2.0])
+        hic = HicooTensor(coo, block_bits=8)
+        back = hic.to_coo().sort_lexicographic()
+        assert back.indices.max() == big - 1

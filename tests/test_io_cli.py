@@ -1,0 +1,168 @@
+"""Tests for HiCOO binary serialization and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.core.io import load_hicoo, save_hicoo
+from repro.data.frostt import write_tns
+from repro.tools.cli import build_parser, main
+from tests.conftest import make_random_coo
+
+
+class TestHicooIO:
+    def test_roundtrip(self, small3d, tmp_path):
+        hic = HicooTensor(small3d, block_bits=3)
+        path = tmp_path / "t.hicoo"
+        save_hicoo(hic, path)
+        back = load_hicoo(path)
+        assert back.shape == hic.shape
+        assert back.block_bits == hic.block_bits
+        np.testing.assert_array_equal(back.bptr, hic.bptr)
+        np.testing.assert_array_equal(back.binds, hic.binds)
+        np.testing.assert_array_equal(back.einds, hic.einds)
+        np.testing.assert_allclose(back.values, hic.values)
+
+    def test_loaded_tensor_computes(self, small3d, tmp_path, rng):
+        hic = HicooTensor(small3d, block_bits=3)
+        path = tmp_path / "t.hicoo"
+        save_hicoo(hic, path)
+        back = load_hicoo(path)
+        factors = [rng.random((s, 3)) for s in small3d.shape]
+        np.testing.assert_allclose(back.mttkrp(factors, 0),
+                                   hic.mttkrp(factors, 0), atol=1e-12)
+
+    def test_exact_filename_kept(self, small3d, tmp_path):
+        """np.savez normally appends .npz; save_hicoo must not."""
+        hic = HicooTensor(small3d, block_bits=2)
+        path = tmp_path / "exact.hicoo"
+        save_hicoo(hic, path)
+        assert path.exists()
+        assert not (tmp_path / "exact.hicoo.npz").exists()
+
+    def test_type_check(self, small3d, tmp_path):
+        with pytest.raises(TypeError):
+            save_hicoo(small3d, tmp_path / "x.hicoo")
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.hicoo"
+        np.savez(path.open("wb"), version=np.int64(1))
+        with pytest.raises(ValueError, match="missing"):
+            load_hicoo(path)
+
+    def test_wrong_version_rejected(self, small3d, tmp_path):
+        hic = HicooTensor(small3d, block_bits=2)
+        path = tmp_path / "v.hicoo"
+        save_hicoo(hic, path)
+        with np.load(path) as a:
+            data = {k: a[k] for k in a.files}
+        data["version"] = np.int64(99)
+        np.savez(path.open("wb"), **data)
+        with pytest.raises(ValueError, match="version"):
+            load_hicoo(path)
+
+    def test_corrupt_bptr_rejected(self, small3d, tmp_path):
+        hic = HicooTensor(small3d, block_bits=2)
+        path = tmp_path / "c.hicoo"
+        save_hicoo(hic, path)
+        with np.load(path) as a:
+            data = {k: a[k] for k in a.files}
+        data["bptr"] = data["bptr"][:-1]
+        np.savez(path.open("wb"), **data)
+        with pytest.raises(ValueError, match="bptr"):
+            load_hicoo(path)
+
+    def test_offset_overflow_rejected(self, small3d, tmp_path):
+        hic = HicooTensor(small3d, block_bits=2)
+        path = tmp_path / "o.hicoo"
+        save_hicoo(hic, path)
+        with np.load(path) as a:
+            data = {k: a[k] for k in a.files}
+        data["einds"] = data["einds"] + np.uint8(1 << 3)
+        np.savez(path.open("wb"), **data)
+        with pytest.raises(ValueError, match="offset|shape"):
+            load_hicoo(path)
+
+
+@pytest.fixture
+def tns_file(tmp_path):
+    # positive values so the CP-APR subcommand (count data) also accepts it
+    coo = make_random_coo((40, 30, 20), 400, seed=21, values="uniform")
+    path = tmp_path / "t.tns"
+    write_tns(coo, path)
+    return str(path)
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["inspect", "x.tns"])
+        assert args.command == "inspect"
+
+    def test_inspect(self, tns_file, capsys):
+        assert main(["inspect", tns_file]) == 0
+        out = capsys.readouterr().out
+        assert "nonzeros  : 400" in out
+        assert "alpha_b" in out
+
+    def test_convert_and_storage(self, tns_file, tmp_path, capsys):
+        out_path = str(tmp_path / "t.hicoo")
+        assert main(["convert", tns_file, out_path, "--block-bits", "3"]) == 0
+        assert main(["storage", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "hicoo" in out and "csf" in out
+
+    def test_mttkrp_all_formats(self, tns_file, capsys):
+        for fmt in ("coo", "csf", "hicoo"):
+            assert main(["mttkrp", tns_file, "-f", fmt, "-r", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("MTTKRP") == 3
+
+    def test_mttkrp_parallel(self, tns_file, capsys):
+        assert main(["mttkrp", tns_file, "-t", "4", "-r", "4"]) == 0
+        assert "strategy=" in capsys.readouterr().out
+
+    def test_cpd(self, tns_file, capsys):
+        assert main(["cpd", tns_file, "-r", "2", "--maxiters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "iter   1" in out and "fit" in out
+
+    def test_reorder(self, tns_file, tmp_path, capsys):
+        out_path = str(tmp_path / "re.tns")
+        assert main(["reorder", tns_file, out_path, "--method", "bfs"]) == 0
+        assert "alpha_b" in capsys.readouterr().out
+
+    def test_dataset(self, tmp_path, capsys):
+        out_path = str(tmp_path / "d.tns")
+        assert main(["dataset", "vast", out_path, "--scale", "0.2"]) == 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_dataset_unknown(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dataset", "nope", str(tmp_path / "x.tns")])
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "/nonexistent/file.tns"])
+
+
+class TestCliExtensions:
+    def test_cpd_apr(self, tns_file, capsys):
+        assert main(["cpd", tns_file, "--method", "apr", "-r", "2",
+                     "--maxiters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "logL" in out
+
+    def test_tune(self, tns_file, capsys):
+        assert main(["tune", tns_file, "-r", "4", "-t", "4", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out and "scoreboard" in out
+
+    def test_inspect_viz(self, tns_file, capsys):
+        assert main(["inspect", tns_file, "--viz"]) == 0
+        assert "block density" in capsys.readouterr().out
+
+    def test_tucker(self, tns_file, capsys):
+        assert main(["tucker", tns_file, "-r", "2", "--maxiters", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "core=" in out

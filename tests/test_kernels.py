@@ -1,0 +1,137 @@
+"""Unit tests for the kernels subpackage: Khatri-Rao, matricize, TTV, TTM."""
+
+import numpy as np
+import pytest
+
+from repro.formats.coo import CooTensor
+from repro.formats.dense import DenseTensor
+from repro.kernels.khatrirao import gram, hadamard_all, hadamard_grams, khatri_rao
+from repro.kernels.matricize import column_index, unfold_coo, unfold_dense
+from repro.kernels.ttm import ttm
+from repro.kernels.ttv import mttkrp_via_ttv, ttv, ttv_chain
+from tests.conftest import make_random_coo
+
+
+class TestKhatriRaoUtils:
+    def test_hadamard_all(self):
+        a = np.full((2, 2), 2.0)
+        b = np.full((2, 2), 3.0)
+        np.testing.assert_allclose(hadamard_all([a, b]), np.full((2, 2), 6.0))
+
+    def test_hadamard_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hadamard_all([np.ones((2, 2)), np.ones((3, 2))])
+
+    def test_hadamard_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hadamard_all([])
+
+    def test_gram(self):
+        u = np.array([[1.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_allclose(gram(u), u.T @ u)
+
+    def test_hadamard_grams_skip(self, rng):
+        factors = [rng.normal(size=(d, 3)) for d in (4, 5, 6)]
+        h = hadamard_grams(factors, skip_mode=1)
+        ref = gram(factors[0]) * gram(factors[2])
+        np.testing.assert_allclose(h, ref)
+
+    def test_hadamard_grams_single_mode(self):
+        h = hadamard_grams([np.ones((4, 3))], skip_mode=0)
+        np.testing.assert_allclose(h, np.ones((3, 3)))
+
+    def test_khatri_rao_reexport(self):
+        a = np.ones((2, 2))
+        assert khatri_rao([a, a]).shape == (4, 2)
+
+
+class TestMatricize:
+    def test_column_index_matches_dense_unfold(self, small3d):
+        dense = small3d.to_dense()
+        for mode in range(3):
+            unfolded = unfold_dense(dense, mode)
+            rows = small3d.indices[:, mode]
+            cols = column_index(small3d.indices, small3d.shape, mode)
+            np.testing.assert_allclose(unfolded[rows, cols], small3d.values)
+
+    def test_unfold_coo_matches_dense(self, small3d):
+        dense = small3d.to_dense()
+        for mode in range(3):
+            sparse_unf = unfold_coo(small3d, mode).toarray()
+            np.testing.assert_allclose(sparse_unf, unfold_dense(dense, mode))
+
+    def test_unfold_4d(self, small4d):
+        dense = small4d.to_dense()
+        for mode in range(4):
+            np.testing.assert_allclose(
+                unfold_coo(small4d, mode).toarray(),
+                unfold_dense(dense, mode))
+
+
+class TestTtv:
+    def test_single(self, small3d, rng):
+        v = rng.normal(size=small3d.shape[2])
+        got = ttv(small3d, v, 2).to_dense()
+        ref = np.tensordot(small3d.to_dense(), v, axes=(2, 0))
+        np.testing.assert_allclose(got, ref, atol=1e-12)
+
+    def test_chain_two_modes(self, small3d, rng):
+        v1 = rng.normal(size=small3d.shape[1])
+        v2 = rng.normal(size=small3d.shape[2])
+        got = ttv_chain(small3d, {1: v1, 2: v2}).to_dense()
+        ref = np.tensordot(
+            np.tensordot(small3d.to_dense(), v2, axes=(2, 0)), v1, axes=(1, 0))
+        np.testing.assert_allclose(got, ref, atol=1e-12)
+
+    def test_chain_order_irrelevance(self, small3d, rng):
+        """TTVs commute (Lemma in the dimension-tree literature)."""
+        v0 = rng.normal(size=small3d.shape[0])
+        v2 = rng.normal(size=small3d.shape[2])
+        a = ttv_chain(small3d, {0: v0, 2: v2})
+        b = ttv_chain(ttv_chain(small3d, {2: v2}), {0: v0})
+        np.testing.assert_allclose(a.to_dense(), b.to_dense(), atol=1e-12)
+
+    def test_duplicate_mode_rejected(self, small3d):
+        with pytest.raises(ValueError, match="duplicate"):
+            ttv_chain(small3d, {1: np.ones(small3d.shape[1]),
+                                -2: np.ones(small3d.shape[1])})
+
+    def test_mttkrp_via_ttv_oracle(self, small3d, factors3d):
+        """The TTV-chain formulation equals the direct MTTKRP."""
+        for mode in range(3):
+            np.testing.assert_allclose(
+                mttkrp_via_ttv(small3d, factors3d, mode),
+                small3d.mttkrp(factors3d, mode), atol=1e-10)
+
+
+class TestTtm:
+    def test_matches_dense(self, small3d, rng):
+        mat = rng.normal(size=(small3d.shape[1], 4))
+        semi = ttm(small3d, mat, 1)
+        ref = np.einsum("ijk,jr->ikr", small3d.to_dense(), mat)
+        np.testing.assert_allclose(semi.to_dense(), ref, atol=1e-10)
+
+    def test_all_modes(self, small3d, rng):
+        for mode in range(3):
+            mat = rng.normal(size=(small3d.shape[mode], 3))
+            semi = ttm(small3d, mat, mode)
+            moved = np.moveaxis(small3d.to_dense(), mode, -1)
+            ref = moved @ mat
+            np.testing.assert_allclose(semi.to_dense(), ref, atol=1e-10)
+
+    def test_shape_check(self, small3d):
+        with pytest.raises(ValueError, match="matrix"):
+            ttm(small3d, np.ones((7, 3)), 0)
+
+    def test_empty(self):
+        t = CooTensor.empty((3, 4))
+        semi = ttm(t, np.ones((4, 2)), 1)
+        assert semi.nfibers == 0
+        assert semi.to_dense().shape == (3, 2)
+
+    def test_fibers_grouped(self, small3d, rng):
+        """Coordinates in the result are unique (fibers merged)."""
+        mat = rng.normal(size=(small3d.shape[0], 2))
+        semi = ttm(small3d, mat, 0)
+        keys = {tuple(i) for i in semi.indices}
+        assert len(keys) == semi.nfibers

@@ -1,0 +1,68 @@
+"""Tests for CP-ALS restarts and rank sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.cpd.model_selection import RankProfile, cp_als_restarts, rank_sweep
+from repro.data.synthetic import lowrank_tensor
+
+
+@pytest.fixture(scope="module")
+def planted():
+    # 80%-dense sample of a rank-2 tensor: approximately rank-2
+    return lowrank_tensor((14, 12, 10), 1340, rank=2, seed=0)
+
+
+class TestRestarts:
+    def test_returns_best(self, planted):
+        best = cp_als_restarts(planted, 2, restarts=3, maxiters=10, seed=1)
+        single = cp_als_restarts(planted, 2, restarts=1, maxiters=10, seed=1)
+        assert best.final_fit >= single.final_fit - 1e-9
+
+    def test_restart_validation(self, planted):
+        with pytest.raises(ValueError):
+            cp_als_restarts(planted, 2, restarts=0)
+
+    def test_init_kwarg_rejected(self, planted):
+        with pytest.raises(ValueError, match="init"):
+            cp_als_restarts(planted, 2, init="random")
+
+    def test_deterministic_given_seed(self, planted):
+        a = cp_als_restarts(planted, 2, restarts=2, maxiters=5, seed=3)
+        b = cp_als_restarts(planted, 2, restarts=2, maxiters=5, seed=3)
+        assert a.final_fit == b.final_fit
+
+
+class TestRankSweep:
+    def test_profile_fields(self, planted):
+        profile = rank_sweep(planted, [1, 2, 3], maxiters=8, seed=2)
+        assert profile.ranks == [1, 2, 3]
+        assert len(profile.fits) == 3
+        assert all(s > 0 for s in profile.seconds)
+
+    def test_fit_improves_with_rank(self, planted):
+        """More components can only help the best achievable fit (in
+        practice, ALS with enough iterations tracks this)."""
+        profile = rank_sweep(planted, [1, 4], restarts=2, maxiters=20, seed=4)
+        assert profile.fits[1] >= profile.fits[0] - 0.02
+
+    def test_knee_detects_planted_rank(self, planted):
+        profile = rank_sweep(planted, [1, 2, 3, 4], restarts=2, maxiters=25,
+                             seed=5)
+        knee = profile.knee(tolerance=0.05)
+        assert knee <= 3  # planted rank is 2; elbow at or before 3
+
+    def test_validation(self, planted):
+        with pytest.raises(ValueError):
+            rank_sweep(planted, [])
+        with pytest.raises(ValueError):
+            rank_sweep(planted, [0, 2])
+
+    def test_empty_profile_knee(self):
+        with pytest.raises(ValueError):
+            RankProfile().knee()
+
+    def test_best_rank_zero_tolerance(self):
+        p = RankProfile(ranks=[1, 2, 3], fits=[0.3, 0.9, 0.9],
+                        iterations=[1, 1, 1], seconds=[0.1, 0.1, 0.1])
+        assert p.best_rank() == 2

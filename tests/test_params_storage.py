@@ -1,0 +1,92 @@
+"""Unit tests for HiCOO parameter analysis and storage comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.core.params import HicooParams, analyze_block_sizes, recommend_block_bits
+from repro.core.storage import StorageRow, compare_formats, format_table
+from repro.data.synthetic import banded_tensor, random_tensor
+from tests.conftest import make_random_coo
+
+
+class TestHicooParams:
+    def test_measure_consistency(self, small3d):
+        hic = HicooTensor(small3d, block_bits=4)
+        params = HicooParams.measure(hic)
+        assert params.block_bits == 4
+        assert params.block_size == 16
+        assert params.nnz == small3d.nnz
+        assert np.isclose(params.alpha_b, hic.block_ratio())
+        assert np.isclose(params.c_b, hic.avg_slice_size())
+        assert params.total_bytes == hic.total_bytes()
+
+    def test_compresses_well_thresholds(self):
+        good = HicooParams(3, 10, 1000, 0.01, 12.5, 0, 0.0)
+        bad = HicooParams(3, 990, 1000, 0.99, 0.13, 0, 0.0)
+        assert good.compresses_well()
+        assert not bad.compresses_well()
+
+
+class TestAnalyzeBlockSizes:
+    def test_full_sweep(self, small3d):
+        sweep = analyze_block_sizes(small3d)
+        assert [p.block_bits for p in sweep] == list(range(1, 9))
+
+    def test_alpha_decreases_with_block_size(self, small3d):
+        """Bigger blocks can only merge nonzeros, never split them."""
+        sweep = analyze_block_sizes(small3d)
+        nblocks = [p.nblocks for p in sweep]
+        assert all(a >= b for a, b in zip(nblocks, nblocks[1:]))
+
+    def test_recommend_minimizes_storage(self, small3d):
+        rec = recommend_block_bits(small3d)
+        chosen, sweep = rec["chosen"], rec["sweep"]
+        assert chosen.total_bytes == min(p.total_bytes for p in sweep)
+
+
+class TestCompareFormats:
+    def test_rows_present(self, small3d):
+        rows = compare_formats(small3d, block_bits=3)
+        names = [r.format_name for r in rows]
+        assert names == ["coo", "csf", "hicoo"]
+        assert rows[0].ratio_to_coo == 1.0
+
+    def test_csf_n_variant(self, small3d):
+        rows = compare_formats(small3d, block_bits=3, csf_trees=(1, 3))
+        names = [r.format_name for r in rows]
+        assert "csf" in names and "csf-3" in names
+        one = next(r for r in rows if r.format_name == "csf")
+        three = next(r for r in rows if r.format_name == "csf-3")
+        assert three.total_bytes > one.total_bytes
+
+    def test_hicoo_wins_on_banded(self):
+        coo = banded_tensor((2048, 2048, 2048), 20000, bandwidth=8, seed=1)
+        rows = compare_formats(coo, block_bits=5)
+        by_name = {r.format_name: r for r in rows}
+        assert by_name["hicoo"].total_bytes < by_name["coo"].total_bytes
+        assert by_name["hicoo"].compression_vs_coo() > 1.5
+
+    def test_hicoo_degenerates_on_random(self):
+        coo = random_tensor((4096, 4096, 4096), 2000, seed=1)
+        rows = compare_formats(coo, block_bits=7)
+        by_name = {r.format_name: r for r in rows}
+        # scattered tensor: alpha_b ~ 1 so HiCOO carries per-block overhead
+        assert by_name["hicoo"].total_bytes > by_name["coo"].total_bytes
+
+    def test_totals_are_component_sums(self, small3d):
+        for row in compare_formats(small3d):
+            assert row.total_bytes == row.index_bytes + row.value_bytes
+
+
+class TestFormatTable:
+    def test_renders(self, small3d):
+        rows = compare_formats(small3d)
+        text = format_table(rows, title="storage")
+        assert "storage" in text
+        assert "hicoo" in text
+        assert len(text.splitlines()) == 3 + len(rows)
+
+    def test_compression_display(self):
+        row = StorageRow("x", 100, 80, 20, 1.0, 0.5)
+        assert np.isclose(row.compression_vs_coo(), 2.0)

@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These encode the invariants DESIGN.md section 6 lists:
+
+* Morton encode/decode round-trips for any mode count and bit width;
+* HiCOO <-> COO conversion preserves every nonzero for any block size;
+* blocking covers every nonzero exactly once with in-range offsets;
+* schedules are conflict-free for any tensor/mode/thread combination;
+* storage formulas match the structure sizes;
+* MTTKRP agrees across every format on arbitrary tensors;
+* CP fit is invariant under component permutation.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocking import decompose
+from repro.core.hicoo import HicooTensor
+from repro.core.scheduler import schedule_mode
+from repro.core.superblock import build_superblocks
+from repro.cpd.ktensor import KruskalTensor
+from repro.formats.coo import CooTensor
+from repro.formats.csf import CsfTensor
+from repro.formats.dense import DenseTensor
+from repro.util.bitops import morton_decode, morton_encode
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def coords_strategy(draw):
+    nmodes = draw(st.integers(1, 5))
+    nbits = draw(st.integers(1, 20))
+    npoints = draw(st.integers(0, 60))
+    coords = draw(
+        st.lists(
+            st.lists(st.integers(0, (1 << nbits) - 1),
+                     min_size=nmodes, max_size=nmodes),
+            min_size=npoints, max_size=npoints,
+        )
+    )
+    arr = np.asarray(coords, dtype=np.uint64).reshape(npoints, nmodes).T
+    return arr, nbits
+
+
+@st.composite
+def sparse_tensor_strategy(draw, max_modes=4, max_dim=24, max_nnz=40):
+    nmodes = draw(st.integers(1, max_modes))
+    shape = tuple(draw(st.integers(2, max_dim)) for _ in range(nmodes))
+    nnz = draw(st.integers(0, max_nnz))
+    coords = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, s - 1) for s in shape]),
+            min_size=nnz, max_size=nnz, unique=True,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False).filter(lambda v: abs(v) > 1e-6),
+            min_size=len(coords), max_size=len(coords),
+        )
+    )
+    inds = (np.asarray(coords, dtype=np.int64).reshape(len(coords), nmodes)
+            if coords else np.empty((0, nmodes), dtype=np.int64))
+    return CooTensor(shape, inds, np.asarray(values), sum_duplicates=False)
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+@given(coords_strategy())
+@settings(max_examples=60, deadline=None)
+def test_morton_roundtrip(data):
+    coords, nbits = data
+    words = morton_encode(coords, nbits)
+    back = morton_decode(words, coords.shape[0], nbits)
+    assert np.array_equal(back, coords)
+
+
+@given(sparse_tensor_strategy(), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_hicoo_roundtrip(coo, block_bits):
+    hic = HicooTensor(coo, block_bits=block_bits)
+    back = hic.to_coo()
+    orig_map = {tuple(i): v for i, v in zip(coo.indices, coo.values)}
+    back_map = {tuple(i): v for i, v in zip(back.indices, back.values)}
+    assert orig_map == back_map
+
+
+@given(sparse_tensor_strategy(), st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_blocking_partitions_nonzeros(coo, block_bits):
+    dec = decompose(coo, block_bits)
+    assert dec.block_ptr[-1] == coo.nnz
+    assert np.all(np.diff(dec.block_ptr) >= 1) or dec.nblocks == 0
+    if dec.nnz:
+        assert dec.elem_offsets.max() < (1 << block_bits)
+    # block coordinates unique
+    assert len({tuple(c) for c in dec.block_coords}) == dec.nblocks
+
+
+@given(sparse_tensor_strategy(max_modes=3), st.integers(1, 6),
+       st.integers(1, 8), st.integers(0, 2))
+@settings(max_examples=30, deadline=None)
+def test_schedule_always_safe(coo, block_bits, nthreads, extra_bits):
+    hic = HicooTensor(coo, block_bits=block_bits)
+    sbs = build_superblocks(hic, block_bits + extra_bits)
+    for mode in range(coo.nmodes):
+        sched = schedule_mode(sbs, mode, nthreads)
+        sched.verify(sbs)
+        assert sched.thread_nnz.sum() == coo.nnz
+
+
+@given(sparse_tensor_strategy(), st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_storage_formula_matches_structures(coo, block_bits):
+    hic = HicooTensor(coo, block_bits=block_bits)
+    parts = hic.storage_bytes()
+    assert parts["bptr"] == 8 * (len(hic.bptr))
+    assert parts["binds"] == 4 * hic.binds.size
+    assert parts["einds"] == hic.einds.size
+    assert parts["values"] == 4 * len(hic.values)
+
+
+@given(sparse_tensor_strategy(max_modes=3, max_dim=12, max_nnz=25),
+       st.integers(1, 4), st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_mttkrp_cross_format_agreement(coo, rank, block_bits):
+    rng = np.random.default_rng(0)
+    factors = [rng.normal(size=(s, rank)) for s in coo.shape]
+    dense = DenseTensor(coo.to_dense())
+    csf = CsfTensor(coo)
+    hic = HicooTensor(coo, block_bits=block_bits)
+    for mode in range(coo.nmodes):
+        ref = dense.mttkrp(factors, mode)
+        for tensor in (coo, csf, hic):
+            got = tensor.mttkrp(factors, mode)
+            np.testing.assert_allclose(got, ref, atol=1e-8)
+
+
+@given(st.integers(1, 4), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_ktensor_fit_permutation_invariant(rank, seed):
+    rng = np.random.default_rng(seed)
+    shape = (6, 5, 4)
+    kt = KruskalTensor(rng.random(rank) + 0.5,
+                       [rng.normal(size=(s, rank)) for s in shape])
+    coo = CooTensor.from_dense(
+        rng.normal(size=shape) * (rng.random(shape) < 0.4))
+    perm = rng.permutation(rank)
+    kt2 = KruskalTensor(kt.weights[perm], [f[:, perm] for f in kt.factors])
+    assert np.isclose(kt.fit(coo), kt2.fit(coo), atol=1e-10)
+
+
+@given(sparse_tensor_strategy(max_modes=4, max_dim=30, max_nnz=50),
+       st.integers(1, 8), st.integers(0, 3))
+@settings(max_examples=30, deadline=None)
+def test_superblocks_partition_blocks(coo, block_bits, extra_bits):
+    hic = HicooTensor(coo, block_bits=block_bits)
+    sbs = build_superblocks(hic, block_bits + extra_bits)
+    assert sbs.sptr[-1] == hic.nblocks
+    assert sbs.nnz_per_superblock.sum() == hic.nnz
+    # every superblock's blocks agree on the superblock coordinate
+    shift = extra_bits
+    for sb in range(sbs.nsuper):
+        lo, hi = sbs.block_range(sb)
+        assert np.all(
+            (hic.binds[lo:hi].astype(np.int64) >> shift) == sbs.scoords[sb])

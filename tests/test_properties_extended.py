@@ -1,0 +1,107 @@
+"""Extended property-based tests over the newer subsystems.
+
+Invariants covered (hypothesis-driven):
+
+* streaming construction is chunking-invariant and equals the in-memory
+  constructor;
+* sorted-COO MTTKRP equals the baseline for any tensor/mode/rank;
+* MTTKRP is linear in the tensor values (all formats);
+* reordering permutations never change the value multiset or the norm;
+* CP-APR keeps factors non-negative and the log-likelihood finite;
+* Tucker TTM chains conserve the Frobenius inner product with identity
+  factors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hicoo import HicooTensor
+from repro.core.streaming import hicoo_from_chunks
+from repro.cpd.cp_apr import cp_apr
+from repro.formats.coo import CooTensor
+from repro.kernels.coo_variants import mttkrp_sorted
+from repro.reorder import apply_permutations, random_permutations
+from repro.tucker import ttm_chain
+from tests.test_properties import sparse_tensor_strategy
+
+
+@given(sparse_tensor_strategy(max_modes=3), st.integers(1, 8),
+       st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_streaming_equals_inmemory(coo, block_bits, chunk):
+    chunks = [
+        (coo.indices[lo:lo + chunk], coo.values[lo:lo + chunk])
+        for lo in range(0, coo.nnz, chunk)
+    ]
+    streamed = hicoo_from_chunks(chunks, block_bits=block_bits,
+                                 shape=coo.shape)
+    direct = HicooTensor(coo, block_bits=block_bits)
+    assert np.array_equal(streamed.bptr, direct.bptr)
+    assert np.array_equal(streamed.binds, direct.binds)
+    assert np.array_equal(streamed.einds, direct.einds)
+    np.testing.assert_allclose(streamed.values, direct.values)
+
+
+@given(sparse_tensor_strategy(max_modes=4, max_dim=15, max_nnz=30),
+       st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_sorted_mttkrp_equals_baseline(coo, rank):
+    rng = np.random.default_rng(0)
+    factors = [rng.normal(size=(s, rank)) for s in coo.shape]
+    for mode in range(coo.nmodes):
+        np.testing.assert_allclose(
+            mttkrp_sorted(coo, factors, mode),
+            coo.mttkrp(factors, mode), atol=1e-8)
+
+
+@given(sparse_tensor_strategy(max_modes=3, max_dim=12, max_nnz=25),
+       st.floats(-3, 3, allow_nan=False), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_mttkrp_linear_in_values(coo, scale, block_bits):
+    rng = np.random.default_rng(1)
+    factors = [rng.normal(size=(s, 3)) for s in coo.shape]
+    scaled = CooTensor(coo.shape, coo.indices, coo.values * scale,
+                       sum_duplicates=False)
+    for tensor_a, tensor_b in [
+        (coo, scaled),
+        (HicooTensor(coo, block_bits), HicooTensor(scaled, block_bits)),
+    ]:
+        a = tensor_a.mttkrp(factors, 0)
+        b = tensor_b.mttkrp(factors, 0)
+        np.testing.assert_allclose(b, scale * a, atol=1e-8)
+
+
+@given(sparse_tensor_strategy(max_modes=4), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_reordering_preserves_values_and_norm(coo, seed):
+    perms = random_permutations(coo.shape, seed=seed)
+    out = apply_permutations(coo, perms)
+    np.testing.assert_allclose(np.sort(out.values), np.sort(coo.values))
+    assert np.isclose(out.norm(), coo.norm())
+    assert out.nnz == coo.nnz
+
+
+@given(sparse_tensor_strategy(max_modes=3, max_dim=10, max_nnz=20),
+       st.integers(1, 3))
+@settings(max_examples=15, deadline=None)
+def test_cp_apr_stays_nonnegative(coo, rank):
+    nonneg = CooTensor(coo.shape, coo.indices, np.abs(coo.values),
+                       sum_duplicates=False)
+    res = cp_apr(nonneg, rank, maxiters=3, inner_iters=2, seed=0)
+    assert all(f.min() >= 0 for f in res.ktensor.factors)
+    assert res.ktensor.weights.min() >= 0
+    assert np.all(np.isfinite(res.log_likelihoods))
+
+
+@given(sparse_tensor_strategy(max_modes=3, max_dim=10, max_nnz=20))
+@settings(max_examples=20, deadline=None)
+def test_ttm_chain_identity_factors_preserve_norm(coo):
+    """Contracting with identity matrices is a reshuffle: the semi-sparse
+    result holds exactly the original values."""
+    if coo.nmodes < 2:
+        return
+    factors = [np.eye(s) for s in coo.shape]
+    semi = ttm_chain(coo, factors, skip_mode=0)
+    mat = semi.to_dense_matrix()
+    assert np.isclose(np.linalg.norm(mat), coo.norm(), atol=1e-10)

@@ -1,0 +1,186 @@
+"""Tests for the reordering extension (Lexi-order, BFS-MCS, baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.cpd.cp_als import cp_als
+from repro.data.synthetic import power_law_tensor
+from repro.formats.coo import CooTensor
+from repro.reorder import (
+    alpha_effect,
+    apply_permutations,
+    bfs_mcs,
+    bfs_mcs_mode,
+    identity_permutations,
+    invert_permutation,
+    lexi_order,
+    random_permutations,
+    slice_sort_mode,
+)
+from tests.conftest import make_random_coo
+
+
+@pytest.fixture
+def shuffled():
+    """Power-law tensor with shuffled labels — locality destroyed, so a
+    good reordering has something to recover."""
+    return power_law_tensor((400, 400, 400), 4000, exponent=1.3,
+                            shuffle_labels=True, seed=3)
+
+
+class TestApply:
+    def test_identity_is_noop(self, small3d):
+        out = apply_permutations(small3d, identity_permutations(small3d.shape))
+        assert np.array_equal(out.indices, small3d.indices)
+
+    def test_none_entries_skip(self, small3d):
+        perms = [None] * 3
+        out = apply_permutations(small3d, perms)
+        assert np.array_equal(out.indices, small3d.indices)
+
+    def test_roundtrip_with_inverse(self, small3d):
+        perms = random_permutations(small3d.shape, seed=1)
+        fwd = apply_permutations(small3d, perms)
+        back = apply_permutations(fwd, [invert_permutation(p) for p in perms])
+        a = back.sort_lexicographic()
+        b = small3d.sort_lexicographic()
+        assert np.array_equal(a.indices, b.indices)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_values_preserved(self, small3d):
+        perms = random_permutations(small3d.shape, seed=2)
+        out = apply_permutations(small3d, perms)
+        np.testing.assert_allclose(np.sort(out.values),
+                                   np.sort(small3d.values))
+
+    def test_norm_invariant(self, small3d):
+        perms = random_permutations(small3d.shape, seed=3)
+        out = apply_permutations(small3d, perms)
+        assert np.isclose(out.norm(), small3d.norm())
+
+    def test_bad_perm_length(self, small3d):
+        perms = identity_permutations(small3d.shape)
+        perms[0] = perms[0][:-1]
+        with pytest.raises(ValueError, match="shape"):
+            apply_permutations(small3d, perms)
+
+    def test_non_permutation(self, small3d):
+        perms = identity_permutations(small3d.shape)
+        perms[1] = np.zeros_like(perms[1])
+        with pytest.raises(ValueError, match="not a permutation"):
+            apply_permutations(small3d, perms)
+
+    def test_wrong_count(self, small3d):
+        with pytest.raises(ValueError, match="permutations"):
+            apply_permutations(small3d, [None, None])
+
+    def test_invert(self):
+        p = np.array([2, 0, 1])
+        inv = invert_permutation(p)
+        assert np.array_equal(inv[p], np.arange(3))
+
+
+class TestLexiOrder:
+    def test_returns_valid_permutations(self, small3d):
+        perms = lexi_order(small3d)
+        for perm, dim in zip(perms, small3d.shape):
+            assert sorted(perm) == list(range(dim))
+
+    def test_recovers_shuffled_locality(self, shuffled):
+        perms = lexi_order(shuffled)
+        effect = alpha_effect(shuffled, perms, block_bits=4)
+        assert effect["alpha_ratio"] < 0.7, effect
+
+    def test_identical_slices_adjacent(self):
+        # slices 0 and 5 have identical patterns -> consecutive after sort
+        inds = [[0, 1], [0, 3], [5, 1], [5, 3], [2, 0]]
+        coo = CooTensor((6, 4), inds, np.ones(5))
+        perm = slice_sort_mode(coo, 0)
+        assert abs(int(perm[0]) - int(perm[5])) == 1
+
+    def test_empty_slices_last(self):
+        coo = CooTensor((5, 3), [[0, 0], [4, 1]], [1.0, 1.0])
+        perm = slice_sort_mode(coo, 0)
+        # slices 1,2,3 are empty -> new positions 2,3,4
+        assert sorted(int(perm[i]) for i in (1, 2, 3)) == [2, 3, 4]
+
+    def test_mode_restriction(self, small3d):
+        perms = lexi_order(small3d, modes=[0])
+        assert np.array_equal(perms[1], np.arange(small3d.shape[1]))
+        assert np.array_equal(perms[2], np.arange(small3d.shape[2]))
+
+    def test_iterations_validation(self, small3d):
+        with pytest.raises(ValueError):
+            lexi_order(small3d, iterations=0)
+
+    def test_single_mode_tensor(self):
+        coo = CooTensor((8,), [[2], [5]], [1.0, 2.0])
+        perms = lexi_order(coo)
+        assert sorted(perms[0]) == list(range(8))
+
+
+class TestBfsMcs:
+    def test_returns_valid_permutations(self, small3d):
+        perms = bfs_mcs(small3d)
+        for perm, dim in zip(perms, small3d.shape):
+            assert sorted(perm) == list(range(dim))
+
+    def test_recovers_shuffled_locality(self, shuffled):
+        perms = bfs_mcs(shuffled)
+        effect = alpha_effect(shuffled, perms, block_bits=4)
+        assert effect["alpha_ratio"] < 0.7, effect
+
+    def test_connected_slices_get_close(self):
+        # two groups of slices sharing fibers; groups must not interleave
+        inds = ([[i, 0] for i in (0, 2, 4)] +  # group A shares fiber 0
+                [[i, 7] for i in (1, 3, 5)])   # group B shares fiber 7
+        coo = CooTensor((6, 8), inds, np.ones(6))
+        perm = bfs_mcs_mode(coo, 0)
+        pos_a = sorted(int(perm[i]) for i in (0, 2, 4))
+        pos_b = sorted(int(perm[i]) for i in (1, 3, 5))
+        # each group occupies a contiguous range
+        assert pos_a[-1] - pos_a[0] == 2
+        assert pos_b[-1] - pos_b[0] == 2
+
+    def test_empty_tensor(self):
+        coo = CooTensor.empty((5, 5))
+        perms = bfs_mcs(coo)
+        assert np.array_equal(perms[0], np.arange(5))
+
+    def test_mode_restriction(self, small3d):
+        perms = bfs_mcs(small3d, modes=[2])
+        assert np.array_equal(perms[0], np.arange(small3d.shape[0]))
+
+
+class TestReorderingSemantics:
+    def test_random_reorder_degrades(self, shuffled):
+        """Random permutation of an already-shuffled tensor should not
+        improve blocking."""
+        perms = random_permutations(shuffled.shape, seed=9)
+        effect = alpha_effect(shuffled, perms, block_bits=4)
+        assert effect["alpha_ratio"] > 0.9
+
+    def test_cp_fit_invariant_under_reordering(self, small3d, rng):
+        """Reordering relabels indices; CP-ALS fits are identical when the
+        initial factors are relabelled the same way."""
+        perms = bfs_mcs(small3d)
+        reordered = apply_permutations(small3d, perms)
+        init = [rng.random((s, 2)) for s in small3d.shape]
+        init_re = [f[invert_permutation(p)] for f, p in zip(init, perms)]
+        a = cp_als(small3d, 2, maxiters=3, tol=0.0, init=init)
+        b = cp_als(reordered, 2, maxiters=3, tol=0.0, init=init_re)
+        np.testing.assert_allclose(a.fits, b.fits, atol=1e-9)
+
+    def test_mttkrp_consistent_after_reordering(self, small3d, rng):
+        perms = lexi_order(small3d)
+        reordered = apply_permutations(small3d, perms)
+        factors = [rng.random((s, 3)) for s in small3d.shape]
+        re_factors = [f[invert_permutation(p)] for f, p in zip(factors, perms)]
+        for mode in range(3):
+            orig = small3d.mttkrp(factors, mode)
+            remapped = reordered.mttkrp(re_factors, mode)
+            # row new_i of the reordered output is row old_i = inv[new_i]
+            # of the original output
+            np.testing.assert_allclose(
+                remapped, orig[invert_permutation(perms[mode])], atol=1e-10)

@@ -1,0 +1,77 @@
+"""Unit tests for superblock construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.core.superblock import build_superblocks
+from repro.formats.coo import CooTensor
+from tests.conftest import make_random_coo
+
+
+@pytest.fixture
+def hic(small3d):
+    return HicooTensor(small3d, block_bits=2)
+
+
+class TestBuild:
+    def test_bits_constraint(self, hic):
+        with pytest.raises(ValueError, match="superblock_bits"):
+            build_superblocks(hic, hic.block_bits - 1)
+
+    def test_equal_bits_is_identity_grouping(self, hic):
+        sbs = build_superblocks(hic, hic.block_bits)
+        assert sbs.nsuper == hic.nblocks
+        np.testing.assert_array_equal(sbs.nnz_per_superblock, hic.block_nnz())
+
+    def test_covers_all_blocks(self, hic):
+        sbs = build_superblocks(hic, hic.block_bits + 2)
+        assert sbs.sptr[0] == 0
+        assert sbs.sptr[-1] == hic.nblocks
+        assert np.all(np.diff(sbs.sptr) > 0)
+
+    def test_nnz_conserved(self, hic):
+        sbs = build_superblocks(hic, hic.block_bits + 2)
+        assert sbs.nnz_per_superblock.sum() == hic.nnz
+
+    def test_scoords_unique(self, hic):
+        sbs = build_superblocks(hic, hic.block_bits + 1)
+        keys = {tuple(c) for c in sbs.scoords}
+        assert len(keys) == sbs.nsuper
+
+    def test_members_match_scoord(self, hic):
+        shift = 2
+        sbs = build_superblocks(hic, hic.block_bits + shift)
+        for sb in range(sbs.nsuper):
+            lo, hi = sbs.block_range(sb)
+            coords = hic.binds[lo:hi].astype(np.int64) >> shift
+            assert np.all(coords == sbs.scoords[sb])
+
+    def test_monotone_coarsening(self, hic):
+        """More superblock bits -> fewer (or equal) superblocks."""
+        counts = [
+            build_superblocks(hic, bits).nsuper
+            for bits in range(hic.block_bits, hic.block_bits + 5)
+        ]
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_empty(self):
+        hic = HicooTensor(CooTensor.empty((8, 8)), block_bits=2)
+        sbs = build_superblocks(hic, 4)
+        assert sbs.nsuper == 0
+        assert list(sbs.sptr) == [0]
+
+    def test_output_range(self, hic):
+        sbs = build_superblocks(hic, hic.block_bits + 1)
+        L = 1 << sbs.superblock_bits
+        for sb in range(min(sbs.nsuper, 5)):
+            for mode in range(3):
+                lo, hi = sbs.output_range(sb, mode)
+                assert hi - lo == L
+                assert lo % L == 0
+
+    def test_whole_tensor_single_superblock(self):
+        coo = make_random_coo((16, 16, 16), 100, seed=2)
+        hic = HicooTensor(coo, block_bits=2)
+        sbs = build_superblocks(hic, 4)  # superblock edge 16 covers all
+        assert sbs.nsuper == 1

@@ -1,0 +1,81 @@
+"""Tests of the public verification oracles — both that the shipped
+formats pass them and that the oracles catch broken formats."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.formats.coo import CooTensor
+from repro.formats.csf import CsfTensor
+from repro.testing import (
+    assert_mttkrp_consistent,
+    assert_roundtrip,
+    assert_valid_format,
+    check_format,
+)
+
+
+class TestShippedFormatsPass:
+    def test_coo(self):
+        report = check_format(lambda coo: coo)
+        assert report["oracle_checks"] > 0
+
+    def test_csf(self):
+        check_format(lambda coo: CsfTensor(coo))
+
+    def test_hicoo(self):
+        check_format(lambda coo: HicooTensor(coo, block_bits=3))
+
+    def test_hicoo_every_block_size(self):
+        for bits in (1, 4, 8):
+            check_format(lambda coo, b=bits: HicooTensor(coo, block_bits=b),
+                         shapes=[(20, 12, 8)])
+
+
+class _BrokenMttkrp(CooTensor):
+    """COO with a corrupted MTTKRP (drops the last nonzero)."""
+
+    def mttkrp(self, factors, mode):
+        trimmed = CooTensor(self.shape, self.indices[:-1], self.values[:-1],
+                            sum_duplicates=False)
+        return CooTensor.mttkrp(trimmed, factors, mode)
+
+
+class _BrokenRoundtrip(CooTensor):
+    """COO whose to_coo doubles every value."""
+
+    def to_coo(self):
+        return CooTensor(self.shape, self.indices, self.values * 2,
+                         sum_duplicates=False)
+
+
+class TestOraclesCatchBugs:
+    def test_broken_mttkrp_detected(self, small3d):
+        broken = _BrokenMttkrp(small3d.shape, small3d.indices,
+                               small3d.values, sum_duplicates=False)
+        with pytest.raises(AssertionError, match="MTTKRP mismatch"):
+            assert_mttkrp_consistent(broken)
+
+    def test_broken_roundtrip_detected(self, small3d):
+        broken = _BrokenRoundtrip(small3d.shape, small3d.indices,
+                                  small3d.values, sum_duplicates=False)
+        with pytest.raises(AssertionError, match="values changed"):
+            assert_roundtrip(broken, small3d)
+
+    def test_non_format_rejected(self):
+        with pytest.raises(AssertionError, match="not a SparseTensorFormat"):
+            assert_valid_format(np.zeros((2, 2)))
+
+    def test_nnz_change_detected(self, small3d):
+        smaller = CooTensor(small3d.shape, small3d.indices[:-1],
+                            small3d.values[:-1], sum_duplicates=False)
+        with pytest.raises(AssertionError, match="nnz changed"):
+            assert_roundtrip(smaller, small3d)
+
+    def test_check_format_propagates(self):
+        def bad_factory(coo):
+            return _BrokenMttkrp(coo.shape, coo.indices, coo.values,
+                                 sum_duplicates=False)
+
+        with pytest.raises(AssertionError):
+            check_format(bad_factory, shapes=[(20, 12, 8)])

@@ -1,0 +1,145 @@
+"""Tests for work counting and the predictive performance model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.model import (
+    build_format_suite,
+    predict_all_modes,
+    predict_mttkrp,
+    speedup_over_coo,
+    thread_scaling,
+)
+from repro.analysis.traffic import KernelWork, cp_als_iteration_work, mttkrp_work
+from repro.core.hicoo import HicooTensor
+from repro.formats.csf import CsfTensor
+from repro.parallel.machine import Machine
+from repro.data.synthetic import banded_tensor, clustered_tensor, random_tensor
+from tests.conftest import make_random_coo
+
+
+MACHINE = Machine()  # deterministic defaults
+
+
+class TestKernelWork:
+    def test_addition(self):
+        a = KernelWork(flops=1, bytes_moved=2, atomic_updates=3,
+                       detail={"x": 1})
+        b = KernelWork(flops=10, bytes_moved=20, atomic_updates=30,
+                       detail={"x": 2, "y": 5})
+        c = a + b
+        assert c.flops == 11 and c.bytes_moved == 22 and c.atomic_updates == 33
+        assert c.detail == {"x": 3, "y": 5}
+
+    def test_arithmetic_intensity(self):
+        w = KernelWork(flops=8, bytes_moved=2)
+        assert w.arithmetic_intensity() == 4.0
+
+
+class TestMttkrpWork:
+    def test_coo_formulas(self, small3d):
+        w = mttkrp_work(small3d, 0, rank=4)
+        nnz = small3d.nnz
+        assert w.detail["index_bytes"] == 4 * 3 * nnz + 4 * nnz
+        assert w.detail["gather_bytes"] == 2 * 4 * 8 * nnz
+        assert w.detail["scatter_bytes"] == 2 * 4 * 8 * nnz
+        assert w.flops == 3 * 4 * nnz
+        assert w.atomic_updates == 0
+
+    def test_coo_parallel_atomics(self, small3d):
+        w = mttkrp_work(small3d, 0, rank=4, parallel=True)
+        assert w.atomic_updates == small3d.nnz
+
+    def test_hicoo_le_coo_gather(self):
+        """HiCOO's factor gathers never exceed COO's (block reuse)."""
+        coo = clustered_tensor((512, 512, 512), 5000, nclusters=20,
+                               spread=3.0, seed=0)
+        hic = HicooTensor(coo, block_bits=5)
+        wc = mttkrp_work(coo, 0, 16)
+        wh = mttkrp_work(hic, 0, 16)
+        assert wh.detail["gather_bytes"] <= wc.detail["gather_bytes"]
+        assert wh.detail["index_bytes"] < wc.detail["index_bytes"]
+
+    def test_hicoo_flops_equal_coo(self, small3d):
+        hic = HicooTensor(small3d, block_bits=3)
+        assert mttkrp_work(hic, 1, 8).flops == mttkrp_work(small3d, 1, 8).flops
+
+    def test_csf_work_positive(self, small3d):
+        csf = CsfTensor(small3d)
+        for mode in range(3):
+            w = mttkrp_work(csf, mode, 8)
+            assert w.flops > 0 and w.bytes_moved > 0
+
+    def test_csf_gather_le_coo(self, small3d):
+        """The fiber tree loads one factor row per node, and every level has
+        at most nnz nodes, so CSF's gather traffic never exceeds COO's."""
+        csf = CsfTensor(small3d)
+        for mode in range(3):
+            assert mttkrp_work(csf, mode, 8).detail["gather_bytes"] <= \
+                mttkrp_work(small3d, mode, 8).detail["gather_bytes"] + 1e-9
+
+    def test_bad_rank(self, small3d):
+        with pytest.raises(ValueError):
+            mttkrp_work(small3d, 0, 0)
+
+    def test_unknown_format(self):
+        with pytest.raises(TypeError):
+            mttkrp_work(object(), 0, 4)  # type: ignore[arg-type]
+
+    def test_cp_als_iteration_sums_modes(self, small3d):
+        total = cp_als_iteration_work(small3d, 8)
+        per_mode = sum(
+            (mttkrp_work(small3d, m, 8) for m in range(3)), KernelWork())
+        assert total.flops > per_mode.flops  # includes the dense solves
+        assert total.bytes_moved > per_mode.bytes_moved
+
+
+class TestPredictions:
+    def test_sequential_hicoo_beats_coo_on_blocked_data(self):
+        coo = banded_tensor((2048, 2048, 2048), 20000, bandwidth=6, seed=2)
+        speedups = speedup_over_coo(coo, 16, MACHINE, nthreads=1, block_bits=6)
+        assert speedups["hicoo"] > 1.3
+        assert speedups["coo"] == 1.0
+
+    def test_random_data_near_parity(self):
+        coo = random_tensor((4096, 4096, 4096), 5000, seed=3)
+        speedups = speedup_over_coo(coo, 16, MACHINE, nthreads=1, block_bits=7)
+        assert 0.5 < speedups["hicoo"] < 1.5
+
+    def test_parallel_hicoo_widen_gap(self):
+        """Atomics hurt parallel COO, so HiCOO's advantage grows with
+        threads (the paper's parallel-figure shape)."""
+        coo = clustered_tensor((512, 512, 512), 100_000, nclusters=50,
+                               spread=4.0, seed=4)
+        seq = speedup_over_coo(coo, 16, MACHINE, nthreads=1, block_bits=6)
+        par = speedup_over_coo(coo, 16, MACHINE, nthreads=16, block_bits=6)
+        assert par["hicoo"] > seq["hicoo"]
+
+    def test_thread_scaling_monotone_hicoo(self):
+        coo = clustered_tensor((2048, 2048, 2048), 20000, nclusters=50,
+                               spread=4.0, seed=5)
+        series = thread_scaling(coo, 16, MACHINE, (1, 2, 4, 8), block_bits=6)
+        hic = series["hicoo"]
+        assert hic[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(hic, hic[1:]))
+
+    def test_coo_scaling_saturates(self):
+        coo = random_tensor((1024, 1024, 1024), 10000, seed=6)
+        series = thread_scaling(coo, 16, MACHINE, (1, 4, 16, 32))
+        # COO saturates at the socket-bandwidth limit
+        assert series["coo"][-1] == pytest.approx(series["coo"][-2], rel=0.2)
+
+    def test_predict_all_modes_totals(self, small3d):
+        ft = predict_all_modes(small3d, 8, MACHINE)
+        assert len(ft.mode_seconds) == 3
+        assert ft.total == pytest.approx(sum(ft.mode_seconds))
+
+    def test_build_format_suite(self, small3d):
+        suite = build_format_suite(small3d, block_bits=3)
+        assert set(suite) == {"coo", "csf", "hicoo"}
+        assert suite["hicoo"].block_bits == 3
+
+    def test_predict_mttkrp_positive(self, small3d):
+        for fmt in build_format_suite(small3d, block_bits=3).values():
+            p = predict_mttkrp(fmt, 0, 8, MACHINE, nthreads=4)
+            assert p.seconds > 0

@@ -1,0 +1,175 @@
+"""Tests for the sparse Tucker substrate (TTM chains + HOOI)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.formats.coo import CooTensor
+from repro.tucker import SemiSparse, TuckerTensor, hooi, ttm_chain
+
+
+@pytest.fixture
+def dense_and_coo(rng):
+    shape = (12, 10, 8)
+    dense = rng.normal(size=shape) * (rng.random(shape) < 0.3)
+    return dense, CooTensor.from_dense(dense)
+
+
+@pytest.fixture
+def tucker_factors(rng):
+    return [rng.normal(size=(s, r)) for s, r in zip((12, 10, 8), (3, 4, 2))]
+
+
+class TestSemiSparse:
+    def test_from_coo_preserves(self, dense_and_coo):
+        _, coo = dense_and_coo
+        semi = SemiSparse.from_coo(coo)
+        assert semi.n == coo.nnz
+        assert semi.ranks == (1,)
+        np.testing.assert_allclose(semi.values.ravel(), coo.values)
+
+    def test_contract_shape_check(self, dense_and_coo):
+        _, coo = dense_and_coo
+        semi = SemiSparse.from_coo(coo)
+        with pytest.raises(ValueError, match="matrix"):
+            semi.contract(0, np.ones((5, 2)))
+
+    def test_double_contract_rejected(self, dense_and_coo, tucker_factors):
+        _, coo = dense_and_coo
+        semi = SemiSparse.from_coo(coo).contract(1, tucker_factors[1])
+        with pytest.raises(ValueError, match="already contracted"):
+            semi.contract(1, tucker_factors[1])
+
+    def test_to_dense_matrix_requires_single_mode(self, dense_and_coo):
+        _, coo = dense_and_coo
+        with pytest.raises(ValueError, match="sparse modes remain"):
+            SemiSparse.from_coo(coo).to_dense_matrix()
+
+    def test_coordinates_merged(self, tucker_factors):
+        # two nonzeros sharing all coordinates except the contracted mode
+        coo = CooTensor((12, 10, 8), [[0, 3, 2], [5, 3, 2]], [1.0, 2.0])
+        semi = SemiSparse.from_coo(coo).contract(0, tucker_factors[0])
+        assert semi.n == 1
+
+
+class TestTtmChain:
+    def test_matches_dense_einsum(self, dense_and_coo, tucker_factors):
+        dense, coo = dense_and_coo
+        # skip mode 0, contract in the fixed order [1, 2]
+        semi = ttm_chain(coo, tucker_factors, skip_mode=0, order=[1, 2])
+        ref = np.einsum("ijk,jb,kc->ibc", dense,
+                        tucker_factors[1], tucker_factors[2])
+        np.testing.assert_allclose(semi.to_dense_matrix(),
+                                   ref.reshape(dense.shape[0], -1),
+                                   atol=1e-10)
+
+    def test_contraction_order_irrelevant_to_content(self, dense_and_coo,
+                                                     tucker_factors):
+        dense, coo = dense_and_coo
+        a = ttm_chain(coo, tucker_factors, skip_mode=1, order=[0, 2])
+        b = ttm_chain(coo, tucker_factors, skip_mode=1, order=[2, 0])
+        # same multiset of values after accounting for column permutation
+        ma = a.to_dense_matrix()
+        mb = b.to_dense_matrix()
+        assert np.isclose(np.linalg.norm(ma), np.linalg.norm(mb))
+
+    def test_every_skip_mode(self, dense_and_coo, tucker_factors):
+        dense, coo = dense_and_coo
+        for mode in range(3):
+            semi = ttm_chain(coo, tucker_factors, skip_mode=mode)
+            assert semi.modes == (mode,)
+            expect_cols = np.prod(
+                [tucker_factors[m].shape[1] for m in range(3) if m != mode])
+            assert semi.to_dense_matrix().shape == (dense.shape[mode],
+                                                    expect_cols)
+
+    def test_bad_order_rejected(self, dense_and_coo, tucker_factors):
+        _, coo = dense_and_coo
+        with pytest.raises(ValueError, match="order"):
+            ttm_chain(coo, tucker_factors, skip_mode=0, order=[1, 1])
+
+    def test_factor_count_checked(self, dense_and_coo):
+        _, coo = dense_and_coo
+        with pytest.raises(ValueError, match="factors"):
+            ttm_chain(coo, [np.ones((12, 2))], skip_mode=0)
+
+
+class TestTuckerTensor:
+    def test_full_matches_tensordot(self, rng):
+        core = rng.normal(size=(2, 3, 2))
+        factors = [rng.normal(size=(s, r))
+                   for s, r in zip((5, 6, 4), core.shape)]
+        tt = TuckerTensor(core, factors)
+        ref = np.einsum("abc,ia,jb,kc->ijk", core, *factors)
+        np.testing.assert_allclose(tt.full(), ref, atol=1e-12)
+
+    def test_norm_identity_with_orthonormal_factors(self, rng):
+        core = rng.normal(size=(2, 2, 2))
+        factors = [np.linalg.qr(rng.normal(size=(s, 2)))[0]
+                   for s in (6, 7, 8)]
+        tt = TuckerTensor(core, factors)
+        assert np.isclose(tt.norm(), np.linalg.norm(tt.full()))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="factors"):
+            TuckerTensor(np.zeros((2, 2)), [np.ones((3, 2))])
+        with pytest.raises(ValueError, match="columns"):
+            TuckerTensor(np.zeros((2, 2)), [np.ones((3, 2)), np.ones((4, 3))])
+
+
+class TestHooi:
+    def test_recovers_planted_tucker(self, rng):
+        core = rng.normal(size=(3, 2, 3))
+        factors = [np.linalg.qr(rng.normal(size=(s, r)))[0]
+                   for s, r in zip((20, 18, 15), core.shape)]
+        coo = CooTensor.from_dense(TuckerTensor(core, factors).full())
+        res = hooi(coo, (3, 2, 3), maxiters=20, seed=0)
+        assert res.final_fit > 1 - 1e-6
+        assert res.converged
+
+    def test_fit_monotone(self, dense_and_coo):
+        _, coo = dense_and_coo
+        res = hooi(coo, (4, 4, 4), maxiters=10, tol=0.0, seed=1)
+        fits = np.array(res.fits)
+        assert np.all(np.diff(fits) > -1e-8)
+
+    def test_orthonormal_factors(self, dense_and_coo):
+        _, coo = dense_and_coo
+        res = hooi(coo, (3, 3, 3), maxiters=5, seed=2)
+        for f in res.tucker.factors:
+            np.testing.assert_allclose(f.T @ f, np.eye(f.shape[1]),
+                                       atol=1e-10)
+
+    def test_bigger_core_fits_better(self, dense_and_coo):
+        _, coo = dense_and_coo
+        small = hooi(coo, (2, 2, 2), maxiters=10, seed=3)
+        big = hooi(coo, (6, 6, 6), maxiters=10, seed=3)
+        assert big.final_fit >= small.final_fit - 1e-6
+
+    def test_full_ranks_reproduce_exactly(self, dense_and_coo):
+        dense, coo = dense_and_coo
+        res = hooi(coo, dense.shape, maxiters=3, seed=4)
+        np.testing.assert_allclose(res.tucker.full(), dense, atol=1e-8)
+
+    def test_works_from_hicoo(self, dense_and_coo):
+        _, coo = dense_and_coo
+        hic = HicooTensor(coo, block_bits=2)
+        a = hooi(coo, (3, 3, 3), maxiters=3, tol=0.0, seed=5)
+        b = hooi(hic, (3, 3, 3), maxiters=3, tol=0.0, seed=5)
+        np.testing.assert_allclose(a.fits, b.fits, atol=1e-9)
+
+    def test_validation(self, dense_and_coo):
+        _, coo = dense_and_coo
+        with pytest.raises(ValueError, match="ranks"):
+            hooi(coo, (3, 3))
+        with pytest.raises(ValueError, match="exceed"):
+            hooi(coo, (100, 3, 3))
+        with pytest.raises(ValueError, match="positive"):
+            hooi(coo, (0, 3, 3))
+        with pytest.raises(ValueError, match="maxiters"):
+            hooi(coo, (2, 2, 2), maxiters=0)
+
+    def test_4d(self, small4d):
+        res = hooi(small4d, (3, 3, 3, 3), maxiters=4, seed=6)
+        assert 0.0 <= res.final_fit <= 1.0
+        assert res.tucker.ranks == (3, 3, 3, 3)

@@ -1,0 +1,110 @@
+"""Tests for timers, logging, and report rendering."""
+
+import time
+
+import pytest
+
+from repro.analysis.report import fmt, render_series, render_table
+from repro.util.log import get_logger
+from repro.util.timing import Stopwatch, Timer, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        t.start(); t.stop()
+        t.start(); t.stop()
+        assert t.count == 2
+        assert t.elapsed >= 0
+        assert t.mean == pytest.approx(t.elapsed / 2)
+
+    def test_double_start(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_measures_time(self):
+        t = Timer().start()
+        time.sleep(0.01)
+        dt = t.stop()
+        assert dt >= 0.009
+
+
+class TestStopwatch:
+    def test_sections(self):
+        sw = Stopwatch()
+        with sw.section("a"):
+            pass
+        with sw.section("a"):
+            pass
+        with sw.section("b"):
+            pass
+        assert sw.timers["a"].count == 2
+        assert sw.timers["b"].count == 1
+
+    def test_report_lines(self):
+        sw = Stopwatch()
+        with sw.section("x"):
+            pass
+        lines = sw.report()
+        assert len(lines) == 1
+        assert "x" in lines[0]
+
+    def test_timed_context(self):
+        with timed() as t:
+            pass
+        assert t.count == 1
+
+
+class TestLogger:
+    def test_idempotent_handlers(self):
+        a = get_logger("repro.test")
+        b = get_logger("repro.test")
+        assert a is b
+        assert len(a.handlers) == 1
+
+
+class TestFmt:
+    def test_int(self):
+        assert fmt(42, width=6) == "    42"
+
+    def test_float(self):
+        assert fmt(3.14159, width=8, prec=2) == "    3.14"
+
+    def test_tiny_float_scientific(self):
+        assert "e" in fmt(1e-9)
+
+    def test_huge_float_scientific(self):
+        assert "e" in fmt(1e9)
+
+    def test_string(self):
+        assert fmt("abc", width=5) == "  abc"
+
+    def test_zero(self):
+        assert fmt(0.0).strip() == "0.000"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        rows = [{"name": "a", "x": 1}, {"name": "b", "x": 2.5}]
+        text = render_table(rows, ["name", "x"], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 3 + 2
+
+    def test_missing_cells(self):
+        text = render_table([{"name": "a"}], ["name", "gone"])
+        assert "-" in text.splitlines()[-1]
+
+
+class TestRenderSeries:
+    def test_structure(self):
+        text = render_series("p", [1, 2], {"coo": [1.0, 1.9], "hicoo": [1.0, 2.0]})
+        lines = text.splitlines()
+        assert "coo" in lines[0] and "hicoo" in lines[0]
+        assert len(lines) == 2 + 2

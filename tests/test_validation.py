@@ -1,0 +1,104 @@
+"""Unit tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_index_array,
+    check_factors,
+    check_indices,
+    check_mode,
+    check_shape,
+)
+
+
+class TestCheckShape:
+    def test_valid(self):
+        assert check_shape([3, 4, 5]) == (3, 4, 5)
+        assert check_shape((1,)) == (1,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one mode"):
+            check_shape(())
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            check_shape((3, 0, 5))
+        with pytest.raises(ValueError):
+            check_shape((-1,))
+
+
+class TestAsIndexArray:
+    def test_accepts_lists(self):
+        arr = as_index_array([[0, 1], [2, 3]])
+        assert arr.dtype == np.int64
+        assert arr.shape == (2, 2)
+
+    def test_accepts_integral_floats(self):
+        arr = as_index_array(np.array([[1.0, 2.0]]))
+        assert arr.dtype == np.int64
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            as_index_array(np.array([[1.5, 2.0]]))
+
+    def test_rejects_1d_nonempty(self):
+        with pytest.raises(ValueError):
+            as_index_array(np.array([1, 2, 3]))
+
+    def test_mode_count_checked(self):
+        with pytest.raises(ValueError, match="modes"):
+            as_index_array([[0, 1]], nmodes=3)
+
+
+class TestCheckIndices:
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            check_indices([[0, 5]], (3, 5))
+
+    def test_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_indices([[-1, 0]], (3, 5))
+
+    def test_valid_passes(self):
+        arr = check_indices([[2, 4]], (3, 5))
+        assert arr.tolist() == [[2, 4]]
+
+
+class TestCheckMode:
+    def test_positive(self):
+        assert check_mode(0, 3) == 0
+        assert check_mode(2, 3) == 2
+
+    def test_negative_indexing(self):
+        assert check_mode(-1, 3) == 2
+        assert check_mode(-3, 3) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_mode(3, 3)
+        with pytest.raises(ValueError):
+            check_mode(-4, 3)
+
+
+class TestCheckFactors:
+    def test_valid(self):
+        fs = check_factors([np.ones((3, 2)), np.ones((4, 2))], (3, 4))
+        assert len(fs) == 2
+        assert all(f.dtype == np.float64 for f in fs)
+
+    def test_wrong_count(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            check_factors([np.ones((3, 2))], (3, 4))
+
+    def test_wrong_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_factors([np.ones((3, 2)), np.ones((5, 2))], (3, 4))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError, match="rank"):
+            check_factors([np.ones((3, 2)), np.ones((4, 3))], (3, 4))
+
+    def test_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_factors([np.ones(3), np.ones((4, 2))], (3, 4))
