@@ -17,9 +17,12 @@ from repro.analysis.model import speedup_over_coo
 from repro.analysis.report import render_table
 from repro.core.hicoo import HicooTensor
 from repro.kernels.mttkrp import mttkrp_parallel
+from repro.kernels.plan import plan_mttkrp
 
 from conftest import (BENCH_BLOCK_BITS, RANK, TIMED_DATASETS,
-                      all_dataset_names, dataset, write_result)
+                      all_dataset_names, best_time, dataset, write_bench_json,
+                      write_result)
+from legacy import legacy_parallel_hicoo
 
 
 def test_e5_parallel_speedup_figure(machine, benchmark):
@@ -47,6 +50,50 @@ def test_e5_parallel_speedup_figure(machine, benchmark):
     assert (hicoo > 1.0).sum() >= len(rows) // 2
     benchmark(speedup_over_coo, dataset("vast"), RANK, machine, nthreads,
               BENCH_BLOCK_BITS)
+
+
+def test_bench_json_parallel():
+    """Machine-readable simulated-parallel HiCOO MTTKRP -> BENCH_mttkrp.json.
+
+    Three variants per (dataset, strategy): ``legacy`` (the old per-call
+    path: superblock + schedule rebuild, per-block index loop, np.add.at),
+    ``unplanned`` (production dispatch without a plan — still hits the
+    tensor's memoized gather cache when warm), and ``planned`` (explicit
+    plan, warm — what CP-ALS iterations 2..K pay)."""
+    nthreads = 4
+    records = []
+    for name in TIMED_DATASETS:
+        coo = dataset(name)
+        hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, RANK)) for s in coo.shape]
+        for strategy in ("schedule", "privatize"):
+            t_legacy = best_time(legacy_parallel_hicoo, hic, factors, 0,
+                                 nthreads, strategy)
+            t_unplanned = best_time(
+                lambda: mttkrp_parallel(hic, factors, 0, nthreads, strategy))
+            plan = plan_mttkrp(hic, RANK, nthreads, strategy=strategy)
+            plan.ensure_gathers(hic)
+            t_planned = best_time(
+                lambda: mttkrp_parallel(hic, factors, 0, nthreads, plan=plan))
+            for variant, t in (("legacy", t_legacy),
+                               ("unplanned", t_unplanned),
+                               ("planned", t_planned)):
+                records.append({
+                    "op": "mttkrp_par", "format": "hicoo",
+                    "strategy": strategy, "dataset": name, "variant": variant,
+                    "nnz": coo.nnz, "rank": RANK, "nthreads": nthreads,
+                    "time_s": t,
+                })
+            assert t_planned < t_legacy, (
+                f"{name}/{strategy}: planned path slower than legacy")
+    write_bench_json(records)
+    by = {(r["dataset"], r["strategy"], r["variant"]): r["time_s"]
+          for r in records}
+    speedups = {
+        f"{n}/{s}": by[(n, s, "legacy")] / by[(n, s, "planned")]
+        for n in TIMED_DATASETS for s in ("schedule", "privatize")}
+    print(f"parallel HiCOO planned-vs-legacy speedups: {speedups}")
 
 
 @pytest.mark.parametrize("name", TIMED_DATASETS)

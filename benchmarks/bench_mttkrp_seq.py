@@ -20,7 +20,9 @@ from repro.core.hicoo import HicooTensor
 from repro.formats.csf import CsfTensor
 
 from conftest import (BENCH_BLOCK_BITS, RANK, TIMED_DATASETS,
-                      all_dataset_names, dataset, write_result)
+                      all_dataset_names, best_time, dataset, write_bench_json,
+                      write_result)
+from legacy import legacy_seq_flat
 
 
 def test_e4_sequential_speedup_figure(machine, benchmark):
@@ -63,6 +65,46 @@ def factors_for():
         return cache[name]
 
     return get
+
+
+def test_bench_json_sequential(factors_for):
+    """Machine-readable sequential MTTKRP timings -> BENCH_mttkrp.json.
+
+    ``legacy`` is the pre-gather-layer per-call path (index rebuild +
+    np.add.at every call); ``cached`` is the production path, timed warm so
+    the symbolic work is amortized the way CP-ALS amortizes it.
+    """
+    records = []
+    for name in TIMED_DATASETS:
+        coo = dataset(name)
+        factors = factors_for(name)
+        tensors = {
+            "coo": coo,
+            "csf": CsfTensor(coo),
+            "hicoo": HicooTensor(coo, block_bits=BENCH_BLOCK_BITS),
+        }
+        for fmt, tensor in tensors.items():
+            t = best_time(tensor.mttkrp, factors, 0)
+            records.append({
+                "op": "mttkrp_seq", "format": fmt, "strategy": "sequential",
+                "dataset": name, "variant": "cached",
+                "nnz": coo.nnz, "rank": RANK, "time_s": t,
+            })
+        t_legacy = best_time(legacy_seq_flat, tensors["hicoo"], factors, 0)
+        records.append({
+            "op": "mttkrp_seq", "format": "hicoo", "strategy": "sequential",
+            "dataset": name, "variant": "legacy",
+            "nnz": coo.nnz, "rank": RANK, "time_s": t_legacy,
+        })
+    write_bench_json(records)
+    by = {(r["dataset"], r["variant"]): r["time_s"] for r in records
+          if r["format"] == "hicoo"}
+    speedups = {n: by[(n, "legacy")] / by[(n, "cached")]
+                for n in TIMED_DATASETS}
+    print(f"sequential HiCOO cached-vs-legacy speedups: {speedups}")
+    # sequential MTTKRP is numeric-dominated, so the win is modest (~1.2x);
+    # the >=2x planned-path claim is enforced by the parallel bench + guard
+    assert all(s > 0.95 for s in speedups.values())
 
 
 @pytest.mark.parametrize("name", TIMED_DATASETS)

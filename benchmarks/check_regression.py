@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""CI regression guard for the gather/scatter kernel layer.
+
+Times HiCOO MTTKRP on a small registry tensor three ways and fails (exit 1)
+if the planned path (warm gather cache — what CP-ALS iterations pay) is
+slower than the unplanned per-call path (cold symbolic work every call), or
+slower than the frozen legacy baseline.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for `legacy`
+
+import numpy as np
+
+from legacy import legacy_parallel_hicoo
+from repro.core.hicoo import HicooTensor
+from repro.data import load
+from repro.kernels.mttkrp import mttkrp_parallel
+from repro.kernels.plan import plan_mttkrp
+
+DATASET = "vast"
+BLOCK_BITS = 4
+RANK = 16
+NTHREADS = 4
+REPEAT = 5
+
+
+def best_of(fn, repeat=REPEAT):
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> int:
+    coo = load(DATASET)
+    hic = HicooTensor(coo, block_bits=BLOCK_BITS)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, RANK)) for s in coo.shape]
+
+    def unplanned_cold():
+        hic.clear_gather_cache()
+        mttkrp_parallel(hic, factors, 0, NTHREADS, strategy="schedule")
+
+    t_unplanned = best_of(unplanned_cold)
+    t_legacy = best_of(
+        lambda: legacy_parallel_hicoo(hic, factors, 0, NTHREADS, "schedule"))
+
+    plan = plan_mttkrp(hic, RANK, NTHREADS, strategy="schedule")
+    plan.ensure_gathers(hic)
+    t_planned = best_of(
+        lambda: mttkrp_parallel(hic, factors, 0, NTHREADS, plan=plan))
+
+    print(f"dataset={DATASET} nnz={coo.nnz} P={NTHREADS} R={RANK}")
+    print(f"  legacy per-call path : {t_legacy * 1e3:8.2f} ms")
+    print(f"  unplanned (cold)     : {t_unplanned * 1e3:8.2f} ms")
+    print(f"  planned (warm)       : {t_planned * 1e3:8.2f} ms")
+    print(f"  planned vs unplanned : {t_unplanned / t_planned:.2f}x")
+    print(f"  planned vs legacy    : {t_legacy / t_planned:.2f}x")
+
+    ok = True
+    if t_planned > t_unplanned:
+        print("FAIL: planned HiCOO MTTKRP is slower than the unplanned path")
+        ok = False
+    if t_planned > t_legacy:
+        print("FAIL: planned HiCOO MTTKRP is slower than the legacy baseline")
+        ok = False
+    if ok:
+        print("OK: planned path is the fastest")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

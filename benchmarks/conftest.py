@@ -12,6 +12,8 @@ Run with::
 from __future__ import annotations
 
 import functools
+import json
+import time
 from pathlib import Path
 
 import pytest
@@ -67,3 +69,47 @@ def write_result(filename: str, text: str) -> None:
     path = RESULTS_DIR / filename
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def best_time(fn, *args, repeat: int = 5, warmup: int = 1, **kwargs) -> float:
+    """Best-of-``repeat`` wall-clock seconds of ``fn(*args, **kwargs)``.
+
+    ``warmup`` unrecorded calls absorb one-time costs (cache fills, lazy
+    allocations) so warm and cold paths can be timed separately.
+    """
+    for _ in range(warmup):
+        fn(*args, **kwargs)
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def write_bench_json(records, filename: str = "BENCH_mttkrp.json") -> Path:
+    """Merge machine-readable bench records into ``results/<filename>``.
+
+    Each record is a dict with at least (op, format, strategy, dataset,
+    variant); records with the same key replace earlier ones, so the seq
+    and par benches can contribute to one file across separate runs.  The
+    perf trajectory across PRs is tracked by committing the file.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+
+    def key(r):
+        return (r.get("op"), r.get("format"), r.get("strategy"),
+                r.get("dataset"), r.get("variant"))
+
+    merged = {}
+    if path.exists():
+        for r in json.loads(path.read_text()):
+            merged[key(r)] = r
+    for r in records:
+        merged[key(r)] = r
+    out = sorted(merged.values(),
+                 key=lambda r: tuple(str(k) for k in key(r)))
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    print(f"[{len(records)} records merged into {path}]")
+    return path

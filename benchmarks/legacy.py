@@ -1,0 +1,69 @@
+"""Faithful replicas of the pre-gather-layer HiCOO MTTKRP paths.
+
+The gather/scatter kernel layer replaced the per-call symbolic work
+(per-block ``arange``/``full``/``concatenate`` index materialization, whole-
+array ``binds`` casts) and the ``np.add.at`` scatter everywhere.  These
+replicas preserve the old behaviour bit-for-bit so the benchmarks and the CI
+regression guard can report the speedup of the cached path against a live
+baseline instead of a number frozen in a doc.
+"""
+
+import numpy as np
+
+from repro.core.scheduler import choose_strategy, schedule_mode
+from repro.core.superblock import build_superblocks
+from repro.kernels.mttkrp import _hicoo_block_range_chunk
+from repro.parallel.partition import balanced_ranges
+from repro.parallel.privatize import PrivateBuffers
+
+
+def legacy_seq_flat(tensor, factors, mode):
+    """The old sequential HiCOO flat kernel: rebuilds the fused global
+    coordinates (casting the whole binds array) and scatters via np.add.at
+    on every call."""
+    rank = factors[0].shape[1]
+    out = np.zeros((tensor.shape[mode], rank))
+    if tensor.nnz == 0:
+        return out
+    blk = np.repeat(np.arange(tensor.nblocks), np.diff(tensor.bptr))
+    base = tensor.binds.astype(np.int64)[blk] << tensor.block_bits
+    ginds = base + tensor.einds.astype(np.int64)
+    acc = np.repeat(tensor.values[:, None], rank, axis=1)
+    for m, f in enumerate(factors):
+        if m != mode:
+            acc *= f[ginds[:, m]]
+    np.add.at(out, ginds[:, mode], acc)
+    return out
+
+
+def legacy_parallel_hicoo(tensor, factors, mode, nthreads, strategy="auto",
+                          superblock_bits=None):
+    """The old per-call parallel HiCOO path: rebuilds superblocks and the
+    schedule, then runs the per-block-loop chunk kernel per thread."""
+    rank = factors[0].shape[1]
+    rows = tensor.shape[mode]
+    sb_bits = superblock_bits if superblock_bits is not None else min(
+        tensor.block_bits + 3, 20)
+    sbs = build_superblocks(tensor, sb_bits)
+    if strategy == "auto":
+        strategy = choose_strategy(sbs, mode, nthreads, rows, rank)
+
+    if strategy == "schedule":
+        sched = schedule_mode(sbs, mode, nthreads)
+        out = np.zeros((rows, rank))
+        for sb_list in sched.assignment:
+            blocks = []
+            for sb in sb_list:
+                lo, hi = sbs.block_range(sb)
+                blocks.extend(range(lo, hi))
+            _hicoo_block_range_chunk(tensor, blocks, factors, mode, out)
+        return out
+
+    ranges = balanced_ranges(sbs.nnz_per_superblock, nthreads)
+    bufs = PrivateBuffers.allocate(nthreads, rows, rank)
+    for tid, (lo, hi) in enumerate(ranges):
+        if lo < hi:
+            blocks = list(range(int(sbs.sptr[lo]), int(sbs.sptr[hi])))
+            _hicoo_block_range_chunk(tensor, blocks, factors, mode,
+                                     bufs.view(tid))
+    return bufs.reduce()

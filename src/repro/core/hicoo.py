@@ -24,6 +24,8 @@ import numpy as np
 
 from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
+from ..kernels.gather import (TaskGather, build_task_gather, coalesce_runs,
+                              mttkrp_gather_chunk, runs_from_block_ids)
 from ..util.validation import check_factors, check_mode
 from .blocking import MAX_BLOCK_BITS, decompose
 
@@ -62,6 +64,8 @@ class HicooTensor(SparseTensorFormat):
         self.binds = dec.block_coords.astype(np.uint32)
         self.einds = dec.elem_offsets
         self.values = dec.values
+        #: memoized TaskGather per block-run tuple (symbolic kernel cache)
+        self._gather_cache: dict = {}
 
     # ------------------------------------------------------------------
     # properties
@@ -92,17 +96,55 @@ class HicooTensor(SparseTensorFormat):
         return np.repeat(np.arange(self.nblocks), self.block_nnz())
 
     # ------------------------------------------------------------------
+    # symbolic gather cache
+    # ------------------------------------------------------------------
+    def task_gather(self, blocks) -> TaskGather:
+        """Memoized fused gather arrays for a set of blocks.
+
+        ``blocks`` is either a sequence of block ids or a sequence of
+        half-open ``(lo, hi)`` block runs.  The first call materializes the
+        int64 ``(binds << b) + einds`` coordinates (and task-ordered values)
+        once; every later call with the same block set — every CP-ALS
+        iteration, every TTV/TTM batch — is a dict hit.  The returned
+        :class:`~repro.kernels.gather.TaskGather` arrays are shared: treat
+        them as read-only.
+        """
+        blocks = list(blocks)
+        if blocks and isinstance(blocks[0], (tuple, list)):
+            runs = tuple(coalesce_runs(blocks))
+        else:
+            runs = tuple(runs_from_block_ids(blocks))
+        # setdefault keeps deserialized instances (built via __new__) working
+        cache = self.__dict__.setdefault("_gather_cache", {})
+        cached = cache.get(runs)
+        if cached is None:
+            cached = build_task_gather(self, runs)
+            cache[runs] = cached
+        return cached
+
+    def clear_gather_cache(self) -> None:
+        """Drop every memoized :meth:`task_gather` entry (frees memory)."""
+        self.__dict__.setdefault("_gather_cache", {}).clear()
+
+    def gather_cache_bytes(self) -> int:
+        """Total footprint of the memoized gather arrays."""
+        cache = self.__dict__.setdefault("_gather_cache", {})
+        return sum(tg.nbytes() for tg in cache.values())
+
+    # ------------------------------------------------------------------
     # conversions
     # ------------------------------------------------------------------
     def global_indices(self) -> np.ndarray:
-        """(nnz, N) int64 coordinates reconstructed from binds/einds."""
-        blk = self._nnz_block_of
-        base = self.binds.astype(np.int64)[blk] << self.block_bits
-        return base + self.einds.astype(np.int64)
+        """(nnz, N) int64 coordinates reconstructed from binds/einds.
+
+        Cached via :meth:`task_gather` (the whole tensor is one block run);
+        callers must not mutate the returned array.
+        """
+        return self.task_gather([(0, self.nblocks)]).ginds
 
     def to_coo(self) -> CooTensor:
-        return CooTensor(self._shape, self.global_indices(), self.values,
-                         sum_duplicates=False)
+        return CooTensor(self._shape, self.global_indices().copy(),
+                         self.values, sum_duplicates=False)
 
     def storage_bytes(self) -> dict:
         """Canonical HiCOO storage accounting (paper notation):
@@ -144,12 +186,8 @@ class HicooTensor(SparseTensorFormat):
         out = np.zeros((self._shape[mode], rank))
         if self.nnz == 0:
             return out
-        ginds = self.global_indices()
-        acc = np.repeat(self.values[:, None], rank, axis=1)
-        for m, f in enumerate(factors):
-            if m != mode:
-                acc *= f[ginds[:, m]]
-        np.add.at(out, ginds[:, mode], acc)
+        tg = self.task_gather([(0, self.nblocks)])
+        mttkrp_gather_chunk(tg, factors, mode, out)
         return out
 
     def _mttkrp_blocked(self, factors, mode):

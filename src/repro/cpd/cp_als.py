@@ -60,8 +60,8 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
            init: str | Sequence[np.ndarray] = "random",
            nthreads: int = 1, strategy: str = "auto",
            seed: Optional[int] = None,
-           callback: Optional[Callable[[int, float], None]] = None
-           ) -> CpAlsResult:
+           callback: Optional[Callable[[int, float], None]] = None,
+           plan=None) -> CpAlsResult:
     """Compute a rank-``rank`` CP decomposition of ``tensor``.
 
     Parameters
@@ -74,6 +74,11 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
     strategy : parallel MTTKRP strategy (see ``mttkrp_parallel``).
     seed : seeds the initializer for reproducible runs.
     callback : called as ``callback(iteration, fit)`` after every iteration.
+    plan : a precomputed :class:`repro.kernels.plan.MttkrpPlan` for a HiCOO
+        ``tensor``; pass one to share the symbolic state (superblocks,
+        schedules, fused gather arrays) across CP-ALS restarts.  When
+        omitted and ``nthreads > 1``, one plan is built here and reused by
+        every mode of every iteration.
     """
     if rank < 1:
         raise ValueError(f"rank must be positive, got {rank}")
@@ -99,26 +104,33 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
     weights = np.ones(rank)
     result = CpAlsResult(ktensor=KruskalTensor(weights, factors))
 
-    # precompute the parallel plan once: the superblock index and per-mode
-    # schedules are symbolic state, identical across iterations
-    plan = None
-    if nthreads > 1:
-        from ..core.hicoo import HicooTensor
+    # precompute the parallel plan once: the superblock index, per-mode
+    # schedules, and fused gather arrays are symbolic state, identical
+    # across iterations — built here (or passed in), reused every MTTKRP
+    from ..core.hicoo import HicooTensor
+
+    if plan is None and nthreads > 1 and isinstance(tensor, HicooTensor):
         from ..kernels.plan import plan_mttkrp
 
-        if isinstance(tensor, HicooTensor):
-            plan = plan_mttkrp(tensor, rank, nthreads,
-                               strategy=strategy if strategy != "atomic"
-                               else "auto")
+        plan = plan_mttkrp(tensor, rank, nthreads,
+                           strategy=strategy if strategy != "atomic"
+                           else "auto")
+    if plan is not None and isinstance(tensor, HicooTensor):
+        # materialize every mode's gather arrays up front so no iteration
+        # (not even the first) pays symbolic cost inside the timed loop
+        plan.ensure_gathers(tensor)
 
     t_start = time.perf_counter()
     prev_fit = 0.0
     for it in range(maxiters):
         for mode in range(nmodes):
             t0 = time.perf_counter()
-            if nthreads > 1:
-                m = mttkrp_parallel(tensor, factors, mode, nthreads,
+            if plan is not None:
+                m = mttkrp_parallel(tensor, factors, mode, plan.nthreads,
                                     strategy=strategy, plan=plan).output
+            elif nthreads > 1:
+                m = mttkrp_parallel(tensor, factors, mode, nthreads,
+                                    strategy=strategy).output
             else:
                 m = tensor.mttkrp(factors, mode)
             result.mttkrp_seconds += time.perf_counter() - t0

@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..kernels.gather import scatter_add
 from ..util.bitops import bits_for, morton_sort_order
 from ..util.validation import check_factors, check_indices, check_mode, check_shape
 from .base import SparseTensorFormat
@@ -164,7 +165,7 @@ class CooTensor(SparseTensorFormat):
         if self.nnz == 0:
             return out
         acc = self.values[:, None] * _row_products(factors, self.indices, mode)
-        np.add.at(out, self.indices[:, mode], acc)
+        scatter_add(out, self.indices[:, mode], acc)
         return out
 
     def ttv(self, vector: np.ndarray, mode: int) -> "CooTensor":
@@ -232,7 +233,8 @@ def _sum_duplicates(indices: np.ndarray, values: np.ndarray):
     group_id = np.concatenate([[0], np.cumsum(new_group)])
     ngroups = group_id[-1] + 1
     out_vals = np.zeros(ngroups)
-    np.add.at(out_vals, group_id, values)
+    # group ids come from a cumulative sum, hence non-decreasing
+    scatter_add(out_vals, group_id, values, presorted=True)
     first = np.concatenate([[0], np.flatnonzero(new_group) + 1])
     return indices[first], out_vals
 

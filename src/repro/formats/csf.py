@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..kernels.gather import scatter_add
 from ..util.validation import check_factors, check_mode
 from .base import SparseTensorFormat
 from .coo import CooTensor
@@ -152,7 +153,8 @@ class CsfTensor(SparseTensorFormat):
             contrib = below * factor[level.fids]
             parent_n = self.levels[depth - 1].nnodes
             agg = np.zeros((parent_n, rank))
-            np.add.at(agg, level.parent, contrib)
+            # nodes are stored parent-major, so parent ids are sorted
+            scatter_add(agg, level.parent, contrib, presorted=True)
             below = agg
 
         # --- top-down pass: above[d] down to the target depth.
@@ -164,7 +166,8 @@ class CsfTensor(SparseTensorFormat):
             above = above[level.parent] * factor[prev.fids[level.parent]]
 
         target = self.levels[depth_of_mode]
-        np.add.at(out, target.fids, above * below)
+        scatter_add(out, target.fids, above * below,
+                    presorted=depth_of_mode == 0)
         return out
 
     # ------------------------------------------------------------------

@@ -1,0 +1,15 @@
+"""Tensor kernels: MTTKRP (sequential/parallel/planned), TTV/TTM, and the
+gather/scatter layer that separates symbolic index work from numeric work.
+"""
+
+from .gather import (TaskGather, build_task_gather, coalesce_runs,
+                     mttkrp_gather_chunk, runs_from_block_ids, scatter_add)
+
+__all__ = [
+    "TaskGather",
+    "build_task_gather",
+    "coalesce_runs",
+    "mttkrp_gather_chunk",
+    "runs_from_block_ids",
+    "scatter_add",
+]

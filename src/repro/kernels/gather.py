@@ -1,0 +1,234 @@
+"""Precomputed gather/scatter primitives for the block-sparse kernels.
+
+HiCOO's hot loops all have the same shape: *gather* factor rows at fused
+global coordinates ``(bind << b) + eind``, multiply, and *scatter-add* the
+result into the output.  The coordinate arithmetic is purely **symbolic** —
+it depends only on the tensor's structure, never on the factor values — so
+CP-ALS's N modes x K iterations can pay it exactly once.  This module
+provides the three pieces of that split (the taco-style symbolic/numeric
+separation; see DESIGN.md section 7):
+
+* :class:`TaskGather` — the cached symbolic state of one thread task: fused
+  int64 gather coordinates, task-ordered values, and per-mode sortedness
+  flags (sorted scatter indices unlock the segmented-reduction backend);
+* :func:`scatter_add` — a drop-in replacement for ``np.add.at`` that picks
+  the fastest NumPy scatter backend for the input at hand;
+* run coalescing — consecutive block ids become ``(lo, hi)`` slice ranges so
+  task setup is O(runs), not O(blocks).
+
+Every helper is duck-typed on the HiCOO attribute contract (``bptr``,
+``binds``, ``einds``, ``values``, ``block_bits``) to keep this module
+import-light; :meth:`repro.core.hicoo.HicooTensor.task_gather` is the
+memoizing entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SCATTER_SMALL_N",
+    "TaskGather",
+    "scatter_add",
+    "coalesce_runs",
+    "runs_from_block_ids",
+    "build_task_gather",
+    "mttkrp_gather_chunk",
+]
+
+#: below this many updates the bookkeeping of the fast backends costs more
+#: than ``np.add.at`` itself.
+SCATTER_SMALL_N = 64
+
+#: when the output has this many times more rows than there are updates, a
+#: per-column bincount (which walks the whole output) loses to sorting the
+#: updates and segment-reducing them.
+_SPARSE_OUT_RATIO = 8
+
+
+# ----------------------------------------------------------------------
+# scatter-add backend selection
+# ----------------------------------------------------------------------
+def scatter_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
+                presorted: bool | None = None,
+                row_local: bool = False) -> str:
+    """Accumulate ``acc`` into ``out`` at rows ``idx``; returns the backend.
+
+    Semantically identical to ``np.add.at(out, idx, acc)`` — duplicate
+    indices sum — but picks the fastest NumPy primitive available:
+
+    * ``"add_at"`` — tiny inputs (< :data:`SCATTER_SMALL_N` updates);
+    * ``"reduceat"`` — ``idx`` is non-decreasing (HiCOO tasks know this from
+      their cached sortedness flags): one segmented reduction, no sort;
+    * ``"bincount"`` — general case, one ``np.bincount`` per output column;
+    * ``"sort_reduceat"`` — output rows vastly outnumber updates, where
+      bincount's full-output walk loses to sorting the updates first.
+
+    ``presorted=None`` probes sortedness (one O(n) pass, cheap next to the
+    scatter itself); pass ``True``/``False`` when the caller already knows.
+    ``row_local=True`` restricts the choice to backends that write only the
+    rows in ``idx`` — required when ``out`` is shared between concurrent
+    tasks that own disjoint row ranges (the lock-free superblock schedule):
+    bincount adds a full-length column and would race on unowned rows.
+    ``out`` may be 1-D (with 1-D ``acc``) or 2-D (rows x rank).
+    """
+    n = len(idx)
+    if n == 0:
+        return "noop"
+    if n <= SCATTER_SMALL_N:
+        np.add.at(out, idx, acc)
+        return "add_at"
+    if presorted is None:
+        presorted = bool(np.all(idx[1:] >= idx[:-1]))
+    if presorted:
+        _segment_add(out, idx, acc)
+        return "reduceat"
+    rows = out.shape[0]
+    if row_local or rows > _SPARSE_OUT_RATIO * n:
+        order = np.argsort(idx, kind="stable")
+        _segment_add(out, idx[order], acc[order])
+        return "sort_reduceat"
+    if acc.ndim == 1:
+        out += np.bincount(idx, weights=acc, minlength=rows)
+    else:
+        for r in range(acc.shape[1]):
+            out[:, r] += np.bincount(idx, weights=acc[:, r], minlength=rows)
+    return "bincount"
+
+
+def _segment_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray) -> None:
+    """Segmented reduction of ``acc`` into ``out``; ``idx`` non-decreasing."""
+    starts = np.concatenate([[0], np.flatnonzero(idx[1:] != idx[:-1]) + 1])
+    sums = np.add.reduceat(acc, starts, axis=0)
+    # idx[starts] are pairwise distinct (idx is sorted), so fancy += is exact
+    out[idx[starts]] += sums
+
+
+# ----------------------------------------------------------------------
+# run coalescing (O(runs) task setup)
+# ----------------------------------------------------------------------
+def coalesce_runs(ranges: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge adjacent half-open ``(lo, hi)`` ranges; drops empty ranges."""
+    runs: List[Tuple[int, int]] = []
+    for lo, hi in ranges:
+        lo, hi = int(lo), int(hi)
+        if hi <= lo:
+            continue
+        if runs and runs[-1][1] == lo:
+            runs[-1] = (runs[-1][0], hi)
+        else:
+            runs.append((lo, hi))
+    return runs
+
+
+def runs_from_block_ids(block_ids) -> List[Tuple[int, int]]:
+    """Coalesce a sequence of block ids into maximal consecutive runs."""
+    ids = np.asarray(block_ids, dtype=np.int64)
+    if ids.size == 0:
+        return []
+    breaks = np.flatnonzero(ids[1:] != ids[:-1] + 1) + 1
+    starts = np.concatenate([[0], breaks])
+    ends = np.concatenate([breaks, [len(ids)]])
+    return [(int(ids[s]), int(ids[e - 1]) + 1) for s, e in zip(starts, ends)]
+
+
+# ----------------------------------------------------------------------
+# fused gather arrays
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskGather:
+    """Cached symbolic state of one thread task over a HiCOO tensor.
+
+    Attributes
+    ----------
+    runs : tuple of (blk_lo, blk_hi) — the block runs this task owns.
+    ginds : (nnz, N) int64 — fused global coordinates
+        ``(binds[blk] << block_bits) + einds``, task order.
+    values : (nnz,) float64 — the nonzero values in the same order (constant
+        per tensor, cached so the numeric pass is slice-free).
+    sorted_modes : (N,) bool — whether ``ginds[:, m]`` is non-decreasing;
+        a sorted scatter mode takes the segmented-reduction backend.
+    """
+
+    runs: Tuple[Tuple[int, int], ...]
+    ginds: np.ndarray
+    values: np.ndarray
+    sorted_modes: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def nbytes(self) -> int:
+        """Cache footprint of the precomputed arrays."""
+        return (self.ginds.nbytes + self.values.nbytes
+                + self.sorted_modes.nbytes)
+
+
+def build_task_gather(tensor, runs: Sequence[Tuple[int, int]]) -> TaskGather:
+    """Materialize the fused gather arrays for block runs of ``tensor``.
+
+    One vectorized pass per run (O(runs) setup + O(nnz) arithmetic) replaces
+    the per-block ``arange``/``full``/``concatenate`` loop.  ``binds`` is
+    sliced *before* the int64 widening so only the task's rows are cast.
+    """
+    runs = tuple(coalesce_runs(runs))
+    nmodes = tensor.binds.shape[1] if tensor.binds.ndim == 2 else 1
+    shift = tensor.block_bits
+    pieces_g, pieces_v = [], []
+    for blo, bhi in runs:
+        lo, hi = int(tensor.bptr[blo]), int(tensor.bptr[bhi])
+        counts = np.diff(tensor.bptr[blo:bhi + 1])
+        blk_of = np.repeat(np.arange(blo, bhi), counts)
+        base = tensor.binds[blk_of].astype(np.int64) << shift
+        base += tensor.einds[lo:hi]
+        pieces_g.append(base)
+        pieces_v.append(tensor.values[lo:hi])
+    if pieces_g:
+        ginds = pieces_g[0] if len(pieces_g) == 1 else np.concatenate(pieces_g)
+        values = (pieces_v[0] if len(pieces_v) == 1
+                  else np.concatenate(pieces_v))
+        values = np.ascontiguousarray(values, dtype=np.float64)
+    else:
+        ginds = np.empty((0, nmodes), dtype=np.int64)
+        values = np.empty(0, dtype=np.float64)
+    sorted_modes = np.array(
+        [bool(np.all(ginds[1:, m] >= ginds[:-1, m]))
+         for m in range(ginds.shape[1])], dtype=bool)
+    return TaskGather(runs=runs, ginds=ginds, values=values,
+                      sorted_modes=sorted_modes)
+
+
+# ----------------------------------------------------------------------
+# numeric MTTKRP pass over a cached gather
+# ----------------------------------------------------------------------
+def mttkrp_gather_chunk(tg: TaskGather, factors, mode: int, out: np.ndarray,
+                        row_local: bool = False) -> str:
+    """Pure-numeric MTTKRP of one task: gather, multiply, scatter-add.
+
+    All symbolic work lives in ``tg``; this touches only factor values.
+    Returns the scatter backend used (recorded in :class:`MttkrpRun`).
+    ``row_local`` is forwarded to :func:`scatter_add` (set it when ``out``
+    is shared between concurrently running tasks).
+    """
+    if tg.nnz == 0:
+        return "noop"
+    acc = None
+    for m, f in enumerate(factors):
+        if m == mode:
+            continue
+        rows = f[tg.ginds[:, m]]
+        if acc is None:
+            acc = rows  # fresh gather output — safe to scale in place below
+        else:
+            acc *= rows
+    if acc is None:
+        acc = np.repeat(tg.values[:, None], out.shape[1], axis=1)
+    else:
+        acc *= tg.values[:, None]
+    return scatter_add(out, tg.ginds[:, mode], acc,
+                       presorted=bool(tg.sorted_modes[mode]),
+                       row_local=row_local)

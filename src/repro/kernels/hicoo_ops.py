@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.hicoo import HicooTensor
 from ..formats.coo import CooTensor
+from ..kernels.gather import scatter_add
 from ..kernels.ttm import SemiSparseTensor
 from ..util.validation import check_mode
 
@@ -24,17 +25,15 @@ def _block_batches(tensor: HicooTensor, batch_blocks: int = 4096):
     """Yield (global_indices, values) for batches of consecutive blocks.
 
     Batching bounds the temporary coordinate array to roughly
-    ``batch_blocks * mean_block_nnz`` rows.
+    ``batch_blocks * mean_block_nnz`` rows.  Each batch goes through the
+    tensor's memoized :meth:`~repro.core.hicoo.HicooTensor.task_gather`
+    cache, so repeated TTV/TTM calls (e.g. a TTM chain in HOOI, or the
+    model-selection sweep) reconstruct the fused coordinates only once.
     """
-    shift = tensor.block_bits
     for lo_blk in range(0, tensor.nblocks, batch_blocks):
         hi_blk = min(lo_blk + batch_blocks, tensor.nblocks)
-        lo, hi = int(tensor.bptr[lo_blk]), int(tensor.bptr[hi_blk])
-        counts = np.diff(tensor.bptr[lo_blk:hi_blk + 1])
-        blk_of = np.repeat(np.arange(lo_blk, hi_blk), counts)
-        base = tensor.binds.astype(np.int64)[blk_of] << shift
-        ginds = base + tensor.einds[lo:hi].astype(np.int64)
-        yield ginds, tensor.values[lo:hi]
+        tg = tensor.task_gather([(lo_blk, hi_blk)])
+        yield tg.ginds, tg.values
 
 
 def hicoo_ttv(tensor: HicooTensor, vector: np.ndarray, mode: int) -> CooTensor:
@@ -105,7 +104,8 @@ def hicoo_ttm(tensor: HicooTensor, matrix: np.ndarray,
         group_id = np.zeros(len(coords), dtype=np.int64)
         first = np.array([0]) if len(coords) else np.empty(0, dtype=np.int64)
     sums = np.zeros((int(group_id[-1]) + 1 if len(coords) else 0, rank))
-    np.add.at(sums, group_id, fibers)
+    # group ids come from a cumulative sum, hence non-decreasing
+    scatter_add(sums, group_id, fibers, presorted=True)
     return SemiSparseTensor(
         shape=keep_shape, mode=mode, indices=coords[first], fibers=sums
     )
@@ -119,10 +119,10 @@ def block_norms(tensor: HicooTensor, ord: float = 2.0) -> np.ndarray:
     out = np.zeros(tensor.nblocks)
     blk = tensor._nnz_block_of
     if ord == 2.0:
-        np.add.at(out, blk, tensor.values ** 2)
+        scatter_add(out, blk, tensor.values ** 2, presorted=True)
         return np.sqrt(out)
     if ord == 1.0:
-        np.add.at(out, blk, np.abs(tensor.values))
+        scatter_add(out, blk, np.abs(tensor.values), presorted=True)
         return out
     if np.isinf(ord):
         np.maximum.at(out, blk, np.abs(tensor.values))

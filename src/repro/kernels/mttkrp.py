@@ -35,6 +35,7 @@ from ..parallel.executor import ExecutionReport, run_tasks
 from ..parallel.partition import balanced_ranges
 from ..parallel.privatize import PrivateBuffers
 from ..util.validation import check_factors, check_mode
+from .gather import mttkrp_gather_chunk, scatter_add
 
 __all__ = ["MttkrpRun", "mttkrp", "mttkrp_parallel"]
 
@@ -51,6 +52,9 @@ class MttkrpRun:
     reduction_flops: int = 0
     schedule: Optional[Schedule] = None
     report: ExecutionReport = field(default_factory=ExecutionReport)
+    #: scatter backends the tasks used (sorted, deduplicated) — see
+    #: :func:`repro.kernels.gather.scatter_add`; feeds the analysis layer
+    scatter_backends: tuple = ()
 
     def makespan_nnz(self) -> int:
         """Work on the critical path, in nonzeros."""
@@ -107,18 +111,24 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     raise TypeError(f"no parallel MTTKRP for format {type(tensor).__name__}")
 
 
+def _backends_of(report: ExecutionReport) -> tuple:
+    """Deduplicated scatter-backend names returned by the tasks."""
+    return tuple(sorted({v for v in report.values()
+                         if isinstance(v, str) and v and v != "noop"}))
+
+
 # ----------------------------------------------------------------------
 # COO
 # ----------------------------------------------------------------------
 def _coo_chunk(indices, values, factors, mode, out):
     rank = out.shape[1]
     if not len(values):
-        return
+        return "noop"
     acc = np.repeat(values[:, None], rank, axis=1)
     for m, f in enumerate(factors):
         if m != mode:
             acc *= f[indices[:, m]]
-    np.add.at(out, indices[:, mode], acc)
+    return scatter_add(out, indices[:, mode], acc)
 
 
 def _parallel_coo(tensor, factors, mode, nthreads, strategy, real_threads):
@@ -136,26 +146,31 @@ def _parallel_coo(tensor, factors, mode, nthreads, strategy, real_threads):
 
         def make_task(tid, lo, hi):
             def task():
-                _coo_chunk(tensor.indices[lo:hi], tensor.values[lo:hi],
-                           factors, mode, bufs.view(tid))
+                return _coo_chunk(tensor.indices[lo:hi], tensor.values[lo:hi],
+                                  factors, mode, bufs.view(tid))
             return task
 
         tasks = [make_task(t, lo, hi) for t, (lo, hi) in enumerate(ranges)]
-        report = run_tasks(tasks, real_threads=False)  # buffers are private but
-        # reduce after all tasks regardless of thread mode
+        # private buffers make concurrent writes race-free, so the caller's
+        # thread mode is honored; the reduction always runs after the tasks
+        report = run_tasks(tasks, real_threads=real_threads)
         out = bufs.reduce()
         return MttkrpRun(output=out, strategy="privatize", nthreads=nthreads,
                          thread_nnz=thread_nnz,
-                         reduction_flops=bufs.reduction_flops(), report=report)
+                         reduction_flops=bufs.reduction_flops(), report=report,
+                         scatter_backends=_backends_of(report))
 
-    # atomic: shared output. With simulated threads the sequential execution
-    # is exact; the atomic cost is charged by the machine model.
+    # atomic: shared output.  This path deliberately ignores ``real_threads``:
+    # NumPy has no atomic scatter-add, so concurrent tasks writing overlapping
+    # rows of a shared array would silently lose updates.  Sequential
+    # execution keeps the result exact; the atomic penalty a real machine
+    # would pay is charged analytically by the machine model.
     out = np.zeros((rows, rank))
 
     def make_task(lo, hi):
         def task():
-            _coo_chunk(tensor.indices[lo:hi], tensor.values[lo:hi],
-                       factors, mode, out)
+            return _coo_chunk(tensor.indices[lo:hi], tensor.values[lo:hi],
+                              factors, mode, out)
         return task
 
     tasks = [make_task(lo, hi) for lo, hi in ranges]
@@ -163,14 +178,20 @@ def _parallel_coo(tensor, factors, mode, nthreads, strategy, real_threads):
     return MttkrpRun(output=out, strategy="atomic", nthreads=nthreads,
                      thread_nnz=thread_nnz,
                      atomic_updates=tensor.nnz if nthreads > 1 else 0,
-                     report=report)
+                     report=report,
+                     scatter_backends=_backends_of(report))
 
 
 # ----------------------------------------------------------------------
 # HiCOO
 # ----------------------------------------------------------------------
 def _hicoo_block_range_chunk(tensor, block_ids, factors, mode, out):
-    """Process the nonzeros of a list of blocks into ``out``."""
+    """Legacy per-block chunk: re-materializes index ranges on every call.
+
+    Kept as the reference baseline the benchmarks and the CI regression
+    guard compare the cached gather path against; the production paths go
+    through :meth:`HicooTensor.task_gather` + :func:`mttkrp_gather_chunk`.
+    """
     if not len(block_ids):
         return
     rank = out.shape[1]
@@ -184,7 +205,7 @@ def _hicoo_block_range_chunk(tensor, block_ids, factors, mode, out):
         pieces_blk.append(np.full(hi - lo, blk, dtype=np.int64))
     nz = np.concatenate(pieces_i)
     blk_of = np.concatenate(pieces_blk)
-    base = tensor.binds.astype(np.int64)[blk_of] << shift
+    base = tensor.binds[blk_of].astype(np.int64) << shift
     ginds = base + tensor.einds[nz].astype(np.int64)
     acc = np.repeat(tensor.values[nz, None], rank, axis=1)
     for m, f in enumerate(factors):
@@ -210,22 +231,23 @@ def _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
     if strategy == "schedule":
         sched = schedule_mode(sbs, mode, nthreads)
         out = np.zeros((rows, rank))
+        # task_gather memoizes on the tensor, so repeated unplanned calls
+        # with the same structure also skip the symbolic work
+        gathers = [tensor.task_gather([sbs.block_range(sb) for sb in sb_list])
+                   for sb_list in sched.assignment]
 
-        def make_task(sb_list):
-            blocks = []
-            for sb in sb_list:
-                lo, hi = sbs.block_range(sb)
-                blocks.extend(range(lo, hi))
-
+        def make_task(tg):
             def task():
-                _hicoo_block_range_chunk(tensor, blocks, factors, mode, out)
+                return mttkrp_gather_chunk(tg, factors, mode, out,
+                                           row_local=True)
             return task
 
-        tasks = [make_task(sb_list) for sb_list in sched.assignment]
+        tasks = [make_task(tg) for tg in gathers]
         report = run_tasks(tasks, real_threads=real_threads)
         return MttkrpRun(output=out, strategy="schedule", nthreads=nthreads,
                          thread_nnz=sched.thread_nnz.copy(), schedule=sched,
-                         report=report)
+                         report=report,
+                         scatter_backends=_backends_of(report))
 
     # privatize: contiguous superblock ranges balanced by nnz
     ranges = balanced_ranges(sbs.nnz_per_superblock, nthreads)
@@ -233,68 +255,68 @@ def _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
     thread_nnz = np.array(
         [int(sbs.nnz_per_superblock[lo:hi].sum()) for lo, hi in ranges],
         dtype=np.int64)
+    gathers = [tensor.task_gather([(int(sbs.sptr[lo]), int(sbs.sptr[hi]))])
+               if lo < hi else tensor.task_gather([])
+               for lo, hi in ranges]
 
-    def make_task(tid, lo, hi):
-        if lo < hi:
-            blo, bhi = int(sbs.sptr[lo]), int(sbs.sptr[hi])
-            blocks = list(range(blo, bhi))
-        else:
-            blocks = []
-
+    def make_task(tid, tg):
         def task():
-            _hicoo_block_range_chunk(tensor, blocks, factors, mode,
-                                     bufs.view(tid))
+            return mttkrp_gather_chunk(tg, factors, mode, bufs.view(tid))
         return task
 
-    tasks = [make_task(t, lo, hi) for t, (lo, hi) in enumerate(ranges)]
-    report = run_tasks(tasks, real_threads=False)
+    tasks = [make_task(t, tg) for t, tg in enumerate(gathers)]
+    # private buffers are race-free, so the caller's thread mode is honored
+    report = run_tasks(tasks, real_threads=real_threads)
     return MttkrpRun(output=bufs.reduce(), strategy="privatize",
                      nthreads=nthreads, thread_nnz=thread_nnz,
-                     reduction_flops=bufs.reduction_flops(), report=report)
+                     reduction_flops=bufs.reduction_flops(), report=report,
+                     scatter_backends=_backends_of(report))
 
 
 def _parallel_hicoo_planned(tensor, factors, mode, plan, real_threads):
-    """Execute a mode's MTTKRP from a precomputed plan (no symbolic work)."""
+    """Execute a mode's MTTKRP from a precomputed plan (no symbolic work).
+
+    The first call for a mode materializes the plan's fused gather arrays
+    (through the tensor's memoized cache); every later call — each CP-ALS
+    iteration — is a pure gather/multiply/scatter numeric pass.
+    """
     rank = factors[0].shape[1]
     rows = tensor.shape[mode]
     mp = plan.for_mode(mode)
+    gathers = plan.ensure_gathers(tensor, mode)
 
     if mp.strategy == "schedule":
         out = np.zeros((rows, rank))
 
-        def make_task(blocks):
+        def make_task(tg):
             def task():
-                _hicoo_block_range_chunk(tensor, blocks, factors, mode, out)
+                return mttkrp_gather_chunk(tg, factors, mode, out,
+                                           row_local=True)
             return task
 
-        tasks = [make_task(blocks) for blocks in mp.thread_blocks]
+        tasks = [make_task(tg) for tg in gathers]
         report = run_tasks(tasks, real_threads=real_threads)
         return MttkrpRun(output=out, strategy="schedule",
                          nthreads=plan.nthreads,
                          thread_nnz=mp.thread_nnz.copy(),
-                         schedule=mp.schedule, report=report)
+                         schedule=mp.schedule, report=report,
+                         scatter_backends=_backends_of(report))
 
-    sbs = plan.superblocks
     bufs = PrivateBuffers.allocate(plan.nthreads, rows, rank)
 
-    def make_task(tid, lo, hi):
-        if lo < hi:
-            blocks = list(range(int(sbs.sptr[lo]), int(sbs.sptr[hi])))
-        else:
-            blocks = []
-
+    def make_task(tid, tg):
         def task():
-            _hicoo_block_range_chunk(tensor, blocks, factors, mode,
-                                     bufs.view(tid))
+            return mttkrp_gather_chunk(tg, factors, mode, bufs.view(tid))
         return task
 
-    tasks = [make_task(t, lo, hi)
-             for t, (lo, hi) in enumerate(mp.superblock_ranges)]
-    report = run_tasks(tasks, real_threads=False)
+    tasks = [make_task(t, tg) for t, tg in enumerate(gathers)]
+    # private buffers are race-free, so the caller's thread mode is honored
+    report = run_tasks(tasks, real_threads=real_threads)
     return MttkrpRun(output=bufs.reduce(), strategy="privatize",
                      nthreads=plan.nthreads,
                      thread_nnz=mp.thread_nnz.copy(),
-                     reduction_flops=bufs.reduction_flops(), report=report)
+                     reduction_flops=bufs.reduction_flops(), report=report,
+                     scatter_backends=_backends_of(report))
 
 
 # ----------------------------------------------------------------------
@@ -323,13 +345,16 @@ def _parallel_csf(tensor, factors, mode, nthreads, strategy, real_threads):
     def make_task(tid, lo, hi):
         def task():
             if lo >= hi:
-                return
+                return "noop"
             target = out if shared else bufs.view(tid)
-            _csf_subtree_mttkrp(tensor, factors, mode, lo, hi, target)
+            return _csf_subtree_mttkrp(tensor, factors, mode, lo, hi, target,
+                                       row_local=shared)
         return task
 
     tasks = [make_task(t, lo, hi) for t, (lo, hi) in enumerate(ranges)]
-    report = run_tasks(tasks, real_threads=real_threads and shared)
+    # subtree writes are row-disjoint (root mode) and privatized buffers are
+    # race-free, so real threads are safe either way
+    report = run_tasks(tasks, real_threads=real_threads)
     if not shared:
         out = bufs.reduce()
     return MttkrpRun(
@@ -339,6 +364,7 @@ def _parallel_csf(tensor, factors, mode, nthreads, strategy, real_threads):
         thread_nnz=thread_nnz,
         reduction_flops=bufs.reduction_flops() if bufs else 0,
         report=report,
+        scatter_backends=_backends_of(report),
     )
 
 
@@ -348,13 +374,21 @@ def _root_subtree_nnz(tensor: CsfTensor) -> np.ndarray:
     for depth in range(len(tensor.levels) - 1, 0, -1):
         parent = tensor.levels[depth].parent
         up = np.zeros(tensor.levels[depth - 1].nnodes, dtype=np.int64)
-        np.add.at(up, parent, counts)
+        # fiber-tree nodes are stored parent-major, so parent is sorted
+        scatter_add(up, parent, counts, presorted=True)
         counts = up
     return counts
 
 
-def _csf_subtree_mttkrp(tensor, factors, mode, root_lo, root_hi, out):
-    """Run the two-pass tree MTTKRP restricted to root nodes [lo, hi)."""
+def _csf_subtree_mttkrp(tensor, factors, mode, root_lo, root_hi, out,
+                        row_local=False):
+    """Run the two-pass tree MTTKRP restricted to root nodes [lo, hi).
+
+    Returns the scatter backend of the final output scatter.  ``row_local``
+    must be set when ``out`` is shared between concurrent subtree tasks
+    (root-mode target): the tasks' fids are disjoint, so row-local scatter
+    backends are race-free.
+    """
     nmodes = tensor.nmodes
     depth_of_mode = tensor.mode_order.index(mode)
     # per-level node ranges covered by the root slice
@@ -374,7 +408,8 @@ def _csf_subtree_mttkrp(tensor, factors, mode, root_lo, root_hi, out):
         contrib = below * factor[level.fids[lo:hi]]
         plo, phi = los[depth - 1], his[depth - 1]
         agg = np.zeros((phi - plo, rank))
-        np.add.at(agg, level.parent[lo:hi] - plo, contrib)
+        # nodes are stored parent-major: parent ids are non-decreasing
+        scatter_add(agg, level.parent[lo:hi] - plo, contrib, presorted=True)
         below = agg
 
     above = np.ones((his[0] - los[0], rank))
@@ -389,4 +424,5 @@ def _csf_subtree_mttkrp(tensor, factors, mode, root_lo, root_hi, out):
 
     target = tensor.levels[depth_of_mode]
     lo, hi = los[depth_of_mode], his[depth_of_mode]
-    np.add.at(out, target.fids[lo:hi], above * below)
+    return scatter_add(out, target.fids[lo:hi], above * below,
+                       row_local=row_local)

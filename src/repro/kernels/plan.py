@@ -6,11 +6,20 @@ the symbolic work the paper explicitly amortizes ("construction cost is
 paid once").  A :class:`MttkrpPlan` captures all of it — one superblock
 index plus a per-mode strategy/schedule — and is reused across iterations
 (and across CP-ALS restarts, which share the tensor).
+
+Since the gather/scatter layer (:mod:`repro.kernels.gather`) the plan also
+caches the **fused gather arrays** of every thread task: the int64
+``(bind << b) + eind`` coordinates, task-ordered values, and per-mode
+sortedness flags.  Thread tasks are stored as coalesced block *runs*
+(``(lo, hi)`` slices), so plan construction is O(superblocks), not
+O(blocks); the gather arrays themselves are built lazily on first execution
+through :meth:`repro.core.hicoo.HicooTensor.task_gather` — which memoizes
+them on the tensor, so plans over the same tensor share the arrays.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -19,6 +28,7 @@ from ..core.hicoo import HicooTensor
 from ..core.scheduler import Schedule, choose_strategy, schedule_mode
 from ..core.superblock import SuperblockIndex, build_superblocks
 from ..parallel.partition import balanced_ranges
+from .gather import TaskGather, coalesce_runs
 
 __all__ = ["ModePlan", "MttkrpPlan", "plan_mttkrp"]
 
@@ -29,12 +39,22 @@ class ModePlan:
 
     mode: int
     strategy: str  # "schedule" | "privatize"
-    #: schedule strategy: per-thread block-id lists (flattened superblocks)
-    thread_blocks: Optional[List[List[int]]] = None
+    #: per-thread coalesced block runs (both strategies): task t owns the
+    #: nonzeros of blocks ``[lo, hi)`` for every run in ``thread_runs[t]``
+    thread_runs: List[List[Tuple[int, int]]] = field(default_factory=list)
     schedule: Optional[Schedule] = None
     #: privatize strategy: per-thread contiguous superblock ranges
     superblock_ranges: Optional[List[Tuple[int, int]]] = None
     thread_nnz: Optional[np.ndarray] = None
+    #: lazily-filled fused gather cache, one TaskGather per thread task
+    gathers: Optional[List[TaskGather]] = None
+
+    @property
+    def thread_blocks(self) -> List[List[int]]:
+        """Per-thread flat block-id lists, expanded from ``thread_runs``
+        (compatibility/inspection view; execution uses the runs)."""
+        return [[b for lo, hi in runs for b in range(lo, hi)]
+                for runs in self.thread_runs]
 
 
 @dataclass
@@ -49,6 +69,35 @@ class MttkrpPlan:
 
     def for_mode(self, mode: int) -> ModePlan:
         return self.modes[mode]
+
+    def ensure_gathers(self, tensor: HicooTensor,
+                       mode: Optional[int] = None) -> List[TaskGather]:
+        """Fill (and return) the fused gather cache for ``mode``.
+
+        The arrays come from :meth:`HicooTensor.task_gather`, so tasks that
+        recur across modes (privatize ranges are mode-independent) and
+        across plans of the same tensor share one copy.  With ``mode=None``
+        every mode is materialized (useful to pre-pay all symbolic cost
+        before a timed region).
+        """
+        if mode is None:
+            for m in range(len(self.modes)):
+                self.ensure_gathers(tensor, m)
+            return [tg for mp in self.modes for tg in mp.gathers]
+        mp = self.modes[mode]
+        if mp.gathers is None:
+            mp.gathers = [tensor.task_gather(runs) for runs in mp.thread_runs]
+        return mp.gathers
+
+    def gather_cache_bytes(self) -> int:
+        """Footprint of the materialized gather arrays (0 until executed)."""
+        seen, total = set(), 0
+        for mp in self.modes:
+            for tg in mp.gathers or ():
+                if id(tg) not in seen:
+                    seen.add(id(tg))
+                    total += tg.nbytes()
+        return total
 
 
 def plan_mttkrp(tensor: HicooTensor, rank: int, nthreads: int,
@@ -79,23 +128,26 @@ def plan_mttkrp(tensor: HicooTensor, rank: int, nthreads: int,
                                     tensor.shape[mode], rank)
         if strat == "schedule":
             sched = schedule_mode(sbs, mode, nthreads)
-            thread_blocks = []
-            for sb_list in sched.assignment:
-                blocks: List[int] = []
-                for sb in sb_list:
-                    lo, hi = sbs.block_range(sb)
-                    blocks.extend(range(lo, hi))
-                thread_blocks.append(blocks)
+            thread_runs = [
+                coalesce_runs([sbs.block_range(sb) for sb in sb_list])
+                for sb_list in sched.assignment
+            ]
             modes.append(ModePlan(mode=mode, strategy="schedule",
-                                  thread_blocks=thread_blocks,
+                                  thread_runs=thread_runs,
                                   schedule=sched,
                                   thread_nnz=sched.thread_nnz.copy()))
         else:
             ranges = balanced_ranges(sbs.nnz_per_superblock, nthreads)
+            thread_runs = [
+                coalesce_runs([(int(sbs.sptr[lo]), int(sbs.sptr[hi]))])
+                if lo < hi else []
+                for lo, hi in ranges
+            ]
             thread_nnz = np.array(
                 [int(sbs.nnz_per_superblock[lo:hi].sum())
                  for lo, hi in ranges], dtype=np.int64)
             modes.append(ModePlan(mode=mode, strategy="privatize",
+                                  thread_runs=thread_runs,
                                   superblock_ranges=ranges,
                                   thread_nnz=thread_nnz))
     return MttkrpPlan(nthreads=nthreads, rank=rank,

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..formats.coo import CooTensor
 from ..util.validation import check_mode
+from .gather import scatter_add
 
 __all__ = ["SemiSparseTensor", "ttm"]
 
@@ -78,7 +79,8 @@ def ttm(tensor: CooTensor, matrix: np.ndarray, mode: int) -> SemiSparseTensor:
         first = np.array([0]) if len(kept) else np.empty(0, dtype=np.int64)
     ngroups = int(group_id[-1]) + 1 if len(kept) else 0
     fibers = np.zeros((ngroups, matrix.shape[1]))
-    np.add.at(fibers, group_id, vals[:, None] * rows)
+    # group ids come from a cumulative sum, hence non-decreasing
+    scatter_add(fibers, group_id, vals[:, None] * rows, presorted=True)
     return SemiSparseTensor(
         shape=keep_shape, mode=mode, indices=kept[first], fibers=fibers
     )
