@@ -4,18 +4,39 @@ Regenerates the paper's conversion-time table: the one-time cost of sorting
 a COO tensor into each format.  HiCOO construction = Morton sort + block
 scan; CSF = lexicographic sort + tree build.  Expected shape: both are a
 small constant factor over a plain sort and amortize over CP-ALS iterations.
+
+This file also tracks the conversion fast paths against their live legacy
+replicas (``benchmarks/legacy.py``) and writes the machine-readable
+``BENCH_convert.json``:
+
+* magic-number Morton encode vs the old per-bit loop;
+* cold HicooTensor construction (one-sort MortonContext pipeline) vs the
+  old per-(tensor, b) lexsort path — outputs asserted bit-identical;
+* the block-size sweep ``best_block_bits`` (boundary counting on shared
+  codes) vs the old build-a-tensor-per-candidate sweep.
 """
 
 import time
 
+import numpy as np
 import pytest
 
 from repro.analysis.report import render_table
-from repro.core.hicoo import HicooTensor
+from repro.core.hicoo import HicooTensor, best_block_bits
 from repro.formats.csf import CsfTensor
+from repro.util.bitops import bits_for, morton_encode
 
 from conftest import (BENCH_BLOCK_BITS, TIMED_DATASETS, all_dataset_names,
-                      dataset, write_result)
+                      best_time, dataset, write_bench_json, write_result)
+from legacy import (legacy_best_block_bits, legacy_hicoo_construct,
+                    legacy_morton_encode)
+
+
+def cold_construct(coo, block_bits):
+    """HicooTensor construction with the shared context dropped first —
+    what a fresh tensor pays (warm rebuilds are a cache hit)."""
+    coo.clear_convert_cache()
+    return HicooTensor(coo, block_bits=block_bits)
 
 
 def test_e10_conversion_table(benchmark):
@@ -28,6 +49,7 @@ def test_e10_conversion_table(benchmark):
         t0 = time.perf_counter()
         CsfTensor(coo)
         t_csf = time.perf_counter() - t0
+        coo.clear_convert_cache()
         t0 = time.perf_counter()
         HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
         t_hicoo = time.perf_counter() - t0
@@ -44,7 +66,7 @@ def test_e10_conversion_table(benchmark):
         title=f"E10: one-time format construction (b={BENCH_BLOCK_BITS})",
         widths={"dataset": 10})
     write_result("E10_convert.txt", text)
-    benchmark(HicooTensor, dataset("vast"), BENCH_BLOCK_BITS)
+    benchmark(cold_construct, dataset("vast"), BENCH_BLOCK_BITS)
 
 
 @pytest.mark.parametrize("name", TIMED_DATASETS)
@@ -54,5 +76,75 @@ def test_measured_conversion(benchmark, name, fmt):
     if fmt == "csf":
         out = benchmark(CsfTensor, coo)
     else:
-        out = benchmark(HicooTensor, coo, BENCH_BLOCK_BITS)
+        out = benchmark(cold_construct, coo, BENCH_BLOCK_BITS)
     assert out.nnz == coo.nnz
+
+
+def test_bench_json_convert():
+    """New-vs-legacy conversion timings -> BENCH_convert.json.
+
+    Asserts output equivalence (block structure bit-identical, same sweep
+    choice) alongside the speedups, so a fast-but-wrong path cannot pass.
+    """
+    records = []
+    encode_speedups, construct_speedups, sweep_speedups = {}, {}, {}
+    for name in TIMED_DATASETS:
+        coo = dataset(name)
+        coords = np.ascontiguousarray(coo.indices.T)
+        nbits = bits_for(int(coords.max()) if coords.size else 0)
+        common = {"dataset": name, "nnz": coo.nnz, "nmodes": coo.nmodes,
+                  "format": "hicoo", "strategy": "convert"}
+
+        t_enc = best_time(morton_encode, coords, nbits)
+        t_enc_legacy = best_time(legacy_morton_encode, coords, nbits)
+        assert np.array_equal(morton_encode(coords, nbits),
+                              legacy_morton_encode(coords, nbits))
+        records.append({**common, "op": "morton_encode", "variant": "new",
+                        "nbits": nbits, "time_s": t_enc})
+        records.append({**common, "op": "morton_encode", "variant": "legacy",
+                        "nbits": nbits, "time_s": t_enc_legacy})
+        encode_speedups[name] = t_enc_legacy / t_enc
+
+        t_con = best_time(cold_construct, coo, BENCH_BLOCK_BITS)
+        t_con_legacy = best_time(legacy_hicoo_construct, coo,
+                                 BENCH_BLOCK_BITS)
+        new = cold_construct(coo, BENCH_BLOCK_BITS)
+        old = legacy_hicoo_construct(coo, BENCH_BLOCK_BITS)
+        assert np.array_equal(new.bptr, old.bptr)
+        assert np.array_equal(new.binds, old.binds)
+        assert np.array_equal(new.einds, old.einds)
+        assert np.array_equal(new.values, old.values)
+        records.append({**common, "op": "hicoo_construct", "variant": "new",
+                        "block_bits": BENCH_BLOCK_BITS, "time_s": t_con})
+        records.append({**common, "op": "hicoo_construct",
+                        "variant": "legacy",
+                        "block_bits": BENCH_BLOCK_BITS,
+                        "time_s": t_con_legacy})
+        construct_speedups[name] = t_con_legacy / t_con
+
+        def sweep_cold():
+            coo.clear_convert_cache()
+            return best_block_bits(coo)
+
+        t_sweep = best_time(sweep_cold)
+        t_sweep_legacy = best_time(legacy_best_block_bits, coo)
+        assert sweep_cold() == legacy_best_block_bits(coo)
+        records.append({**common, "op": "best_block_bits", "variant": "new",
+                        "candidates": "1..8", "time_s": t_sweep})
+        records.append({**common, "op": "best_block_bits",
+                        "variant": "legacy", "candidates": "1..8",
+                        "time_s": t_sweep_legacy})
+        sweep_speedups[name] = t_sweep_legacy / t_sweep
+
+    write_bench_json(records, "BENCH_convert.json")
+    print(f"morton encode speedups  : { {k: round(v, 2) for k, v in encode_speedups.items()} }")
+    print(f"construction speedups   : { {k: round(v, 2) for k, v in construct_speedups.items()} }")
+    print(f"block-size sweep speedups: { {k: round(v, 2) for k, v in sweep_speedups.items()} }")
+    # floors from ISSUE acceptance criteria (measured margins are larger)
+    assert max(encode_speedups.values()) >= 3.0
+    assert max(construct_speedups.values()) >= 2.0
+    assert max(sweep_speedups.values()) >= 4.0
+    # and no dataset may regress outright
+    assert all(s >= 1.0 for s in encode_speedups.values())
+    assert all(s >= 1.0 for s in construct_speedups.values())
+    assert all(s >= 1.0 for s in sweep_speedups.values())

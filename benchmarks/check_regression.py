@@ -1,10 +1,17 @@
 #!/usr/bin/env python
-"""CI regression guard for the gather/scatter kernel layer.
+"""CI regression guard for the HiCOO fast paths.
 
-Times HiCOO MTTKRP on a small registry tensor three ways and fails (exit 1)
-if the planned path (warm gather cache — what CP-ALS iterations pay) is
-slower than the unplanned per-call path (cold symbolic work every call), or
-slower than the frozen legacy baseline.  Run from the repo root::
+Two families of live baselines (see ``benchmarks/legacy.py``):
+
+* **MTTKRP** — times HiCOO MTTKRP on a small registry tensor three ways and
+  fails if the planned path (warm gather cache — what CP-ALS iterations pay)
+  is slower than the unplanned per-call path or the legacy baseline;
+* **conversion** — times the magic-number Morton encode, cold HicooTensor
+  construction, and the ``best_block_bits`` sweep against their pre-
+  MortonContext replicas, and fails if any new path is slower (speedup < 1)
+  or produces a different block structure.
+
+Run from the repo root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
 """
@@ -17,11 +24,13 @@ sys.path.insert(0, str(Path(__file__).parent))  # for `legacy`
 
 import numpy as np
 
-from legacy import legacy_parallel_hicoo
-from repro.core.hicoo import HicooTensor
+from legacy import (legacy_best_block_bits, legacy_hicoo_construct,
+                    legacy_morton_encode, legacy_parallel_hicoo)
+from repro.core.hicoo import HicooTensor, best_block_bits
 from repro.data import load
 from repro.kernels.mttkrp import mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
+from repro.util.bitops import bits_for, morton_encode
 
 DATASET = "vast"
 BLOCK_BITS = 4
@@ -37,6 +46,62 @@ def best_of(fn, repeat=REPEAT):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def check_conversion(coo) -> bool:
+    """New-vs-legacy conversion pipeline: equivalence + speedup >= 1."""
+    coords = np.ascontiguousarray(coo.indices.T)
+    nbits = bits_for(int(coords.max()) if coords.size else 0)
+
+    if not np.array_equal(morton_encode(coords, nbits),
+                          legacy_morton_encode(coords, nbits)):
+        print("FAIL: magic-number Morton encode differs from per-bit encode")
+        return False
+    t_enc = best_of(lambda: morton_encode(coords, nbits))
+    t_enc_legacy = best_of(lambda: legacy_morton_encode(coords, nbits))
+
+    def construct_cold():
+        coo.clear_convert_cache()
+        return HicooTensor(coo, block_bits=BLOCK_BITS)
+
+    new, old = construct_cold(), legacy_hicoo_construct(coo, BLOCK_BITS)
+    if not (np.array_equal(new.bptr, old.bptr)
+            and np.array_equal(new.binds, old.binds)
+            and np.array_equal(new.einds, old.einds)
+            and np.array_equal(new.values, old.values)):
+        print("FAIL: one-sort construction differs from the legacy path")
+        return False
+    t_con = best_of(construct_cold)
+    t_con_legacy = best_of(lambda: legacy_hicoo_construct(coo, BLOCK_BITS))
+
+    def sweep_cold():
+        coo.clear_convert_cache()
+        return best_block_bits(coo)
+
+    if sweep_cold() != legacy_best_block_bits(coo):
+        print("FAIL: best_block_bits choice differs from the legacy sweep")
+        return False
+    t_sweep = best_of(sweep_cold)
+    t_sweep_legacy = best_of(lambda: legacy_best_block_bits(coo))
+
+    print(f"  morton encode        : {t_enc_legacy * 1e3:8.2f} ms legacy, "
+          f"{t_enc * 1e3:8.2f} ms new ({t_enc_legacy / t_enc:.2f}x)")
+    print(f"  hicoo construction   : {t_con_legacy * 1e3:8.2f} ms legacy, "
+          f"{t_con * 1e3:8.2f} ms new ({t_con_legacy / t_con:.2f}x)")
+    print(f"  best_block_bits sweep: {t_sweep_legacy * 1e3:8.2f} ms legacy, "
+          f"{t_sweep * 1e3:8.2f} ms new ({t_sweep_legacy / t_sweep:.2f}x)")
+
+    ok = True
+    if t_enc > t_enc_legacy:
+        print("FAIL: magic-number Morton encode is slower than per-bit")
+        ok = False
+    if t_con > t_con_legacy:
+        print("FAIL: one-sort construction is slower than the legacy path")
+        ok = False
+    if t_sweep > t_sweep_legacy:
+        print("FAIL: shared-context sweep is slower than the legacy sweep")
+        ok = False
+    return ok
 
 
 def main() -> int:
@@ -74,7 +139,12 @@ def main() -> int:
         ok = False
     if ok:
         print("OK: planned path is the fastest")
-    return 0 if ok else 1
+
+    print("conversion pipeline:")
+    conv_ok = check_conversion(coo)
+    if conv_ok:
+        print("OK: conversion fast paths beat their legacy baselines")
+    return 0 if ok and conv_ok else 1
 
 
 if __name__ == "__main__":

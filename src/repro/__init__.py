@@ -35,6 +35,7 @@ from . import data  # noqa: F401  (submodule access: repro.data.load)
 from . import reorder  # noqa: F401  (reordering extension)
 from . import testing  # noqa: F401  (format verification oracles)
 from . import tucker  # noqa: F401  (sparse Tucker substrate)
+from .core.convert import MortonContext
 from .core.hicoo import DEFAULT_BLOCK_BITS, HicooTensor, best_block_bits
 from .core.io import load_hicoo, save_hicoo
 from .core.streaming import hicoo_from_chunks, stream_tns
@@ -69,6 +70,7 @@ __all__ = [
     "HicooTensor",
     "DEFAULT_BLOCK_BITS",
     "best_block_bits",
+    "MortonContext",
     "HicooParams",
     "analyze_block_sizes",
     "recommend_block_bits",

@@ -1,0 +1,219 @@
+"""One-sort, multi-block-size HiCOO conversion (the construction pipeline).
+
+The paper's conversion experiment (E10) treats HiCOO construction as a
+one-time cost amortized across MTTKRP iterations; its block-size study (E7)
+sweeps ``b`` in [1..8] per tensor.  The naive pipeline pays a full Morton
+encode + sort + block scan for *every* block size, even though all of those
+orders derive from a single key: with the Morton code taken over the full
+coordinates, the code of the block coordinates at any ``b`` is just the code
+shifted right by ``b * nmodes`` bits.  One encode + one sort therefore makes
+the blocks of every block size contiguous runs at once.
+
+:class:`MortonContext` captures that shared work: it encodes and sorts a COO
+tensor once, then derives per-``b`` block boundaries (a vectorized compare on
+the precomputed codes), storage totals (from boundary counts alone — no
+tensor materialization), and full :class:`~repro.core.blocking.BlockDecomposition`
+objects (one cheap within-block offset ordering per ``b``).  ``best_block_bits``,
+the tuner, and the block-size benchmarks all reuse one context, turning the
+former 8 sorts of a full sweep into 1.
+
+Per-``b`` results are memoized on the context (and the context itself on the
+:class:`~repro.formats.coo.CooTensor`, mirroring the ``task_gather`` cache of
+the kernel layer), with explicit ``clear()`` / ``nbytes()`` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..util.bitops import (bits_for, morton_encode, pack_key64,
+                           shift_right_words, stable_argsort_u64)
+from .blocking import MAX_BLOCK_BITS, BlockDecomposition
+
+__all__ = ["MortonContext", "hicoo_storage_bytes"]
+
+
+def hicoo_storage_bytes(nblocks: int, nnz: int, nmodes: int) -> Dict[str, int]:
+    """HiCOO storage accounting from counts alone (paper notation: 8-byte
+    bptr, 4-byte binds, 1-byte einds, 4-byte values) — must stay in lockstep
+    with :meth:`repro.core.hicoo.HicooTensor.storage_bytes`."""
+    return {
+        "bptr": 8 * (nblocks + 1),
+        "binds": 4 * nmodes * nblocks,
+        "einds": 1 * nmodes * nnz,
+        "values": 4 * nnz,
+    }
+
+
+class MortonContext:
+    """One Morton encode + sort of a COO tensor, reusable across block sizes.
+
+    Parameters
+    ----------
+    coo : the source :class:`~repro.formats.coo.CooTensor`.  Its ``indices``
+        and ``values`` are treated as immutable for the lifetime of the
+        context (the same contract as the ``task_gather`` cache).
+
+    Attributes
+    ----------
+    nbits : bits per coordinate of the full-index Morton code.
+    codes : (W, nnz) uint64 code words of the sorted nonzeros, msb first.
+    order : permutation taking the source tensor into full Morton order.
+    indices / values : the source nonzeros in full Morton order.
+    """
+
+    def __init__(self, coo):
+        indices = np.asarray(coo.indices)
+        if indices.ndim != 2:
+            raise ValueError(
+                f"indices must be 2-D (nnz, nmodes), got shape {indices.shape}")
+        self.shape = tuple(coo.shape)
+        self.nmodes = indices.shape[1]
+        self.nnz = len(indices)
+        self.nbits = bits_for(int(indices.max()) if indices.size else 0)
+        if self.nnz:
+            words = morton_encode(indices.T, self.nbits)
+            if len(words) == 1:
+                order = stable_argsort_u64(words[0])
+            else:
+                order = np.lexsort(words[::-1])
+        else:
+            words = np.zeros((1, 0), dtype=np.uint64)
+            order = np.empty(0, dtype=np.int64)
+        self.order = order
+        self.codes = np.ascontiguousarray(words[:, order])
+        self.indices = indices[order]
+        self.values = np.asarray(coo.values)[order]
+        self._starts: Dict[int, np.ndarray] = {}
+        self._decompositions: Dict[int, BlockDecomposition] = {}
+
+    # ------------------------------------------------------------------
+    # per-block-size structure
+    # ------------------------------------------------------------------
+    def block_starts(self, block_bits: int) -> np.ndarray:
+        """First-nonzero positions of every block at ``block_bits``.
+
+        The block Morton code is ``codes >> (block_bits * nmodes)``, so the
+        boundaries are wherever those high bits change between consecutive
+        sorted nonzeros — no re-sort, no re-encode.
+        """
+        b = self._check_bits(block_bits, MAX_BLOCK_BITS)
+        starts = self._starts.get(b)
+        if starts is None:
+            if self.nnz == 0:
+                starts = np.empty(0, dtype=np.int64)
+            else:
+                high = shift_right_words(self.codes, b * self.nmodes)
+                changed = np.zeros(self.nnz - 1, dtype=bool)
+                for word in high:
+                    changed |= word[1:] != word[:-1]
+                starts = np.concatenate(
+                    [[0], np.flatnonzero(changed) + 1]).astype(np.int64)
+            self._starts[b] = starts
+        return starts
+
+    def nblocks(self, block_bits: int) -> int:
+        return len(self.block_starts(block_bits))
+
+    def storage_bytes(self, block_bits: int) -> Dict[str, int]:
+        """HiCOO storage at ``block_bits`` from boundary counts alone."""
+        return hicoo_storage_bytes(self.nblocks(block_bits), self.nnz,
+                                   self.nmodes)
+
+    def total_bytes(self, block_bits: int) -> int:
+        return int(sum(self.storage_bytes(block_bits).values()))
+
+    def decompose(self, block_bits: int) -> BlockDecomposition:
+        """Block decomposition at ``block_bits``, bit-identical to the direct
+        :func:`repro.core.blocking.decompose` path.
+
+        Blocks are already contiguous runs of the precomputed order; the only
+        per-``b`` work is restoring HiCOO's within-block element order
+        (lexicographic by offset, mode 0 most significant) — one stable sort
+        keyed by (block run, packed offsets), no re-encode.
+
+        The result is memoized; callers must treat its arrays as read-only.
+        """
+        b = self._check_bits(block_bits, MAX_BLOCK_BITS)
+        dec = self._decompositions.get(b)
+        if dec is None:
+            dec = self._build_decomposition(b)
+            self._decompositions[b] = dec
+        return dec
+
+    def _build_decomposition(self, b: int) -> BlockDecomposition:
+        nnz, nmodes = self.nnz, self.nmodes
+        starts = self.block_starts(b)
+        block_ptr = np.concatenate([starts, [nnz]]).astype(np.int64)
+        if nnz == 0:
+            return BlockDecomposition(
+                block_bits=b,
+                block_ptr=block_ptr,
+                block_coords=np.empty((0, nmodes), dtype=np.int64),
+                elem_offsets=np.empty((0, nmodes), dtype=np.uint8),
+                values=self.values,
+                shape=self.shape,
+            )
+        mask = (1 << b) - 1
+        offsets = self.indices & mask
+        run_id = np.zeros(nnz, dtype=np.int64)
+        run_id[starts[1:]] = 1
+        np.cumsum(run_id, out=run_id)
+        order = self._within_block_order(run_id, offsets, b, len(starts))
+        indices = self.indices[order]
+        block_coords = indices >> b
+        return BlockDecomposition(
+            block_bits=b,
+            block_ptr=block_ptr,
+            block_coords=block_coords[starts],
+            elem_offsets=(indices & mask).astype(np.uint8),
+            values=self.values[order],
+            shape=self.shape,
+        )
+
+    def _within_block_order(self, run_id: np.ndarray, offsets: np.ndarray,
+                            b: int, nruns: int) -> np.ndarray:
+        """Stable permutation ordering each block's elements lexicographically
+        by offset (mode 0 most significant); blocks stay in place."""
+        nmodes = self.nmodes
+        off_bits = b * nmodes
+        if off_bits <= 64:
+            off_key = pack_key64([offsets[:, m] for m in range(nmodes)],
+                                 [b] * nmodes)
+            run_bits = bits_for(nruns - 1)
+            if run_bits + off_bits <= 64:
+                key = (run_id.view(np.uint64) << np.uint64(off_bits)) | off_key
+                return stable_argsort_u64(key)
+            return np.lexsort((off_key, run_id))
+        keys = tuple(offsets[:, m] for m in reversed(range(nmodes)))
+        return np.lexsort(keys + (run_id,))
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every memoized per-``b`` structure (keeps the sorted codes)."""
+        self._starts.clear()
+        self._decompositions.clear()
+
+    def nbytes(self) -> int:
+        """Total footprint: sorted codes/indices/values plus cached per-``b``
+        boundary arrays and decompositions."""
+        total = (self.codes.nbytes + self.order.nbytes +
+                 self.indices.nbytes + self.values.nbytes)
+        total += sum(s.nbytes for s in self._starts.values())
+        for dec in self._decompositions.values():
+            total += (dec.block_ptr.nbytes + dec.block_coords.nbytes +
+                      dec.elem_offsets.nbytes + dec.values.nbytes)
+        return int(total)
+
+    @staticmethod
+    def _check_bits(block_bits: int, max_bits: int) -> int:
+        b = int(block_bits)
+        if not 1 <= b <= max_bits:
+            raise ValueError(
+                f"block_bits must be in [1, {max_bits}] so that offsets fit "
+                f"in one byte, got {block_bits}")
+        return b

@@ -27,7 +27,8 @@ from ..formats.coo import CooTensor
 from ..kernels.gather import (TaskGather, build_task_gather, coalesce_runs,
                               mttkrp_gather_chunk, runs_from_block_ids)
 from ..util.validation import check_factors, check_mode
-from .blocking import MAX_BLOCK_BITS, decompose
+from .blocking import MAX_BLOCK_BITS
+from .convert import hicoo_storage_bytes
 
 __all__ = ["HicooTensor", "DEFAULT_BLOCK_BITS"]
 
@@ -50,7 +51,9 @@ class HicooTensor(SparseTensorFormat):
     def __init__(self, coo: CooTensor, block_bits: int = DEFAULT_BLOCK_BITS):
         if not isinstance(coo, CooTensor):
             raise TypeError(f"expected a CooTensor, got {type(coo).__name__}")
-        dec = decompose(coo, block_bits)
+        # memoized one-sort pipeline: every block size built from this COO
+        # tensor shares one Morton encode + sort (see core/convert.py)
+        dec = coo.block_decomposition(block_bits)
         for mode, dim in enumerate(coo.shape):
             nblocks_mode = (dim + (1 << block_bits) - 1) >> block_bits
             if nblocks_mode > np.iinfo(np.uint32).max:
@@ -150,12 +153,7 @@ class HicooTensor(SparseTensorFormat):
         """Canonical HiCOO storage accounting (paper notation):
         beta_long = 8-byte bptr, beta_int = 4-byte binds, beta_byte = 1-byte
         einds, 4-byte values."""
-        return {
-            "bptr": 8 * (self.nblocks + 1),
-            "binds": 4 * self.nmodes * self.nblocks,
-            "einds": 1 * self.nmodes * self.nnz,
-            "values": 4 * self.nnz,
-        }
+        return hicoo_storage_bytes(self.nblocks, self.nnz, self.nmodes)
 
     # ------------------------------------------------------------------
     # MTTKRP kernels
@@ -238,14 +236,18 @@ def best_block_bits(coo: CooTensor,
     """Pick the block size minimizing HiCOO storage (the paper's guidance:
     B = 128 is a good default, but clustered tensors may prefer other sizes).
 
-    Returns the ``block_bits`` whose HiCOO instance has the fewest total
-    bytes; ties break toward larger blocks (better locality).
+    Storage is computed from the shared :meth:`CooTensor.morton_context`
+    boundary counts — one Morton sort for the whole sweep and no
+    :class:`HicooTensor` materialized per candidate.  Returns the
+    ``block_bits`` with the fewest total bytes; ties break toward larger
+    blocks (better locality).
     """
     if candidates is None:
         candidates = range(1, MAX_BLOCK_BITS + 1)
+    ctx = coo.morton_context()
     best, best_bytes = None, None
     for bits in candidates:
-        total = HicooTensor(coo, block_bits=bits).total_bytes()
+        total = ctx.total_bytes(bits)
         if best_bytes is None or total <= best_bytes:
             best, best_bytes = bits, total
     return int(best)

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional
 
 from ..formats.coo import CooTensor
 from .blocking import MAX_BLOCK_BITS
+from .convert import hicoo_storage_bytes
 from .hicoo import HicooTensor
 
 __all__ = ["HicooParams", "analyze_block_sizes", "recommend_block_bits"]
@@ -55,24 +56,39 @@ class HicooParams:
 
     @classmethod
     def measure(cls, tensor: HicooTensor) -> "HicooParams":
+        return cls.from_counts(tensor.block_bits, tensor.nblocks, tensor.nnz,
+                               tensor.nmodes)
+
+    @classmethod
+    def from_counts(cls, block_bits: int, nblocks: int, nnz: int,
+                    nmodes: int) -> "HicooParams":
+        """All parameters follow from (b, n_b, nnz, N) alone — no tensor
+        materialization needed for a block-size sweep."""
+        total = int(sum(hicoo_storage_bytes(nblocks, nnz, nmodes).values()))
         return cls(
-            block_bits=tensor.block_bits,
-            nblocks=tensor.nblocks,
-            nnz=tensor.nnz,
-            alpha_b=tensor.block_ratio(),
-            c_b=tensor.avg_slice_size(),
-            total_bytes=tensor.total_bytes(),
-            bytes_per_nnz=tensor.bytes_per_nnz(),
+            block_bits=block_bits,
+            nblocks=nblocks,
+            nnz=nnz,
+            alpha_b=nblocks / max(1, nnz),
+            c_b=nnz / (max(1, nblocks) * (1 << block_bits)),
+            total_bytes=total,
+            bytes_per_nnz=total / max(1, nnz),
         )
 
 
 def analyze_block_sizes(coo: CooTensor,
                         candidates: Optional[Iterable[int]] = None
                         ) -> List[HicooParams]:
-    """Measure alpha_b / c_b / storage across block sizes (experiment E7)."""
+    """Measure alpha_b / c_b / storage across block sizes (experiment E7).
+
+    The whole sweep shares one :meth:`CooTensor.morton_context` sort; each
+    block size only scans the precomputed codes for block boundaries.
+    """
     if candidates is None:
         candidates = range(1, MAX_BLOCK_BITS + 1)
-    return [HicooParams.measure(HicooTensor(coo, block_bits=b)) for b in candidates]
+    ctx = coo.morton_context()
+    return [HicooParams.from_counts(b, ctx.nblocks(b), ctx.nnz, ctx.nmodes)
+            for b in candidates]
 
 
 def recommend_block_bits(coo: CooTensor,

@@ -72,6 +72,11 @@ def tune(coo: CooTensor, rank: int, machine: Machine, nthreads: int = 1, *,
     if block_candidates is None:
         block_candidates = range(2, MAX_BLOCK_BITS + 1)
 
+    # One Morton encode + sort serves every candidate: HicooTensor
+    # construction below hits the per-b decompositions derived from this
+    # shared context instead of re-sorting per block size.
+    coo.morton_context()
+
     scoreboard: List[TunedConfig] = []
     for bits in block_candidates:
         hic = HicooTensor(coo, block_bits=bits)

@@ -12,7 +12,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..kernels.gather import scatter_add
-from ..util.bitops import bits_for, morton_sort_order
+from ..util.bitops import (bits_for, morton_encode, morton_sort_order,
+                           pack_key64, stable_argsort_u64)
 from ..util.validation import check_factors, check_indices, check_mode, check_shape
 from .base import SparseTensorFormat
 
@@ -98,21 +99,47 @@ class CooTensor(SparseTensorFormat):
     # ------------------------------------------------------------------
     # ordering
     # ------------------------------------------------------------------
+    def lex_sort_order(self, mode_order: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Memoized permutation sorting nonzeros lexicographically.
+
+        ``mode_order[0]`` is the most significant mode.  The permutation is
+        cached per mode order in the construction cache, so every CSF tree
+        built from this tensor (and repeated ``sort_lexicographic`` calls)
+        pays the sort once.  Callers must not mutate the returned array.
+        """
+        if mode_order is None:
+            mode_order = range(self.nmodes)
+        mode_order = tuple(check_mode(m, self.nmodes) for m in mode_order)
+        if sorted(mode_order) != list(range(self.nmodes)):
+            raise ValueError(f"mode_order must be a permutation, got {list(mode_order)}")
+        cache = self.__dict__.setdefault("_convert_cache", {})
+        key = ("lex", mode_order)
+        order = cache.get(key)
+        if order is None:
+            order = self._lex_sort_order(mode_order)
+            cache[key] = order
+        return order
+
+    def _lex_sort_order(self, mode_order) -> np.ndarray:
+        if self.nnz == 0:
+            return np.empty(0, dtype=np.int64)
+        widths = [bits_for(self._shape[m] - 1) for m in mode_order]
+        if sum(widths) <= 64:
+            # all coordinates fit one packed word: a single stable radix
+            # argsort replaces the N-key lexsort.
+            key = pack_key64([self.indices[:, m] for m in mode_order], widths)
+            return stable_argsort_u64(key)
+        # np.lexsort: last key is primary, so feed least-significant first.
+        keys = tuple(self.indices[:, m] for m in reversed(mode_order))
+        return np.lexsort(keys)
+
     def sort_lexicographic(self, mode_order: Optional[Sequence[int]] = None) -> "CooTensor":
         """Return a copy sorted lexicographically by ``mode_order``.
 
         ``mode_order[0]`` is the most significant mode, which is the layout a
         CSF tree with that root expects.
         """
-        if mode_order is None:
-            mode_order = range(self.nmodes)
-        mode_order = [check_mode(m, self.nmodes) for m in mode_order]
-        if sorted(mode_order) != list(range(self.nmodes)):
-            raise ValueError(f"mode_order must be a permutation, got {mode_order}")
-        # np.lexsort: last key is primary, so feed least-significant first.
-        keys = tuple(self.indices[:, m] for m in reversed(mode_order))
-        order = np.lexsort(keys) if self.nnz else np.empty(0, dtype=np.int64)
-        return self._permuted(order)
+        return self._permuted(self.lex_sort_order(mode_order))
 
     def sort_morton(self, block_bits: int = 0) -> "CooTensor":
         """Return a copy sorted in Z-Morton order.
@@ -124,21 +151,79 @@ class CooTensor(SparseTensorFormat):
         """
         if self.nnz == 0:
             return self._permuted(np.empty(0, dtype=np.int64))
-        coords = self.indices.T >> block_bits if block_bits else self.indices.T
-        nbits = bits_for(int(coords.max()) if coords.size else 0)
-        order = morton_sort_order(coords, nbits)
-        if block_bits:
-            # Within each run of equal block coordinates, re-sort by element
-            # offset.  The run id (Morton rank of the block) is the primary
-            # lexsort key, so the Morton ordering *between* blocks survives.
-            permuted = self.indices[order]
-            blocks = permuted >> block_bits
-            offsets = permuted & ((1 << block_bits) - 1)
-            changed = np.any(blocks[1:] != blocks[:-1], axis=1)
-            run_id = np.concatenate([[0], np.cumsum(changed)])
-            keys = tuple(offsets[:, m] for m in reversed(range(self.nmodes)))
-            order = order[np.lexsort(keys + (run_id,))]
-        return self._permuted(order)
+        if not block_bits:
+            nbits = bits_for(int(self.indices.max()))
+            return self._permuted(morton_sort_order(self.indices.T, nbits))
+        blocks = self.indices >> block_bits
+        nbits = bits_for(int(blocks.max()))
+        nmodes = self.nmodes
+        if nmodes * (nbits + block_bits) <= 64:
+            # single-word fast path: block Morton code in the high bits,
+            # mode-0-major offsets in the low bits — the exact HiCOO
+            # ordering from one stable argsort.
+            key = morton_encode(blocks.T, nbits)[0] << np.uint64(
+                nmodes * block_bits)
+            offsets = self.indices & ((1 << block_bits) - 1)
+            key |= pack_key64([offsets[:, m] for m in range(nmodes)],
+                              [block_bits] * nmodes)
+            return self._permuted(stable_argsort_u64(key))
+        order = morton_sort_order(blocks.T, nbits)
+        # Within each run of equal block coordinates, re-sort by element
+        # offset.  The run id (Morton rank of the block) is the primary
+        # lexsort key, so the Morton ordering *between* blocks survives.
+        permuted = self.indices[order]
+        pblocks = permuted >> block_bits
+        offsets = permuted & ((1 << block_bits) - 1)
+        changed = np.any(pblocks[1:] != pblocks[:-1], axis=1)
+        run_id = np.concatenate([[0], np.cumsum(changed)])
+        keys = tuple(offsets[:, m] for m in reversed(range(self.nmodes)))
+        return self._permuted(order[np.lexsort(keys + (run_id,))])
+
+    # ------------------------------------------------------------------
+    # construction cache (one-sort multi-b conversion)
+    # ------------------------------------------------------------------
+    def morton_context(self):
+        """Memoized :class:`~repro.core.convert.MortonContext` — one Morton
+        encode + sort shared by every block size.
+
+        HiCOO construction, ``best_block_bits``, the tuner, and the E7/E10
+        benchmarks all go through this context, so a full block-size sweep
+        pays for one sort instead of eight.  Treat the context's arrays as
+        read-only, like the ``task_gather`` cache.
+        """
+        from ..core.convert import MortonContext
+
+        cache = self.__dict__.setdefault("_convert_cache", {})
+        ctx = cache.get("context")
+        if ctx is None:
+            ctx = MortonContext(self)
+            cache["context"] = ctx
+        return ctx
+
+    def block_decomposition(self, block_bits: int):
+        """Memoized block decomposition at ``block_bits`` (shared arrays).
+
+        Identical to :func:`repro.core.blocking.decompose` but derived from
+        the cached :meth:`morton_context`, so repeated constructions — the
+        tuner's sweep, several :class:`HicooTensor` instances — reuse one
+        encode + sort.  Callers must treat the result as read-only.
+        """
+        return self.morton_context().decompose(block_bits)
+
+    def clear_convert_cache(self) -> None:
+        """Drop the memoized Morton context, decompositions and lex orders."""
+        self.__dict__.setdefault("_convert_cache", {}).clear()
+
+    def convert_cache_bytes(self) -> int:
+        """Total footprint of the construction cache."""
+        cache = self.__dict__.setdefault("_convert_cache", {})
+        total = 0
+        for key, entry in cache.items():
+            if key == "context":
+                total += entry.nbytes()
+            else:
+                total += entry.nbytes
+        return int(total)
 
     def _permuted(self, order: np.ndarray) -> "CooTensor":
         out = CooTensor.__new__(CooTensor)
@@ -223,8 +308,16 @@ class CooTensor(SparseTensorFormat):
 
 
 def _sum_duplicates(indices: np.ndarray, values: np.ndarray):
-    keys = tuple(indices[:, m] for m in reversed(range(indices.shape[1])))
-    order = np.lexsort(keys)
+    nmodes = indices.shape[1]
+    widths = [bits_for(int(indices[:, m].max())) for m in range(nmodes)]
+    if sum(widths) <= 64:
+        # one packed word per coordinate tuple: a single stable argsort
+        # replaces the N-key lexsort (same mode-0-major order).
+        key = pack_key64([indices[:, m] for m in range(nmodes)], widths)
+        order = stable_argsort_u64(key)
+    else:
+        keys = tuple(indices[:, m] for m in reversed(range(nmodes)))
+        order = np.lexsort(keys)
     indices = indices[order]
     values = values[order]
     if len(indices) <= 1:

@@ -73,6 +73,9 @@ class CsfTensor(SparseTensorFormat):
 
         self._shape = coo.shape
         self.mode_order = tuple(mode_order)
+        # sort_lexicographic memoizes its permutation per mode order on the
+        # source tensor, so a CSF-N suite building one tree per root mode
+        # pays for each distinct ordering once
         sorted_coo = coo.sort_lexicographic(mode_order)
         self.values = sorted_coo.values
         self.levels = _build_levels(sorted_coo.indices, mode_order)

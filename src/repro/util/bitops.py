@@ -5,9 +5,21 @@ N coordinates are interleaved so that sorting by the code groups points that
 are close in *all* modes, which is what lets HiCOO pack nonzeros into dense
 index blocks.  Codes wider than 64 bits are represented as multiple 64-bit
 words (most-significant word first) so that ``numpy.lexsort`` can order them.
+
+Interleaving is done with the classic "magic number" shift-mask sequence
+(parallel bit deposit/extract): spreading the ``nbits`` bits of one
+coordinate to stride ``nmodes`` takes O(log nbits) vectorized passes instead
+of the O(nbits) per-bit passes of the textbook loop.  The per-step masks are
+derived once per ``(nmodes, nbits)`` pair and cached: with chunks of ``c``
+source bits laid out as ``pos(i) = (i // c) * c * nmodes + (i % c)``, halving
+``c`` moves the upper half of every chunk left by ``(c/2) * (nmodes - 1)``,
+which doubling/halving walks between the packed layout (``c >= nbits``) and
+the fully interleaved one (``c = 1``).
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
@@ -15,9 +27,15 @@ __all__ = [
     "bits_for",
     "morton_encode",
     "morton_decode",
+    "morton_key64",
     "morton_sort_order",
+    "stable_argsort_u64",
+    "pack_key64",
+    "shift_right_words",
     "interleave_words",
 ]
+
+_U64 = np.uint64
 
 
 def bits_for(value: int) -> int:
@@ -37,7 +55,94 @@ def _check_coords(coords: np.ndarray) -> np.ndarray:
         raise ValueError(f"coords must be 2-D (nmodes, npoints), got shape {coords.shape}")
     if coords.size and coords.min() < 0:
         raise ValueError("coords must be non-negative")
+    if coords.dtype == np.int64:
+        # same itemsize and value range (non-negative, checked above): a
+        # free reinterpreting view instead of an astype copy of the whole
+        # index array.
+        return coords.view(np.uint64)
     return coords.astype(np.uint64, copy=False)
+
+
+# ----------------------------------------------------------------------
+# magic-number spread/compress step tables
+# ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=None)
+def _layout_mask(nmodes: int, nbits: int, chunk: int) -> int:
+    """Mask of the chunk-``chunk`` layout: source bit ``i`` sits at position
+    ``(i // chunk) * chunk * nmodes + (i % chunk)``."""
+    mask = 0
+    for i in range(nbits):
+        mask |= 1 << ((i // chunk) * chunk * nmodes + (i % chunk))
+    return mask
+
+
+@functools.lru_cache(maxsize=None)
+def _spread_ops(nmodes: int, nbits: int):
+    """(shift, mask) steps taking ``nbits`` packed bits to stride ``nmodes``."""
+    if nmodes == 1 or nbits == 1:
+        return ()
+    chunk = 1
+    while chunk < nbits:
+        chunk <<= 1
+    ops = []
+    while chunk > 1:
+        half = chunk >> 1
+        ops.append((_U64(half * (nmodes - 1)),
+                    _U64(_layout_mask(nmodes, nbits, half))))
+        chunk = half
+    return tuple(ops)
+
+
+@functools.lru_cache(maxsize=None)
+def _compress_ops(nmodes: int, nbits: int):
+    """Inverse steps: gather stride-``nmodes`` bits back to packed form."""
+    if nmodes == 1 or nbits == 1:
+        return ()
+    chunks = []
+    c = 1
+    while c < nbits:
+        c <<= 1
+        chunks.append(c)
+    return tuple((_U64((c >> 1) * (nmodes - 1)),
+                  _U64(_layout_mask(nmodes, nbits, c))) for c in chunks)
+
+
+@functools.lru_cache(maxsize=None)
+def _stride_mask(nmodes: int, nbits: int) -> np.uint64:
+    """Mask selecting bits ``i * nmodes`` for ``i`` in [0, nbits)."""
+    return _U64(_layout_mask(nmodes, nbits, 1))
+
+
+def _spread_inplace(x: np.ndarray, nmodes: int, nbits: int,
+                    tmp: np.ndarray) -> np.ndarray:
+    """Scatter the low ``nbits`` bits of ``x`` to stride ``nmodes``, in place.
+
+    ``x`` must be a freshly-owned uint64 array with no garbage above bit
+    ``nbits``; ``tmp`` is same-shape scratch.
+    """
+    for shift, mask in _spread_ops(nmodes, nbits):
+        np.left_shift(x, shift, out=tmp)
+        np.bitwise_or(x, tmp, out=x)
+        np.bitwise_and(x, mask, out=x)
+    return x
+
+
+def _compress_inplace(x: np.ndarray, nmodes: int, nbits: int,
+                      tmp: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_inplace`; ``x`` must be stride-masked."""
+    for shift, mask in _compress_ops(nmodes, nbits):
+        np.right_shift(x, shift, out=tmp)
+        np.bitwise_or(x, tmp, out=x)
+        np.bitwise_and(x, mask, out=x)
+    return x
+
+
+def _segment(lo_bit: int, hi_bit: int, mode: int, nmodes: int, nbits: int):
+    """Source-bit range [b_lo, b_hi) of ``mode`` whose interleaved output
+    bits ``b * nmodes + mode`` land inside [lo_bit, hi_bit)."""
+    b_lo = max(0, (lo_bit - mode + nmodes - 1) // nmodes)
+    b_hi = min(nbits, (hi_bit - mode + nmodes - 1) // nmodes)
+    return b_lo, b_hi
 
 
 def morton_encode(coords: np.ndarray, nbits: int) -> np.ndarray:
@@ -60,20 +165,36 @@ def morton_encode(coords: np.ndarray, nbits: int) -> np.ndarray:
     nmodes, npoints = coords.shape
     if nbits < 1 or nbits > 64:
         raise ValueError(f"nbits must be in [1, 64], got {nbits}")
-    limit = np.uint64(1) << np.uint64(nbits)
-    if coords.size and coords.max() >= limit:
+    if coords.size and int(coords.max()).bit_length() > nbits:
         raise ValueError(f"coordinate {int(coords.max())} does not fit in {nbits} bits")
 
     total_bits = nmodes * nbits
     nwords = (total_bits + 63) // 64
     words = np.zeros((nwords, npoints), dtype=np.uint64)
-    for bit in range(nbits):
-        for mode in range(nmodes):
-            out_bit = bit * nmodes + mode
-            word = nwords - 1 - (out_bit // 64)
-            shift = np.uint64(out_bit % 64)
-            src = (coords[mode] >> np.uint64(bit)) & np.uint64(1)
-            words[word] |= src << shift
+    seg = np.empty(npoints, dtype=np.uint64)
+    tmp = np.empty(npoints, dtype=np.uint64)
+    for w in range(nwords):
+        lo_bit = 64 * w
+        hi_bit = min(lo_bit + 64, total_bits)
+        row = nwords - 1 - w
+        for m in range(nmodes):
+            b_lo, b_hi = _segment(lo_bit, hi_bit, m, nmodes, nbits)
+            if b_hi <= b_lo:
+                continue
+            seg_bits = b_hi - b_lo
+            if b_lo == 0 and b_hi == nbits:
+                # whole coordinate fits this word; the overflow check above
+                # already guarantees no garbage bits, so skip shift + mask
+                np.copyto(seg, coords[m])
+            else:
+                np.right_shift(coords[m], _U64(b_lo), out=seg)
+                if seg_bits < 64:
+                    np.bitwise_and(seg, _U64((1 << seg_bits) - 1), out=seg)
+            _spread_inplace(seg, nmodes, seg_bits, tmp)
+            shift = b_lo * nmodes + m - lo_bit
+            if shift:
+                np.left_shift(seg, _U64(shift), out=seg)
+            np.bitwise_or(words[row], seg, out=words[row])
     return words
 
 
@@ -94,29 +215,148 @@ def morton_decode(words: np.ndarray, nmodes: int, nbits: int) -> np.ndarray:
     if words.ndim != 2:
         raise ValueError(f"words must be 2-D, got shape {words.shape}")
     nwords, npoints = words.shape
-    expect = (nmodes * nbits + 63) // 64
+    total_bits = nmodes * nbits
+    expect = (total_bits + 63) // 64
     if nwords != expect:
         raise ValueError(f"expected {expect} words for {nmodes} modes x {nbits} bits, got {nwords}")
     coords = np.zeros((nmodes, npoints), dtype=np.uint64)
-    for bit in range(nbits):
-        for mode in range(nmodes):
-            in_bit = bit * nmodes + mode
-            word = nwords - 1 - (in_bit // 64)
-            shift = np.uint64(in_bit % 64)
-            src = (words[word] >> shift) & np.uint64(1)
-            coords[mode] |= src << np.uint64(bit)
+    seg = np.empty(npoints, dtype=np.uint64)
+    tmp = np.empty(npoints, dtype=np.uint64)
+    for w in range(nwords):
+        lo_bit = 64 * w
+        hi_bit = min(lo_bit + 64, total_bits)
+        row = nwords - 1 - w
+        for m in range(nmodes):
+            b_lo, b_hi = _segment(lo_bit, hi_bit, m, nmodes, nbits)
+            if b_hi <= b_lo:
+                continue
+            seg_bits = b_hi - b_lo
+            shift = b_lo * nmodes + m - lo_bit
+            np.right_shift(words[row], _U64(shift), out=seg)
+            np.bitwise_and(seg, _stride_mask(nmodes, seg_bits), out=seg)
+            _compress_inplace(seg, nmodes, seg_bits, tmp)
+            if b_lo:
+                np.left_shift(seg, _U64(b_lo), out=seg)
+            np.bitwise_or(coords[m], seg, out=coords[m])
     return coords
+
+
+def morton_key64(coords: np.ndarray, nbits: int) -> np.ndarray:
+    """Single-word Morton code: the fast path when ``N * nbits <= 64``.
+
+    Returns a flat (M,) uint64 key array that a plain ``np.argsort`` can
+    order — one radix sort instead of a multi-key ``lexsort``.
+    """
+    coords = _check_coords(coords)
+    if coords.shape[0] * nbits > 64:
+        raise ValueError(
+            f"{coords.shape[0]} modes x {nbits} bits exceeds one 64-bit word")
+    return morton_encode(coords, nbits)[0]
 
 
 def morton_sort_order(coords: np.ndarray, nbits: int) -> np.ndarray:
     """Permutation that sorts points into Z-Morton order.
 
-    Uses a stable sort so that points with equal codes keep their input order.
+    Uses a stable sort so that points with equal codes keep their input
+    order.  When the code fits one word (``N * nbits <= 64``) this is a
+    single stable uint64 key sort; otherwise a multi-word ``lexsort``.
     """
     coords = _check_coords(coords)
     words = morton_encode(coords, nbits)
+    if len(words) == 1:
+        return stable_argsort_u64(words[0])
     # lexsort treats the *last* key as primary; words[0] is most significant.
     return np.lexsort(words[::-1])
+
+
+def stable_argsort_u64(keys: np.ndarray) -> np.ndarray:
+    """Stable argsort of a uint64 key array.
+
+    When the keys leave room for a position field (``key_bits + pos_bits <=
+    64``), sorting ``(key << pos_bits) | position`` with numpy's default
+    (unstable but much faster) sort and masking the positions back out
+    yields the stable permutation directly — the appended position breaks
+    every tie in input order.  Otherwise falls back to
+    ``np.argsort(kind="stable")``.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    key_bits = bits_for(int(keys.max()))
+    pos_bits = bits_for(n - 1)
+    if key_bits + pos_bits <= 64:
+        combined = keys << _U64(pos_bits)
+        combined |= np.arange(n, dtype=np.uint64)
+        combined.sort()
+        np.bitwise_and(combined, _U64((1 << pos_bits) - 1), out=combined)
+        return combined.astype(np.int64)
+    return np.argsort(keys, kind="stable")
+
+
+def pack_key64(columns, widths) -> np.ndarray:
+    """Concatenate integer columns into one uint64 sort key.
+
+    ``columns[0]`` occupies the most significant bits, so sorting the packed
+    key reproduces a lexicographic sort with ``columns[0]`` as the primary
+    key.  Every column must fit its declared bit ``width`` and the widths
+    must sum to at most 64.
+    """
+    columns = list(columns)
+    widths = [int(w) for w in widths]
+    if len(columns) != len(widths):
+        raise ValueError("need one width per column")
+    total = sum(widths)
+    if total > 64:
+        raise ValueError(f"packed key needs {total} bits (> 64)")
+    if any(w < 1 for w in widths):
+        raise ValueError("column widths must be positive")
+    key = None
+    shift = total
+    for col, width in zip(columns, widths):
+        col = np.asarray(col)
+        if col.dtype == np.int64:
+            col = col.view(np.uint64)
+        else:
+            col = col.astype(np.uint64, copy=False)
+        if col.size and int(col.max()).bit_length() > width:
+            raise ValueError(
+                f"column value {int(col.max())} does not fit in {width} bits")
+        shift -= width
+        if key is None:
+            key = col << _U64(shift) if shift else col.copy()
+        elif shift:
+            key |= col << _U64(shift)
+        else:
+            key |= col
+    if key is None:
+        raise ValueError("pack_key64 needs at least one column")
+    return key
+
+
+def shift_right_words(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Right-shift a multi-word (W, M) msb-first code array by ``nbits``.
+
+    Returns the (W', M) words of ``code >> nbits`` with exhausted leading
+    words dropped (at least one word is always returned).
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(f"words must be 2-D, got shape {words.shape}")
+    if nbits < 0:
+        raise ValueError("shift must be non-negative")
+    nwords, npoints = words.shape
+    drop, rem = divmod(nbits, 64)
+    if drop >= nwords:
+        return np.zeros((1, npoints), dtype=np.uint64)
+    kept = words[:nwords - drop]
+    if rem == 0:
+        return kept.copy()
+    out = np.empty_like(kept)
+    out[0] = kept[0] >> _U64(rem)
+    carry = _U64(64 - rem)
+    for i in range(1, len(kept)):
+        out[i] = (kept[i] >> _U64(rem)) | (kept[i - 1] << carry)
+    return out
 
 
 def interleave_words(high: np.ndarray, low: np.ndarray) -> np.ndarray:

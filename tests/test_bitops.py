@@ -8,8 +8,28 @@ from repro.util.bitops import (
     interleave_words,
     morton_decode,
     morton_encode,
+    morton_key64,
     morton_sort_order,
+    pack_key64,
+    shift_right_words,
+    stable_argsort_u64,
 )
+
+
+def reference_morton_encode(coords, nbits):
+    """Per-bit reference encoder (the pre-magic-number implementation)."""
+    coords = np.asarray(coords).astype(np.uint64, copy=False)
+    nmodes, npoints = coords.shape
+    nwords = (nmodes * nbits + 63) // 64
+    words = np.zeros((nwords, npoints), dtype=np.uint64)
+    for bit in range(nbits):
+        for mode in range(nmodes):
+            out_bit = bit * nmodes + mode
+            word = nwords - 1 - (out_bit // 64)
+            shift = np.uint64(out_bit % 64)
+            src = (coords[mode] >> np.uint64(bit)) & np.uint64(1)
+            words[word] |= src << shift
+    return words
 
 
 class TestBitsFor:
@@ -117,6 +137,99 @@ class TestMortonSortOrder:
                 assert key not in seen, "block coordinates reappeared"
                 seen.add(key)
                 prev = key
+
+
+class TestMagicNumberVsReference:
+    """The vectorized interleave must match the per-bit reference exactly,
+    across every (nmodes, nbits) layout including multi-word codes."""
+
+    @pytest.mark.parametrize("nmodes", [1, 2, 3, 4, 5])
+    def test_fuzz_all_widths(self, nmodes):
+        rng = np.random.default_rng(nmodes)
+        for nbits in list(range(1, 18)) + [23, 31, 32, 33, 47, 63, 64]:
+            hi = 1 << nbits
+            coords = rng.integers(0, hi, size=(nmodes, 64), dtype=np.uint64)
+            # force boundary values into every mode
+            coords[:, 0] = 0
+            coords[:, 1] = hi - 1
+            words = morton_encode(coords, nbits)
+            assert np.array_equal(words, reference_morton_encode(coords, nbits))
+            assert np.array_equal(morton_decode(words, nmodes, nbits), coords)
+
+    def test_multiword_boundary_spill(self):
+        # 3 modes x 22 bits = 66 bits: the top 2 bits spill into word 0
+        coords = np.array([[(1 << 22) - 1], [0], [(1 << 21)]], dtype=np.uint64)
+        words = morton_encode(coords, 22)
+        assert words.shape[0] == 2
+        assert np.array_equal(words, reference_morton_encode(coords, 22))
+
+    def test_int64_input_accepted_without_copy(self):
+        coords = np.array([[5, 3], [2, 7]], dtype=np.int64)
+        assert np.array_equal(morton_encode(coords, 4),
+                              reference_morton_encode(coords, 4))
+
+
+class TestMortonKey64:
+    def test_matches_single_word_encode(self):
+        rng = np.random.default_rng(0)
+        coords = rng.integers(0, 1 << 10, size=(3, 100), dtype=np.uint64)
+        assert np.array_equal(morton_key64(coords, 10),
+                              morton_encode(coords, 10)[0])
+
+    def test_rejects_multiword(self):
+        with pytest.raises(ValueError, match="64-bit word"):
+            morton_key64(np.zeros((3, 1), dtype=np.uint64), 30)
+
+
+class TestPackKey64:
+    def test_orders_like_lexsort(self):
+        rng = np.random.default_rng(1)
+        cols = [rng.integers(0, 50, 300), rng.integers(0, 9, 300),
+                rng.integers(0, 1000, 300)]
+        widths = [6, 4, 10]
+        key = pack_key64(cols, widths)
+        # column 0 is most significant -> same order as lexsort w/ col0 last
+        expect = np.lexsort(tuple(cols[::-1]))
+        assert np.array_equal(np.argsort(key, kind="stable"), expect)
+
+    def test_rejects_over_64_bits(self):
+        with pytest.raises(ValueError):
+            pack_key64([np.zeros(2, dtype=np.uint64)] * 2, [33, 32])
+
+
+class TestShiftRightWords:
+    def test_matches_python_bigint_shift(self):
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 1 << 63, size=(3, 50), dtype=np.uint64)
+        for shift in [0, 1, 17, 64, 65, 100, 128, 150]:
+            out = shift_right_words(words, shift)
+            for j in range(words.shape[1]):
+                big = 0
+                for w in words[:, j]:
+                    big = (big << 64) | int(w)
+                big >>= shift
+                got = 0
+                for w in out[:, j]:
+                    got = (got << 64) | int(w)
+                assert got == big, (shift, j)
+
+
+class TestStableArgsortU64:
+    def test_matches_stable_argsort(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 100, 5000).astype(np.uint64)  # many ties
+        assert np.array_equal(stable_argsort_u64(keys),
+                              np.argsort(keys, kind="stable"))
+
+    def test_wide_keys_fall_back(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 1 << 62, 500).astype(np.uint64) << np.uint64(2)
+        keys |= rng.integers(0, 4, 500).astype(np.uint64)
+        assert np.array_equal(stable_argsort_u64(keys),
+                              np.argsort(keys, kind="stable"))
+
+    def test_empty(self):
+        assert len(stable_argsort_u64(np.empty(0, dtype=np.uint64))) == 0
 
 
 class TestInterleaveWords:

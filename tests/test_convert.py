@@ -1,0 +1,212 @@
+"""Tests for the one-sort conversion pipeline (core/convert.py).
+
+The MortonContext derives every block size's decomposition from a single
+Morton encode + sort.  The contract is strict: each derived decomposition
+must be *array-identical* to the direct per-``b`` path in
+``core/blocking.py`` — same block order, same within-block element order,
+same duplicate handling — so everything downstream (HiCOO construction,
+storage accounting, the tuner) is oblivious to which path built it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import decompose
+from repro.core.convert import MortonContext, hicoo_storage_bytes
+from repro.core.hicoo import HicooTensor, best_block_bits
+from repro.core.streaming import ChunkedHicooBuilder, hicoo_from_chunks
+from repro.formats.coo import CooTensor
+
+
+def random_coo(shape, nnz, seed, duplicates=False):
+    rng = np.random.default_rng(seed)
+    inds = np.column_stack(
+        [rng.integers(0, s, nnz) for s in shape]).astype(np.int64)
+    if duplicates:
+        inds[nnz // 2:] = inds[: nnz - nnz // 2]
+    return CooTensor(shape, inds, rng.standard_normal(nnz))
+
+
+def clustered_coo(shape, nnz, seed):
+    """Nonzeros gathered around a few cluster centers (dense blocks)."""
+    rng = np.random.default_rng(seed)
+    centers = np.column_stack(
+        [rng.integers(0, s, 8) for s in shape])
+    pick = centers[rng.integers(0, len(centers), nnz)]
+    jitter = rng.integers(-3, 4, size=pick.shape)
+    inds = np.clip(pick + jitter, 0, np.asarray(shape) - 1).astype(np.int64)
+    return CooTensor(shape, inds, rng.standard_normal(nnz))
+
+
+TENSORS = [
+    random_coo((60, 50, 40), 800, seed=0),
+    random_coo((60, 50, 40), 800, seed=1, duplicates=True),
+    random_coo((300, 20), 500, seed=2),
+    random_coo((20, 15, 12, 10), 600, seed=3),
+    random_coo((9, 8, 7, 6, 5), 400, seed=4),
+    clustered_coo((256, 256, 256), 900, seed=5),
+]
+
+
+def assert_same_decomposition(a, b):
+    assert a.block_bits == b.block_bits
+    assert np.array_equal(a.block_ptr, b.block_ptr)
+    assert np.array_equal(a.block_coords, b.block_coords)
+    assert np.array_equal(a.elem_offsets, b.elem_offsets)
+    assert np.array_equal(a.values, b.values)
+
+
+class TestContextMatchesDirectDecompose:
+    @pytest.mark.parametrize("i", range(len(TENSORS)))
+    def test_all_block_sizes(self, i):
+        coo = TENSORS[i]
+        ctx = MortonContext(coo)
+        for b in range(1, 9):
+            assert_same_decomposition(ctx.decompose(b), decompose(coo, b))
+
+    def test_multiword_codes(self):
+        # dims force nmodes * nbits > 64, exercising the multi-word
+        # boundary-detection path (shift_right_words across words)
+        coo = random_coo((1 << 23, 1 << 23, 1 << 23), 500, seed=6)
+        ctx = MortonContext(coo)
+        assert ctx.nbits * ctx.nmodes > 64
+        for b in (1, 4, 8):
+            assert_same_decomposition(ctx.decompose(b), decompose(coo, b))
+
+    def test_empty_tensor(self):
+        coo = CooTensor.empty((10, 10, 10))
+        ctx = MortonContext(coo)
+        for b in (1, 8):
+            assert_same_decomposition(ctx.decompose(b), decompose(coo, b))
+            assert ctx.nblocks(b) == 0
+
+    def test_duplicate_order_is_stable(self):
+        # equal coordinates must keep source order, exactly like the
+        # direct path's stable sorts (values differ, so order is visible)
+        inds = np.tile([[3, 3, 3]], (5, 1)).astype(np.int64)
+        coo = CooTensor((8, 8, 8), inds, np.arange(5.0), sum_duplicates=False)
+        dec = MortonContext(coo).decompose(2)
+        assert np.array_equal(dec.values, np.arange(5.0))
+
+
+class TestStorageCounts:
+    def test_counts_match_materialized_tensor(self):
+        coo = TENSORS[0]
+        ctx = MortonContext(coo)
+        for b in range(1, 9):
+            hic = HicooTensor(coo, block_bits=b)
+            assert ctx.nblocks(b) == hic.nblocks
+            assert ctx.storage_bytes(b) == hic.storage_bytes()
+            assert ctx.total_bytes(b) == hic.total_bytes()
+
+    def test_accounting_helper(self):
+        bytes_ = hicoo_storage_bytes(nblocks=10, nnz=100, nmodes=3)
+        assert bytes_ == {"bptr": 88, "binds": 120, "einds": 300,
+                          "values": 400}
+
+
+class TestBestBlockBits:
+    def test_matches_per_candidate_sweep(self):
+        for coo in TENSORS:
+            chosen = best_block_bits(coo)
+            best, best_bytes = None, None
+            for b in range(1, 9):
+                total = HicooTensor(coo, block_bits=b).total_bytes()
+                if best_bytes is None or total <= best_bytes:
+                    best, best_bytes = b, total
+            assert chosen == best
+
+
+class TestConstructionCache:
+    def test_context_and_decompositions_memoized(self):
+        coo = random_coo((40, 40, 40), 300, seed=7)
+        ctx = coo.morton_context()
+        assert coo.morton_context() is ctx
+        dec = coo.block_decomposition(3)
+        assert coo.block_decomposition(3) is dec
+        # HicooTensor construction shares the same cached arrays
+        hic = HicooTensor(coo, block_bits=3)
+        assert hic.bptr is dec.block_ptr
+
+    def test_clear_and_bytes(self):
+        coo = random_coo((40, 40, 40), 300, seed=8)
+        assert coo.convert_cache_bytes() == 0
+        coo.block_decomposition(3)
+        coo.lex_sort_order()
+        assert coo.convert_cache_bytes() > 0
+        coo.clear_convert_cache()
+        assert coo.convert_cache_bytes() == 0
+
+    def test_context_clear_keeps_sorted_codes(self):
+        coo = random_coo((40, 40, 40), 300, seed=9)
+        ctx = coo.morton_context()
+        before = ctx.nbytes()
+        ctx.decompose(2)
+        assert ctx.nbytes() > before
+        ctx.clear()
+        assert ctx.nbytes() == before
+
+    def test_bad_block_bits(self):
+        ctx = MortonContext(random_coo((10, 10), 20, seed=10))
+        for bad in (0, 9):
+            with pytest.raises(ValueError, match="block_bits"):
+                ctx.decompose(bad)
+
+
+class TestChunkedBuilder:
+    def assert_same_tensor(self, streamed, direct):
+        assert np.array_equal(streamed.bptr, direct.bptr)
+        assert np.array_equal(streamed.binds, direct.binds)
+        assert np.array_equal(streamed.einds, direct.einds)
+        assert np.allclose(streamed.values, direct.values)
+
+    def test_matches_direct_construction(self):
+        rng = np.random.default_rng(11)
+        shape = (100, 80, 60)
+        chunks = []
+        for _ in range(13):
+            inds = np.column_stack([rng.integers(0, s, 200) for s in shape])
+            chunks.append((inds, rng.standard_normal(200)))
+        streamed = hicoo_from_chunks(chunks, block_bits=3, shape=shape)
+        direct = HicooTensor(
+            CooTensor(shape, np.vstack([c[0] for c in chunks]),
+                      np.concatenate([c[1] for c in chunks])), block_bits=3)
+        self.assert_same_tensor(streamed, direct)
+
+    def test_cross_chunk_duplicates_summed(self):
+        inds = np.array([[1, 2, 3], [4, 5, 6]], dtype=np.int64)
+        streamed = hicoo_from_chunks(
+            [(inds, np.array([1.0, 2.0])), (inds, np.array([10.0, 20.0]))],
+            block_bits=2, shape=(8, 8, 8))
+        assert streamed.nnz == 2
+        assert sorted(streamed.values) == [11.0, 22.0]
+
+    def test_multiword_fallback_triggers_and_matches(self):
+        rng = np.random.default_rng(12)
+        shape = (1 << 22, 1 << 22, 1 << 22)
+        builder = ChunkedHicooBuilder(4, shape=shape)
+        small = np.column_stack([rng.integers(0, 64, 150) for _ in shape])
+        sv = rng.standard_normal(150)
+        builder.add(small, sv)
+        assert builder._raw is None  # still on the single-word path
+        huge = np.column_stack([rng.integers(0, d, 150) for d in shape])
+        hv = rng.standard_normal(150)
+        builder.add(huge, hv)
+        assert builder._raw is not None  # key > 64 bits -> fallback
+        streamed = builder.finalize()
+        direct = HicooTensor(
+            CooTensor(shape, np.vstack([small, huge]),
+                      np.concatenate([sv, hv])), block_bits=4)
+        self.assert_same_tensor(streamed, direct)
+
+    def test_validation_errors_preserved(self):
+        with pytest.raises(ValueError, match="no chunks and no explicit"):
+            hicoo_from_chunks([], block_bits=2)
+        with pytest.raises(ValueError, match="out of declared shape"):
+            hicoo_from_chunks(
+                [(np.array([[5, 5]]), np.array([1.0]))],
+                block_bits=2, shape=(4, 4))
+        with pytest.raises(ValueError, match="modes"):
+            b = ChunkedHicooBuilder(2)
+            b.add(np.array([[1, 2]]), np.array([1.0]))
+            b.add(np.array([[1, 2, 3]]), np.array([1.0]))
