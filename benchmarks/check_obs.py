@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""CI guard for the observability layer (see docs/observability.md).
+
+Three checks, any failure exits nonzero:
+
+1. **Traced smoke** — runs a small CP-ALS through the real CLI with
+   ``--trace``, then validates the emitted file against the Chrome
+   trace-event schema, requires span coverage >= 95% of wall time, and
+   requires the per-mode kernel spans, per-task executor spans, and
+   per-iteration CP-ALS spans to be present.
+2. **Metrics smoke** — after the traced run (plus a planned MTTKRP warm
+   loop), the registry must show nonzero MortonContext and gather-cache
+   hit counters.
+3. **Disabled-overhead guard** — measures the cost of a disabled
+   ``trace.span`` call, multiplies by the spans one planned parallel MTTKRP
+   emits, and fails if that overhead exceeds 3% of the measured MTTKRP
+   median (the instrumentation must be effectively free when tracing is
+   off).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/check_obs.py
+"""
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hicoo import HicooTensor
+from repro.data import load
+from repro.data.frostt import write_tns
+from repro.kernels.mttkrp import mttkrp_parallel
+from repro.kernels.plan import plan_mttkrp
+from repro.obs import metrics, trace
+from repro.obs.trace import validate_chrome_trace
+from repro.tools.cli import main as cli_main
+
+DATASET = "uber"
+BLOCK_BITS = 4
+RANK = 8
+NTHREADS = 2
+MIN_COVERAGE = 0.95
+MAX_DISABLED_OVERHEAD = 0.03
+
+#: span names the acceptance criteria require in a traced CP-ALS run
+REQUIRED_SPANS = ("cli.cpd", "cpals.iter", "mttkrp.parallel",
+                  "executor.task", "hicoo.construct")
+
+
+def check_traced_cpd(tmp: Path) -> bool:
+    tns = tmp / "smoke.tns"
+    out = tmp / "smoke.trace.json"
+    write_tns(load(DATASET), tns, header="obs smoke tensor")
+    metrics.reset()
+    # no --block-bits: the default storage-optimal sweep shares (and so
+    # exercises) the MortonContext cache with the HiCOO construction
+    rc = cli_main(["cpd", str(tns), "-r", str(RANK), "--maxiters", "3",
+                   "-t", str(NTHREADS), "--trace", str(out), "--metrics"])
+    ok = True
+    if rc != 0:
+        print(f"FAIL: traced cpd exited with {rc}")
+        return False
+
+    doc = json.loads(out.read_text())
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for p in problems[:10]:
+            print(f"FAIL: trace schema: {p}")
+        ok = False
+
+    names = {e["name"] for e in doc["traceEvents"]}
+    for required in REQUIRED_SPANS:
+        if required not in names:
+            print(f"FAIL: required span {required!r} missing from the trace")
+            ok = False
+
+    cover = trace.coverage()
+    print(f"  trace: {len(doc['traceEvents'])} events, "
+          f"coverage {cover * 100:.1f}%")
+    if cover < MIN_COVERAGE:
+        print(f"FAIL: span coverage {cover:.3f} < {MIN_COVERAGE}")
+        ok = False
+
+    snap = metrics.snapshot()
+    for counter in ("convert.context_hits", "gather.cache_hits"):
+        if snap.get(counter, 0) < 1:
+            print(f"FAIL: metrics counter {counter} is zero after a traced "
+                  "CP-ALS run")
+            ok = False
+    return ok
+
+
+def check_disabled_overhead() -> bool:
+    """Disabled instrumentation must cost < 3% of an MTTKRP call."""
+    trace.disable()
+    coo = load(DATASET)
+    hic = HicooTensor(coo, block_bits=BLOCK_BITS)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, RANK)) for s in coo.shape]
+    plan = plan_mttkrp(hic, RANK, NTHREADS, strategy="schedule")
+    plan.ensure_gathers(hic)
+
+    times = []
+    for _ in range(9):
+        t0 = time.perf_counter()
+        mttkrp_parallel(hic, factors, 0, NTHREADS, plan=plan)
+        times.append(time.perf_counter() - t0)
+    mttkrp_median = statistics.median(times)
+
+    # count the spans one warm planned call would emit when enabled
+    trace.enable()
+    mttkrp_parallel(hic, factors, 0, NTHREADS, plan=plan)
+    spans_per_call = trace.get_tracer().nevents
+    trace.disable()
+    trace.clear()
+
+    # per-call cost of a disabled span (the hot-path guard: one global
+    # load, one attribute check, no allocation)
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with trace.span("overhead.probe", mode=0):
+            pass
+    per_span = (time.perf_counter() - t0) / n
+
+    overhead = spans_per_call * per_span
+    frac = overhead / mttkrp_median if mttkrp_median else 0.0
+    print(f"  disabled span: {per_span * 1e9:.0f} ns/call x "
+          f"{spans_per_call} spans = {overhead * 1e6:.1f} us "
+          f"vs {mttkrp_median * 1e3:.2f} ms MTTKRP median "
+          f"({frac * 100:.2f}%)")
+    if frac > MAX_DISABLED_OVERHEAD:
+        print(f"FAIL: disabled-tracing overhead {frac * 100:.2f}% > "
+              f"{MAX_DISABLED_OVERHEAD * 100:.0f}%")
+        return False
+    return True
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        print("traced CP-ALS smoke:")
+        smoke_ok = check_traced_cpd(Path(tmp))
+    if smoke_ok:
+        print("OK: trace is schema-valid, covering, and cache counters "
+              "are live")
+    print("disabled-mode overhead:")
+    overhead_ok = check_disabled_overhead()
+    if overhead_ok:
+        print("OK: instrumentation is free when tracing is disabled")
+    return 0 if smoke_ok and overhead_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.core.hicoo import HicooTensor, best_block_bits
 from repro.data import load
 from repro.kernels.mttkrp import mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
+from repro.obs import metrics
 from repro.util.bitops import bits_for, morton_encode
 
 DATASET = "vast"
@@ -37,6 +38,11 @@ BLOCK_BITS = 4
 RANK = 16
 NTHREADS = 4
 REPEAT = 5
+
+#: the timed registry tensors of the bench harness (conftest.TIMED_DATASETS)
+CACHE_DATASETS = ("vast", "deli", "uber")
+#: a plan warmed by >= 2 further runs must hit at least this often
+MIN_GATHER_HIT_RATE = 0.5
 
 
 def best_of(fn, repeat=REPEAT):
@@ -104,6 +110,44 @@ def check_conversion(coo) -> bool:
     return ok
 
 
+def check_cache_efficiency() -> bool:
+    """Metrics-registry guard: the caches must actually get reused.
+
+    For every timed registry tensor: one HiCOO construction plus a
+    ``best_block_bits`` sweep must produce MortonContext cache *hits* (the
+    one-sort pipeline sharing its encode+sort), and a warmed MTTKRP plan run
+    three times must hit the gather cache at rate >= MIN_GATHER_HIT_RATE.
+    """
+    ok = True
+    for name in CACHE_DATASETS:
+        metrics.reset()
+        coo = load(name)
+        hic = HicooTensor(coo, block_bits=BLOCK_BITS)
+        best_block_bits(coo)  # must reuse the construction's MortonContext
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, RANK)) for s in coo.shape]
+        plan = plan_mttkrp(hic, RANK, NTHREADS, strategy="schedule")
+        plan.ensure_gathers(hic)
+        for _ in range(3):
+            mttkrp_parallel(hic, factors, 0, NTHREADS, plan=plan)
+        snap = metrics.snapshot()
+        ctx_hits = snap.get("convert.context_hits", 0)
+        hits = snap.get("gather.cache_hits", 0)
+        misses = snap.get("gather.cache_misses", 0)
+        rate = hits / max(1, hits + misses)
+        print(f"  {name:<6s} context hits={ctx_hits} gather hit rate="
+              f"{hits}/{hits + misses} ({rate:.2f})")
+        if ctx_hits < 1:
+            print(f"FAIL: {name}: MortonContext was rebuilt instead of "
+                  "reused across construction + block-size sweep")
+            ok = False
+        if rate < MIN_GATHER_HIT_RATE:
+            print(f"FAIL: {name}: gather-cache hit rate {rate:.2f} < "
+                  f"{MIN_GATHER_HIT_RATE} on a warmed plan")
+            ok = False
+    return ok
+
+
 def main() -> int:
     coo = load(DATASET)
     hic = HicooTensor(coo, block_bits=BLOCK_BITS)
@@ -144,7 +188,13 @@ def main() -> int:
     conv_ok = check_conversion(coo)
     if conv_ok:
         print("OK: conversion fast paths beat their legacy baselines")
-    return 0 if ok and conv_ok else 1
+
+    print("cache efficiency (obs.metrics):")
+    cache_ok = check_cache_efficiency()
+    if cache_ok:
+        print("OK: MortonContext is reused and warmed plans hit the "
+              "gather cache")
+    return 0 if ok and conv_ok and cache_ok else 1
 
 
 if __name__ == "__main__":

@@ -13,15 +13,24 @@ from __future__ import annotations
 
 import functools
 import json
+import os
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.data import load, names
+from repro.obs import trace as obs_trace
 from repro.parallel.machine import Machine
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: with REPRO_TRACE=1 in the environment (``run_all.py --trace``), every
+#: experiment's spans are exported as a Chrome-trace sidecar next to its
+#: ``E*.txt`` result file (``E10_convert.txt`` -> ``E10_convert.trace.json``)
+TRACE_SIDECARS = os.environ.get("REPRO_TRACE", "") not in ("", "0")
+if TRACE_SIDECARS:
+    obs_trace.enable()
 
 #: datasets used for wall-clock (pytest-benchmark) measurements — one per
 #: structural regime, kept small so a full bench run stays in minutes.
@@ -64,11 +73,21 @@ def machine():
 
 
 def write_result(filename: str, text: str) -> None:
-    """Persist a table/series under benchmarks/results/ and echo it."""
+    """Persist a table/series under benchmarks/results/ and echo it.
+
+    Under ``REPRO_TRACE=1`` the spans recorded since the previous result
+    are written as a Chrome-trace sidecar next to the text file, then the
+    tracer is cleared so each experiment gets its own trace.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / filename
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+    if TRACE_SIDECARS:
+        sidecar = path.with_suffix(".trace.json")
+        obs_trace.save(sidecar)
+        obs_trace.clear()
+        print(f"[trace sidecar written to {sidecar}]")
 
 
 def best_time(fn, *args, repeat: int = 5, warmup: int = 1, **kwargs) -> float:

@@ -12,6 +12,7 @@ table/figure in one command:
 from __future__ import annotations
 
 import argparse
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -47,13 +48,19 @@ def main(argv=None) -> int:
     parser.add_argument("--skip-pytest", action="store_true",
                         help="only reassemble the report from existing "
                              "results/ files")
+    parser.add_argument("--trace", action="store_true",
+                        help="record spans and write a Chrome-trace sidecar "
+                             "(E*.trace.json) next to each result file")
     args = parser.parse_args(argv)
 
     if not args.skip_pytest:
         cmd = [sys.executable, "-m", "pytest", str(HERE),
                "--benchmark-only", "-q"]
+        env = os.environ.copy()
+        if args.trace:
+            env["REPRO_TRACE"] = "1"
         print("+", " ".join(cmd))
-        proc = subprocess.run(cmd)
+        proc = subprocess.run(cmd, env=env)
         if proc.returncode != 0:
             print("benchmark run failed", file=sys.stderr)
             return proc.returncode

@@ -28,6 +28,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..obs import metrics, trace
 from ..util.bitops import (bits_for, morton_encode, pack_key64,
                            shift_right_words, stable_argsort_u64)
 from .blocking import MAX_BLOCK_BITS, BlockDecomposition
@@ -74,11 +75,13 @@ class MortonContext:
         self.nnz = len(indices)
         self.nbits = bits_for(int(indices.max()) if indices.size else 0)
         if self.nnz:
-            words = morton_encode(indices.T, self.nbits)
-            if len(words) == 1:
-                order = stable_argsort_u64(words[0])
-            else:
-                order = np.lexsort(words[::-1])
+            with trace.span("convert.encode", nnz=self.nnz, nbits=self.nbits):
+                words = morton_encode(indices.T, self.nbits)
+            with trace.span("convert.sort", nnz=self.nnz, words=len(words)):
+                if len(words) == 1:
+                    order = stable_argsort_u64(words[0])
+                else:
+                    order = np.lexsort(words[::-1])
         else:
             words = np.zeros((1, 0), dtype=np.uint64)
             order = np.empty(0, dtype=np.int64)
@@ -88,6 +91,7 @@ class MortonContext:
         self.values = np.asarray(coo.values)[order]
         self._starts: Dict[int, np.ndarray] = {}
         self._decompositions: Dict[int, BlockDecomposition] = {}
+        metrics.inc("convert.context_nnz", self.nnz)
 
     # ------------------------------------------------------------------
     # per-block-size structure
@@ -102,15 +106,16 @@ class MortonContext:
         b = self._check_bits(block_bits, MAX_BLOCK_BITS)
         starts = self._starts.get(b)
         if starts is None:
-            if self.nnz == 0:
-                starts = np.empty(0, dtype=np.int64)
-            else:
-                high = shift_right_words(self.codes, b * self.nmodes)
-                changed = np.zeros(self.nnz - 1, dtype=bool)
-                for word in high:
-                    changed |= word[1:] != word[:-1]
-                starts = np.concatenate(
-                    [[0], np.flatnonzero(changed) + 1]).astype(np.int64)
+            with trace.span("convert.boundaries", b=b, nnz=self.nnz):
+                if self.nnz == 0:
+                    starts = np.empty(0, dtype=np.int64)
+                else:
+                    high = shift_right_words(self.codes, b * self.nmodes)
+                    changed = np.zeros(self.nnz - 1, dtype=bool)
+                    for word in high:
+                        changed |= word[1:] != word[:-1]
+                    starts = np.concatenate(
+                        [[0], np.flatnonzero(changed) + 1]).astype(np.int64)
             self._starts[b] = starts
         return starts
 
@@ -139,8 +144,12 @@ class MortonContext:
         b = self._check_bits(block_bits, MAX_BLOCK_BITS)
         dec = self._decompositions.get(b)
         if dec is None:
-            dec = self._build_decomposition(b)
+            metrics.inc("convert.decompose_builds")
+            with trace.span("convert.decompose", b=b, nnz=self.nnz):
+                dec = self._build_decomposition(b)
             self._decompositions[b] = dec
+        else:
+            metrics.inc("convert.decompose_hits")
         return dec
 
     def _build_decomposition(self, b: int) -> BlockDecomposition:

@@ -26,6 +26,7 @@ from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..kernels.gather import (TaskGather, build_task_gather, coalesce_runs,
                               mttkrp_gather_chunk, runs_from_block_ids)
+from ..obs import metrics, trace
 from ..util.validation import check_factors, check_mode
 from .blocking import MAX_BLOCK_BITS
 from .convert import hicoo_storage_bytes
@@ -53,7 +54,9 @@ class HicooTensor(SparseTensorFormat):
             raise TypeError(f"expected a CooTensor, got {type(coo).__name__}")
         # memoized one-sort pipeline: every block size built from this COO
         # tensor shares one Morton encode + sort (see core/convert.py)
-        dec = coo.block_decomposition(block_bits)
+        with trace.span("hicoo.construct", b=int(block_bits), nnz=coo.nnz):
+            dec = coo.block_decomposition(block_bits)
+        metrics.inc("hicoo.constructions")
         for mode, dim in enumerate(coo.shape):
             nblocks_mode = (dim + (1 << block_bits) - 1) >> block_bits
             if nblocks_mode > np.iinfo(np.uint32).max:
@@ -121,8 +124,13 @@ class HicooTensor(SparseTensorFormat):
         cache = self.__dict__.setdefault("_gather_cache", {})
         cached = cache.get(runs)
         if cached is None:
-            cached = build_task_gather(self, runs)
+            metrics.inc("gather.cache_misses")
+            with trace.span("gather.build", nruns=len(runs)):
+                cached = build_task_gather(self, runs)
             cache[runs] = cached
+            metrics.set_gauge("gather.cache_bytes", self.gather_cache_bytes())
+        else:
+            metrics.inc("gather.cache_hits")
         return cached
 
     def clear_gather_cache(self) -> None:

@@ -27,7 +27,8 @@ import numpy as np
 
 from ..formats.base import SparseTensorFormat
 from ..kernels.khatrirao import gram, hadamard_all
-from ..kernels.mttkrp import mttkrp_parallel
+from ..kernels.mttkrp import mttkrp, mttkrp_parallel
+from ..obs import metrics, trace
 from ..util.validation import check_factors
 from .init import initialize
 from .ktensor import KruskalTensor
@@ -120,48 +121,66 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
         # (not even the first) pays symbolic cost inside the timed loop
         plan.ensure_gathers(tensor)
 
+    # derived HiCOO structure parameters (the paper's alpha_b / c_b) tag
+    # every iteration span so traces compare directly to the storage model
+    geom = {}
+    if isinstance(tensor, HicooTensor):
+        geom = {"alpha_b": tensor.block_ratio(),
+                "c_b": tensor.avg_slice_size(), "b": tensor.block_bits}
+
     t_start = time.perf_counter()
     prev_fit = 0.0
-    for it in range(maxiters):
-        for mode in range(nmodes):
-            t0 = time.perf_counter()
-            if plan is not None:
-                m = mttkrp_parallel(tensor, factors, mode, plan.nthreads,
-                                    strategy=strategy, plan=plan).output
-            elif nthreads > 1:
-                m = mttkrp_parallel(tensor, factors, mode, nthreads,
-                                    strategy=strategy).output
-            else:
-                m = tensor.mttkrp(factors, mode)
-            result.mttkrp_seconds += time.perf_counter() - t0
+    with trace.span("cpals", rank=rank, nthreads=nthreads,
+                    format=tensor.format_name, **geom) as root:
+        for it in range(maxiters):
+            with trace.span("cpals.iter", it=it, **geom) as sp:
+                for mode in range(nmodes):
+                    t0 = time.perf_counter()
+                    if plan is not None:
+                        m = mttkrp_parallel(tensor, factors, mode,
+                                            plan.nthreads, strategy=strategy,
+                                            plan=plan).output
+                    elif nthreads > 1:
+                        m = mttkrp_parallel(tensor, factors, mode, nthreads,
+                                            strategy=strategy).output
+                    else:
+                        m = mttkrp(tensor, factors, mode)
+                    result.mttkrp_seconds += time.perf_counter() - t0
 
-            t0 = time.perf_counter()
-            h = hadamard_all([g for i, g in enumerate(grams) if i != mode]) \
-                if nmodes > 1 else np.ones((rank, rank))
-            new_factor = m @ np.linalg.pinv(h)
-            norms = np.linalg.norm(new_factor, axis=0)
-            # after iteration 0 use the max(1, norm) convention of the
-            # Tensor Toolbox to avoid shrinking tiny components to zero
-            if it == 0:
-                safe = np.where(norms > 0, norms, 1.0)
-            else:
-                safe = np.maximum(norms, 1.0)
-            weights = safe.copy()
-            factors[mode] = new_factor / safe
-            grams[mode] = gram(factors[mode])
-            result.dense_seconds += time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    with trace.span("cpals.dense", mode=mode):
+                        h = hadamard_all([g for i, g in enumerate(grams)
+                                          if i != mode]) \
+                            if nmodes > 1 else np.ones((rank, rank))
+                        new_factor = m @ np.linalg.pinv(h)
+                        norms = np.linalg.norm(new_factor, axis=0)
+                        # after iteration 0 use the max(1, norm) convention
+                        # of the Tensor Toolbox to avoid shrinking tiny
+                        # components to zero
+                        if it == 0:
+                            safe = np.where(norms > 0, norms, 1.0)
+                        else:
+                            safe = np.maximum(norms, 1.0)
+                        weights = safe.copy()
+                        factors[mode] = new_factor / safe
+                        grams[mode] = gram(factors[mode])
+                    result.dense_seconds += time.perf_counter() - t0
 
-        kt = KruskalTensor(weights, [f.copy() for f in factors])
-        fit = kt.fit(coo, tensor_norm=xnorm)
-        result.fits.append(fit)
-        result.iterations = it + 1
-        if callback is not None:
-            callback(it, fit)
-        if it > 0 and abs(fit - prev_fit) < tol:
-            result.converged = True
+                with trace.span("cpals.fit"):
+                    kt = KruskalTensor(weights, [f.copy() for f in factors])
+                    fit = kt.fit(coo, tensor_norm=xnorm)
+                sp.note(fit=fit)
+            result.fits.append(fit)
+            result.iterations = it + 1
+            metrics.inc("cpals.iterations")
+            if callback is not None:
+                callback(it, fit)
+            if it > 0 and abs(fit - prev_fit) < tol:
+                result.converged = True
+                prev_fit = fit
+                break
             prev_fit = fit
-            break
-        prev_fit = fit
+        root.note(iterations=result.iterations, fit=prev_fit)
 
     result.total_seconds = time.perf_counter() - t_start
     result.ktensor = KruskalTensor(weights, factors).arrange()

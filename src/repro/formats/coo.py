@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..kernels.gather import scatter_add
+from ..obs import metrics
 from ..util.bitops import (bits_for, morton_encode, morton_sort_order,
                            pack_key64, stable_argsort_u64)
 from ..util.validation import check_factors, check_indices, check_mode, check_shape
@@ -116,8 +117,11 @@ class CooTensor(SparseTensorFormat):
         key = ("lex", mode_order)
         order = cache.get(key)
         if order is None:
+            metrics.inc("convert.lex_builds")
             order = self._lex_sort_order(mode_order)
             cache[key] = order
+        else:
+            metrics.inc("convert.lex_hits")
         return order
 
     def _lex_sort_order(self, mode_order) -> np.ndarray:
@@ -196,8 +200,13 @@ class CooTensor(SparseTensorFormat):
         cache = self.__dict__.setdefault("_convert_cache", {})
         ctx = cache.get("context")
         if ctx is None:
+            metrics.inc("convert.context_builds")
             ctx = MortonContext(self)
             cache["context"] = ctx
+            metrics.set_gauge("convert.cache_bytes",
+                              self.convert_cache_bytes())
+        else:
+            metrics.inc("convert.context_hits")
         return ctx
 
     def block_decomposition(self, block_bits: int):

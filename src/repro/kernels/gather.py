@@ -29,6 +29,8 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import metrics, trace
+
 __all__ = [
     "SCATTER_SMALL_N",
     "TaskGather",
@@ -74,7 +76,20 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
     tasks that own disjoint row ranges (the lock-free superblock schedule):
     bincount adds a full-length column and would race on unowned rows.
     ``out`` may be 1-D (with 1-D ``acc``) or 2-D (rows x rank).
+
+    Each call increments the ``scatter.calls`` / ``scatter.updates`` /
+    ``scatter.<backend>`` counters of :mod:`repro.obs.metrics`.
     """
+    backend = _scatter_add(out, idx, acc, presorted, row_local)
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("scatter.calls")
+        reg.inc("scatter.updates", len(idx))
+        reg.inc("scatter." + backend)
+    return backend
+
+
+def _scatter_add(out, idx, acc, presorted, row_local) -> str:
     n = len(idx)
     if n == 0:
         return "noop"
@@ -216,6 +231,16 @@ def mttkrp_gather_chunk(tg: TaskGather, factors, mode: int, out: np.ndarray,
     """
     if tg.nnz == 0:
         return "noop"
+    if trace.enabled():
+        with trace.span("gather.chunk", mode=mode, nnz=tg.nnz):
+            backend = _mttkrp_gather_chunk(tg, factors, mode, out, row_local)
+    else:
+        backend = _mttkrp_gather_chunk(tg, factors, mode, out, row_local)
+    metrics.inc("mttkrp.nnz_processed", tg.nnz)
+    return backend
+
+
+def _mttkrp_gather_chunk(tg, factors, mode, out, row_local):
     acc = None
     for m, f in enumerate(factors):
         if m == mode:

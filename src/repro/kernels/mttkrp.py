@@ -31,6 +31,7 @@ from ..core.superblock import SuperblockIndex, build_superblocks
 from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
+from ..obs import metrics, trace
 from ..parallel.executor import ExecutionReport, run_tasks
 from ..parallel.partition import balanced_ranges
 from ..parallel.privatize import PrivateBuffers
@@ -70,7 +71,10 @@ class MttkrpRun:
 def mttkrp(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
            mode: int) -> np.ndarray:
     """Sequential MTTKRP on any supported format."""
-    return tensor.mttkrp(factors, mode)
+    with trace.span("mttkrp.seq", mode=mode, format=tensor.format_name):
+        out = tensor.mttkrp(factors, mode)
+    metrics.inc("mttkrp.calls")
+    return out
 
 
 def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
@@ -96,25 +100,45 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     if nthreads < 1:
         raise ValueError(f"nthreads must be positive, got {nthreads}")
 
-    if isinstance(tensor, HicooTensor):
-        if plan is not None:
-            return _parallel_hicoo_planned(tensor, factors, mode, plan,
-                                           real_threads)
-        return _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
-                               superblock_bits, real_threads)
-    if isinstance(tensor, CsfTensor):
-        return _parallel_csf(tensor, factors, mode, nthreads, strategy,
-                             real_threads)
-    if isinstance(tensor, CooTensor):
-        return _parallel_coo(tensor, factors, mode, nthreads, strategy,
-                             real_threads)
-    raise TypeError(f"no parallel MTTKRP for format {type(tensor).__name__}")
+    with trace.span("mttkrp.parallel", mode=mode,
+                    format=tensor.format_name, nthreads=nthreads) as sp:
+        if isinstance(tensor, HicooTensor):
+            if plan is not None:
+                run = _parallel_hicoo_planned(tensor, factors, mode, plan,
+                                              real_threads)
+            else:
+                run = _parallel_hicoo(tensor, factors, mode, nthreads,
+                                      strategy, superblock_bits, real_threads)
+        elif isinstance(tensor, CsfTensor):
+            run = _parallel_csf(tensor, factors, mode, nthreads, strategy,
+                                real_threads)
+        elif isinstance(tensor, CooTensor):
+            run = _parallel_coo(tensor, factors, mode, nthreads, strategy,
+                                real_threads)
+        else:
+            raise TypeError(
+                f"no parallel MTTKRP for format {type(tensor).__name__}")
+        sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("mttkrp.parallel_calls")
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    return run
 
 
 def _backends_of(report: ExecutionReport) -> tuple:
     """Deduplicated scatter-backend names returned by the tasks."""
     return tuple(sorted({v for v in report.values()
                          if isinstance(v, str) and v and v != "noop"}))
+
+
+def _observe_blocks(gathers) -> None:
+    """Record blocks touched per task (superblock group) as a histogram."""
+    reg = metrics.get_registry()
+    if reg.enabled:
+        for tg in gathers:
+            reg.observe("mttkrp.blocks_per_task",
+                        sum(hi - lo for lo, hi in tg.runs))
 
 
 # ----------------------------------------------------------------------
@@ -235,6 +259,7 @@ def _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
         # with the same structure also skip the symbolic work
         gathers = [tensor.task_gather([sbs.block_range(sb) for sb in sb_list])
                    for sb_list in sched.assignment]
+        _observe_blocks(gathers)
 
         def make_task(tg):
             def task():
@@ -258,6 +283,7 @@ def _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
     gathers = [tensor.task_gather([(int(sbs.sptr[lo]), int(sbs.sptr[hi]))])
                if lo < hi else tensor.task_gather([])
                for lo, hi in ranges]
+    _observe_blocks(gathers)
 
     def make_task(tid, tg):
         def task():
@@ -284,6 +310,7 @@ def _parallel_hicoo_planned(tensor, factors, mode, plan, real_threads):
     rows = tensor.shape[mode]
     mp = plan.for_mode(mode)
     gathers = plan.ensure_gathers(tensor, mode)
+    _observe_blocks(gathers)
 
     if mp.strategy == "schedule":
         out = np.zeros((rows, rank))

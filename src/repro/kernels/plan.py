@@ -27,6 +27,7 @@ import numpy as np
 from ..core.hicoo import HicooTensor
 from ..core.scheduler import Schedule, choose_strategy, schedule_mode
 from ..core.superblock import SuperblockIndex, build_superblocks
+from ..obs import metrics
 from ..parallel.partition import balanced_ranges
 from .gather import TaskGather, coalesce_runs
 
@@ -87,6 +88,10 @@ class MttkrpPlan:
         mp = self.modes[mode]
         if mp.gathers is None:
             mp.gathers = [tensor.task_gather(runs) for runs in mp.thread_runs]
+        else:
+            # a warm plan reusing its materialized arrays is a hit of the
+            # gather layer, even though the tensor-level dict isn't probed
+            metrics.inc("gather.cache_hits", len(mp.gathers))
         return mp.gathers
 
     def gather_cache_bytes(self) -> int:

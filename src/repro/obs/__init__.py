@@ -1,0 +1,22 @@
+"""repro.obs — unified observability: span tracing and a metrics registry.
+
+Two complementary views of a run, both process-wide singletons:
+
+* :mod:`repro.obs.trace` — a thread-aware hierarchical span tracer.  Opt-in
+  (``trace.enable()``), near-zero overhead when disabled, exports Chrome
+  trace-event JSON (open in Perfetto / ``chrome://tracing``), a flat text
+  report, or a :class:`~repro.util.timing.Stopwatch` aggregate.
+* :mod:`repro.obs.metrics` — always-on counters/gauges/histograms at call
+  granularity: cache hits and byte footprints (MortonContext, gather
+  arrays), nonzeros processed, scatter-add backend usage, executor load
+  imbalance.
+
+Naming conventions (see ``docs/observability.md``): dotted lowercase,
+``<subsystem>.<event>`` — e.g. spans ``convert.sort`` / ``mttkrp.parallel``
+/ ``executor.task`` / ``cpals.iter``, metrics ``gather.cache_hits`` /
+``convert.context_builds`` / ``executor.load_imbalance``.
+"""
+
+from . import metrics, trace
+
+__all__ = ["metrics", "trace"]

@@ -1,0 +1,244 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Complements the span tracer with *cumulative* quantities the paper's
+analysis needs but spans cannot express: cache hit/miss counts and byte
+footprints (MortonContext, gather arrays), nonzeros processed, scatter-add
+backend usage, executor task counts and load imbalance.
+
+Metrics are **always on** by default — every instrumented site fires at
+call granularity (per construction, per cache lookup, per task), never per
+nonzero, so the cost is a dict lookup and an add under a lock.  Call
+:func:`disable` to turn every update into a no-op (used by the overhead
+microbenchmarks).
+
+All helpers create metrics on first use, so instrumented code never has to
+register anything::
+
+    from repro.obs import metrics
+
+    metrics.inc("gather.cache_hits")
+    metrics.set_gauge("gather.cache_bytes", nbytes)
+    metrics.observe("executor.task_seconds", dt)
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "enable",
+    "disable",
+    "enabled",
+    "inc",
+    "set_gauge",
+    "observe",
+    "value",
+    "snapshot",
+    "report",
+    "reset",
+]
+
+
+class Counter:
+    """Monotonic accumulator (``inc`` only)."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Last-write-wins value (``set`` only)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Streaming count/total/min/max summary of observed samples."""
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, sample: float) -> None:
+        self.count += 1
+        self.total += sample
+        if sample < self.min:
+            self.min = sample
+        if sample > self.max:
+            self.max = sample
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        return {"count": self.count, "total": self.total, "mean": self.mean,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0}
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use; thread-safe updates."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    # creation / lookup
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, cls) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls()
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._get_or_create(name, Histogram)
+
+    # ------------------------------------------------------------------
+    # updates (no-ops while disabled)
+    # ------------------------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._get_or_create(name, Counter).value += n
+
+    def set_gauge(self, name: str, val: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._get_or_create(name, Gauge).value = val
+
+    def observe(self, name: str, sample: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._get_or_create(name, Histogram).observe(float(sample))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, default: float = 0):
+        """Scalar view of a metric: counter/gauge value, histogram count."""
+        with self._lock:
+            metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.count
+        return metric.value
+
+    def snapshot(self) -> dict:
+        """``{name: value}`` (histograms expand to their summary dict)."""
+        with self._lock:
+            items = list(self._metrics.items())
+        out = {}
+        for name, metric in sorted(items):
+            out[name] = (metric.summary() if isinstance(metric, Histogram)
+                         else metric.value)
+        return out
+
+    def report(self) -> List[str]:
+        """Human-readable lines, sorted by name."""
+        lines = []
+        for name, val in self.snapshot().items():
+            if isinstance(val, dict):
+                lines.append(
+                    f"{name:<32s} n={val['count']} total={val['total']:.6g} "
+                    f"mean={val['mean']:.6g} min={val['min']:.6g} "
+                    f"max={val['max']:.6g}")
+            elif isinstance(val, float):
+                lines.append(f"{name:<32s} {val:.6g}")
+            else:
+                lines.append(f"{name:<32s} {val}")
+        return lines
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# ----------------------------------------------------------------------
+# module-level singleton API (what instrumented code imports)
+# ----------------------------------------------------------------------
+_GLOBAL = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _GLOBAL
+
+
+def enable() -> None:
+    _GLOBAL.enabled = True
+
+
+def disable() -> None:
+    _GLOBAL.enabled = False
+
+
+def enabled() -> bool:
+    return _GLOBAL.enabled
+
+
+def inc(name: str, n: int = 1) -> None:
+    _GLOBAL.inc(name, n)
+
+
+def set_gauge(name: str, val: float) -> None:
+    _GLOBAL.set_gauge(name, val)
+
+
+def observe(name: str, sample: float) -> None:
+    _GLOBAL.observe(name, sample)
+
+
+def value(name: str, default: float = 0):
+    return _GLOBAL.value(name, default)
+
+
+def snapshot() -> dict:
+    return _GLOBAL.snapshot()
+
+
+def report() -> List[str]:
+    return _GLOBAL.report()
+
+
+def reset() -> None:
+    _GLOBAL.reset()

@@ -1,0 +1,397 @@
+"""Thread-aware hierarchical span tracer with Chrome-trace export.
+
+The tracer is a process-wide singleton, disabled by default.  Instrumented
+code wraps phases in spans::
+
+    from repro.obs import trace
+
+    with trace.span("mttkrp.parallel", mode=m) as sp:
+        ...
+        sp.note(strategy=run.strategy)   # attach args discovered mid-span
+
+When tracing is disabled, :func:`span` returns a shared no-op context
+manager — one global load and an attribute check, no event allocation — so
+instrumentation can stay on hot paths permanently.  When enabled, each span
+records ``time.perf_counter_ns`` start/duration, the OS thread, and its
+nesting depth (tracked per-thread through a :class:`contextvars.ContextVar`,
+so concurrent executor tasks nest independently).
+
+Exporters:
+
+* :func:`to_chrome_trace` / :func:`save` — Chrome trace-event JSON
+  (``"X"`` complete events + thread-name metadata), loadable in Perfetto or
+  ``chrome://tracing``;
+* :func:`report` — flat per-name aggregate lines (like ``Stopwatch``);
+* :func:`to_stopwatch` — the same aggregate as a live
+  :class:`~repro.util.timing.Stopwatch` for code that already consumes one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..util.timing import Stopwatch, Timer
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "get_tracer",
+    "enabled",
+    "enable",
+    "disable",
+    "clear",
+    "span",
+    "instant",
+    "events",
+    "to_chrome_trace",
+    "save",
+    "report",
+    "to_stopwatch",
+    "coverage",
+    "wall_seconds",
+    "validate_chrome_trace",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span (or instant, ``dur_ns == 0`` and ``phase "i"``)."""
+
+    name: str
+    start_ns: int
+    dur_ns: int
+    thread: int          #: OS thread ident (mapped to small tids on export)
+    depth: int           #: nesting depth within its thread (0 = top level)
+    args: Optional[dict] = None
+    phase: str = "X"     #: Chrome trace phase: "X" complete, "i" instant
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.dur_ns
+
+    @property
+    def cat(self) -> str:
+        """Trace category = the subsystem prefix of the dotted name."""
+        return self.name.split(".", 1)[0]
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **args) -> None:
+        """Ignore late args (mirror of :meth:`_LiveSpan.note`)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one :class:`SpanEvent` on exit."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_start_ns", "_depth", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, args: Optional[dict]):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def note(self, **args) -> None:
+        """Attach args discovered while the span is open (e.g. a fit)."""
+        if self._args is None:
+            self._args = args
+        else:
+            self._args.update(args)
+
+    def __enter__(self) -> "_LiveSpan":
+        depth_var = self._tracer._depth
+        self._depth = depth_var.get()
+        self._token = depth_var.set(self._depth + 1)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dur_ns = time.perf_counter_ns() - self._start_ns
+        self._tracer._depth.reset(self._token)
+        self._tracer._record(SpanEvent(
+            name=self._name, start_ns=self._start_ns, dur_ns=dur_ns,
+            thread=threading.get_ident(), depth=self._depth,
+            args=self._args))
+        return False
+
+
+class Tracer:
+    """Span collector; usually used through the module-level singleton."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._events: List[SpanEvent] = []
+        self._lock = threading.Lock()
+        self._depth: ContextVar[int] = ContextVar("repro_obs_depth", default=0)
+        self._main_thread = threading.get_ident()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def enable(self, clear: bool = True) -> None:
+        if clear:
+            self.clear()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def span(self, name: str, **args):
+        """Open a span; a no-op singleton when tracing is disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, args or None)
+
+    def instant(self, name: str, **args) -> None:
+        """Record a zero-duration marker event."""
+        if not self.enabled:
+            return
+        self._record(SpanEvent(
+            name=name, start_ns=time.perf_counter_ns(), dur_ns=0,
+            thread=threading.get_ident(), depth=self._depth.get(),
+            args=args or None, phase="i"))
+
+    def _record(self, event: SpanEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def events(self) -> List[SpanEvent]:
+        """Snapshot of the recorded events (completion order)."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def nevents(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+    def _tid_map(self, evts: List[SpanEvent]) -> Dict[int, int]:
+        """OS thread idents -> small stable tids (main thread first)."""
+        tids: Dict[int, int] = {}
+        if any(e.thread == self._main_thread for e in evts):
+            tids[self._main_thread] = 0
+        for e in sorted(evts, key=lambda e: e.start_ns):
+            tids.setdefault(e.thread, len(tids))
+        return tids
+
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON object (dict)."""
+        evts = self.events()
+        pid = os.getpid()
+        tids = self._tid_map(evts)
+        out = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": "repro"}}]
+        for ident, tid in tids.items():
+            label = "main" if ident == self._main_thread else f"worker-{tid}"
+            out.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": label}})
+        t0 = min((e.start_ns for e in evts), default=0)
+        for e in sorted(evts, key=lambda e: (e.start_ns, -e.dur_ns)):
+            rec = {"name": e.name, "cat": e.cat, "ph": e.phase,
+                   "ts": (e.start_ns - t0) / 1e3, "pid": pid,
+                   "tid": tids[e.thread], "args": e.args or {}}
+            if e.phase == "X":
+                rec["dur"] = e.dur_ns / 1e3
+            else:
+                rec["s"] = "t"  # instant scope: thread
+            out.append(rec)
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+    def save(self, path) -> None:
+        """Write the Chrome-trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh, default=_jsonable)
+
+    def report(self) -> List[str]:
+        """Per-name aggregate lines, largest total first."""
+        totals: Dict[str, Timer] = {}
+        for e in self.events():
+            if e.phase != "X":
+                continue
+            t = totals.setdefault(e.name, Timer())
+            t.elapsed += e.dur_ns / 1e9
+            t.count += 1
+        rows = sorted(totals.items(), key=lambda kv: -kv[1].elapsed)
+        return [
+            f"{name:<28s} {t.elapsed * 1e3:10.3f} ms  ({t.count} calls, "
+            f"{t.mean * 1e3:.3f} ms mean)"
+            for name, t in rows
+        ]
+
+    def to_stopwatch(self) -> Stopwatch:
+        """The same aggregate as a :class:`~repro.util.timing.Stopwatch`."""
+        sw = Stopwatch()
+        for e in self.events():
+            if e.phase != "X":
+                continue
+            t = sw.timers.setdefault(e.name, Timer())
+            t.elapsed += e.dur_ns / 1e9
+            t.count += 1
+        return sw
+
+    # ------------------------------------------------------------------
+    # coverage accounting (the acceptance criterion's >= 95%)
+    # ------------------------------------------------------------------
+    def wall_seconds(self) -> float:
+        """Span of wall time between the first start and the last end."""
+        evts = [e for e in self.events() if e.phase == "X"]
+        if not evts:
+            return 0.0
+        lo = min(e.start_ns for e in evts)
+        hi = max(e.end_ns for e in evts)
+        return (hi - lo) / 1e9
+
+    def coverage(self) -> float:
+        """Fraction of wall time covered by top-level (depth-0) spans.
+
+        The union of depth-0 span intervals across all threads, divided by
+        the first-start-to-last-end wall time.  1.0 when a root span wraps
+        the whole run (the CLI's ``cli.<command>`` span).
+        """
+        evts = [e for e in self.events() if e.phase == "X"]
+        if not evts:
+            return 0.0
+        tops = sorted(((e.start_ns, e.end_ns) for e in evts if e.depth == 0))
+        covered = 0
+        cur_lo, cur_hi = tops[0]
+        for lo, hi in tops[1:]:
+            if lo > cur_hi:
+                covered += cur_hi - cur_lo
+                cur_lo, cur_hi = lo, hi
+            else:
+                cur_hi = max(cur_hi, hi)
+        covered += cur_hi - cur_lo
+        wall = (max(e.end_ns for e in evts) - min(e.start_ns for e in evts))
+        return covered / wall if wall else 1.0
+
+
+def _jsonable(value):
+    """JSON fallback: NumPy scalars and anything else via float/str."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def validate_chrome_trace(doc: dict) -> List[str]:
+    """Schema-check a Chrome trace-event document; returns problem strings.
+
+    Used by tests and the CI traced-smoke guard — an empty list means the
+    trace is loadable by Perfetto/``chrome://tracing``.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document must be an object with a 'traceEvents' array"]
+    evts = doc["traceEvents"]
+    if not isinstance(evts, list):
+        return ["'traceEvents' must be an array"]
+    for i, e in enumerate(evts):
+        where = f"event {i}"
+        if not isinstance(e, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                problems.append(f"{where}: missing {key!r}")
+        ph = e.get("ph")
+        if ph not in ("X", "M", "i", "B", "E", "C"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+        if ph in ("X", "i"):
+            if not isinstance(e.get("ts"), (int, float)) or e["ts"] < 0:
+                problems.append(f"{where}: bad ts {e.get('ts')!r}")
+        if ph == "X":
+            if not isinstance(e.get("dur"), (int, float)) or e["dur"] < 0:
+                problems.append(f"{where}: bad dur {e.get('dur')!r}")
+        if "args" in e and not isinstance(e["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# module-level singleton API (what instrumented code imports)
+# ----------------------------------------------------------------------
+_GLOBAL = Tracer()
+
+
+def get_tracer() -> Tracer:
+    return _GLOBAL
+
+
+def enabled() -> bool:
+    return _GLOBAL.enabled
+
+
+def enable(clear: bool = True) -> None:
+    _GLOBAL.enable(clear=clear)
+
+
+def disable() -> None:
+    _GLOBAL.disable()
+
+
+def clear() -> None:
+    _GLOBAL.clear()
+
+
+def span(name: str, **args):
+    """Open a span on the global tracer (no-op singleton when disabled)."""
+    if not _GLOBAL.enabled:
+        return _NULL_SPAN
+    return _LiveSpan(_GLOBAL, name, args or None)
+
+
+def instant(name: str, **args) -> None:
+    _GLOBAL.instant(name, **args)
+
+
+def events() -> List[SpanEvent]:
+    return _GLOBAL.events()
+
+
+def to_chrome_trace() -> dict:
+    return _GLOBAL.to_chrome_trace()
+
+
+def save(path) -> None:
+    _GLOBAL.save(path)
+
+
+def report() -> List[str]:
+    return _GLOBAL.report()
+
+
+def to_stopwatch() -> Stopwatch:
+    return _GLOBAL.to_stopwatch()
+
+
+def coverage() -> float:
+    return _GLOBAL.coverage()
+
+
+def wall_seconds() -> float:
+    return _GLOBAL.wall_seconds()

@@ -22,6 +22,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence
 
+from ..obs import metrics, trace
+
 __all__ = ["TaskResult", "ExecutionReport", "run_tasks"]
 
 
@@ -73,20 +75,26 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
     the tasks run on a ``ThreadPoolExecutor``.
     """
     report = ExecutionReport(real_threads=real_threads)
-    if real_threads and len(tasks) > 1:
-        def timed_call(pair):
-            tid, task = pair
+
+    def timed_call(pair):
+        tid, task = pair
+        with trace.span("executor.task", task=tid):
             t0 = time.perf_counter()
             value = task()
-            return TaskResult(tid=tid, elapsed=time.perf_counter() - t0, value=value)
+            elapsed = time.perf_counter() - t0
+        return TaskResult(tid=tid, elapsed=elapsed, value=value)
 
+    if real_threads and len(tasks) > 1:
         with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
             report.results = list(pool.map(timed_call, enumerate(tasks)))
     else:
-        for tid, task in enumerate(tasks):
-            t0 = time.perf_counter()
-            value = task()
-            report.results.append(
-                TaskResult(tid=tid, elapsed=time.perf_counter() - t0, value=value)
-            )
+        report.results = [timed_call(pair) for pair in enumerate(tasks)]
+
+    reg = metrics.get_registry()
+    if reg.enabled and tasks:
+        reg.inc("executor.regions")
+        reg.inc("executor.tasks", len(tasks))
+        reg.set_gauge("executor.load_imbalance", report.load_imbalance())
+        for r in report.results:
+            reg.observe("executor.task_seconds", r.elapsed)
     return report

@@ -3,19 +3,46 @@
 from __future__ import annotations
 
 import logging
+import os
 
 __all__ = ["get_logger"]
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
 
+_ENV_VAR = "REPRO_LOG_LEVEL"
 
-def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
-    """Package logger with a one-time stream-handler setup."""
+
+def _resolve_level(level) -> int:
+    """Accept an int, a numeric string, or a level name ("DEBUG")."""
+    if isinstance(level, int):
+        return level
+    text = str(level).strip().upper()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def get_logger(name: str = "repro", level=None) -> logging.Logger:
+    """Package logger with a one-time stream-handler setup.
+
+    ``level`` is honored on *every* call (it used to be applied only when
+    the handler was first installed): pass an int, a name ("DEBUG"), or
+    ``None`` to leave the current level alone (INFO on first setup).  The
+    ``REPRO_LOG_LEVEL`` environment variable overrides both.
+    """
     logger = logging.getLogger(name)
     if not logger.handlers:
         handler = logging.StreamHandler()
         handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
         logger.addHandler(handler)
-        logger.setLevel(level)
+        logger.setLevel(logging.INFO)
         logger.propagate = False
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        logger.setLevel(_resolve_level(env))
+    elif level is not None:
+        logger.setLevel(_resolve_level(level))
     return logger

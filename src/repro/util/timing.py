@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -42,6 +43,11 @@ class Timer:
 class Stopwatch:
     """A named collection of :class:`Timer` objects.
 
+    Safe to use from concurrent threads: each :meth:`section` times on a
+    private per-call :class:`Timer` (so two threads timing the same name
+    never share running state) and merges into the named accumulator under
+    a lock on exit.
+
     >>> sw = Stopwatch()
     >>> with sw.section("mttkrp"):
     ...     pass
@@ -50,15 +56,27 @@ class Stopwatch:
     """
 
     timers: Dict[str, Timer] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     @contextmanager
     def section(self, name: str) -> Iterator[Timer]:
-        timer = self.timers.setdefault(name, Timer())
-        timer.start()
+        local = Timer()
+        local.start()
         try:
-            yield timer
+            yield local
         finally:
-            timer.stop()
+            local.stop()
+            self.merge(name, local)
+
+    def merge(self, name: str, timer: Timer) -> None:
+        """Fold a finished timer into the named accumulator (thread-safe)."""
+        with self._lock:
+            acc = self.timers.get(name)
+            if acc is None:
+                acc = self.timers[name] = Timer()
+            acc.elapsed += timer.elapsed
+            acc.count += timer.count
 
     def report(self) -> List[str]:
         """Human-readable per-section lines, longest section first."""

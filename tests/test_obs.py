@@ -1,0 +1,361 @@
+"""Tests for the observability layer: span tracer + metrics registry."""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor, best_block_bits
+from repro.data import load
+from repro.kernels.mttkrp import mttkrp_parallel
+from repro.kernels.plan import plan_mttkrp
+from repro.obs import metrics, trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, validate_chrome_trace
+from repro.parallel.executor import ExecutionReport, TaskResult, run_tasks
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with pristine global tracer/registry."""
+    trace.disable()
+    trace.clear()
+    metrics.reset()
+    metrics.enable()
+    yield
+    trace.disable()
+    trace.clear()
+    metrics.reset()
+    metrics.enable()
+
+
+# ----------------------------------------------------------------------
+# tracer core
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_nesting_depths(self):
+        t = Tracer()
+        t.enable()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner2"):
+                pass
+        by_name = {e.name: e for e in t.events()}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        assert by_name["inner2"].depth == 1
+        # children complete before the parent and nest inside its interval
+        assert by_name["inner"].start_ns >= by_name["outer"].start_ns
+        assert by_name["inner"].end_ns <= by_name["outer"].end_ns
+
+    def test_span_args_and_note(self):
+        t = Tracer()
+        t.enable()
+        with t.span("x", mode=2) as sp:
+            sp.note(fit=0.5)
+        (ev,) = t.events()
+        assert ev.args == {"mode": 2, "fit": 0.5}
+
+    def test_instant(self):
+        t = Tracer()
+        t.enable()
+        t.instant("mark", k=1)
+        (ev,) = t.events()
+        assert ev.phase == "i" and ev.dur_ns == 0
+
+    def test_nesting_across_threads(self):
+        """Each thread nests independently; events carry the right thread."""
+        t = Tracer()
+        t.enable()
+
+        def worker():
+            with t.span("w.outer"):
+                with t.span("w.inner"):
+                    time.sleep(0.001)
+
+        with t.span("main"):
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for th in threads:
+                th.start()
+            for th in threads:
+                th.join()
+        events = t.events()
+        assert len(events) == 1 + 4 * 2
+        outers = [e for e in events if e.name == "w.outer"]
+        inners = [e for e in events if e.name == "w.inner"]
+        # worker spans are top-level in their own thread, never nested
+        # under the main thread's open span
+        assert all(e.depth == 0 for e in outers)
+        assert all(e.depth == 1 for e in inners)
+        assert len({e.thread for e in outers}) == 4
+        for inner in inners:
+            parent = next(o for o in outers if o.thread == inner.thread)
+            assert parent.start_ns <= inner.start_ns
+            assert inner.end_ns <= parent.end_ns
+
+    def test_disabled_hot_path_allocates_nothing(self):
+        """Disabled spans return one shared singleton — no event, and the
+        argless call allocates no per-call object at all."""
+        t = Tracer()
+        assert t.span("a") is t.span("b")
+        assert trace.span("a") is trace.span("b")
+        with trace.span("a"):
+            pass
+        assert trace.get_tracer().nevents == 0
+
+    def test_disabled_overhead_is_small(self):
+        """A disabled span costs < 10 us/call even on a loaded machine."""
+        n = 20_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with trace.span("probe", mode=0):
+                pass
+        per_call = (time.perf_counter() - t0) / n
+        assert per_call < 10e-6
+
+    def test_enable_clears_by_default(self):
+        t = Tracer()
+        t.enable()
+        with t.span("stale"):
+            pass
+        t.enable()
+        assert t.nevents == 0
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def _traced(self):
+        t = Tracer()
+        t.enable()
+        with t.span("a", k=1):
+            with t.span("b"):
+                pass
+        t.instant("mark")
+        return t
+
+    def test_schema_valid(self):
+        doc = self._traced().to_chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        assert "X" in phases and "M" in phases and "i" in phases
+
+    def test_json_serializable_with_numpy_args(self, tmp_path):
+        t = Tracer()
+        t.enable()
+        with t.span("np", alpha=np.float64(0.5), n=np.int64(3)):
+            pass
+        path = tmp_path / "trace.json"
+        t.save(path)
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["args"]["alpha"] == 0.5
+
+    def test_timestamps_relative_and_ordered(self):
+        doc = self._traced().to_chrome_trace()
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        a = next(e for e in xs if e["name"] == "a")
+        b = next(e for e in xs if e["name"] == "b")
+        assert a["ts"] <= b["ts"]
+        assert b["ts"] + b["dur"] <= a["ts"] + a["dur"] + 1e-6
+
+    def test_report_and_stopwatch_aggregate(self):
+        t = self._traced()
+        lines = t.report()
+        assert any("a" in ln for ln in lines)
+        sw = t.to_stopwatch()
+        assert sw.timers["a"].count == 1
+        assert sw.timers["b"].elapsed <= sw.timers["a"].elapsed
+
+    def test_coverage_with_root_span(self):
+        t = Tracer()
+        t.enable()
+        with t.span("root"):
+            with t.span("child"):
+                pass
+        assert t.coverage() == pytest.approx(1.0)
+
+    def test_coverage_with_gap(self):
+        t = Tracer()
+        t.enable()
+        with t.span("first"):
+            time.sleep(0.002)
+        time.sleep(0.004)
+        with t.span("second"):
+            time.sleep(0.002)
+        assert t.coverage() < 0.95
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace({}) != []
+        bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "tid": 0,
+                                "ts": -1, "dur": "oops"}]}
+        problems = validate_chrome_trace(bad)
+        assert any("ts" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.inc("c", 4)
+        reg.set_gauge("g", 2.5)
+        reg.observe("h", 1.0)
+        reg.observe("h", 3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 5
+        assert snap["g"] == 2.5
+        assert snap["h"]["count"] == 2
+        assert snap["h"]["mean"] == pytest.approx(2.0)
+        assert snap["h"]["min"] == 1.0 and snap["h"]["max"] == 3.0
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(TypeError):
+            reg.set_gauge("x", 1.0)
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry()
+        reg.enabled = False
+        reg.inc("c")
+        reg.observe("h", 1.0)
+        assert reg.snapshot() == {}
+
+    def test_thread_safe_increments(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.inc("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert reg.value("hits") == 8000
+
+    def test_report_lines(self):
+        reg = MetricsRegistry()
+        reg.inc("a.count", 3)
+        reg.observe("a.hist", 2.0)
+        lines = reg.report()
+        assert len(lines) == 2
+        assert lines[0].startswith("a.count")
+        assert "mean=2" in lines[1]
+
+
+# ----------------------------------------------------------------------
+# instrumented subsystems
+# ----------------------------------------------------------------------
+class TestInstrumentation:
+    def test_convert_cache_counters(self):
+        coo = load("uber")
+        coo.clear_convert_cache()
+        HicooTensor(coo, block_bits=4)          # context build
+        best_block_bits(coo)                    # context hit
+        HicooTensor(coo, block_bits=4)          # decompose hit
+        snap = metrics.snapshot()
+        assert snap["convert.context_builds"] == 1
+        assert snap["convert.context_hits"] >= 1
+        assert snap["convert.decompose_builds"] == 1
+        assert snap["convert.decompose_hits"] >= 1
+        assert snap["convert.cache_bytes"] > 0
+
+    def test_gather_cache_counters(self):
+        coo = load("uber")
+        hic = HicooTensor(coo, block_bits=4)
+        metrics.reset()
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, 4)) for s in coo.shape]
+        plan = plan_mttkrp(hic, 4, 2, strategy="schedule")
+        plan.ensure_gathers(hic)
+        misses = metrics.value("gather.cache_misses")
+        assert misses >= 1
+        for _ in range(2):
+            mttkrp_parallel(hic, factors, 0, 2, plan=plan)
+        snap = metrics.snapshot()
+        assert snap["gather.cache_hits"] >= 2
+        assert snap["gather.cache_misses"] == misses  # warm runs add none
+        assert snap["gather.cache_bytes"] > 0
+
+    def test_mttkrp_trace_spans(self):
+        coo = load("uber")
+        hic = HicooTensor(coo, block_bits=4)
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, 4)) for s in coo.shape]
+        trace.enable()
+        mttkrp_parallel(hic, factors, 1, 2)
+        trace.disable()
+        events = trace.events()
+        par = [e for e in events if e.name == "mttkrp.parallel"]
+        assert len(par) == 1
+        assert par[0].args["mode"] == 1
+        assert "strategy" in par[0].args and "imbalance" in par[0].args
+        tasks = [e for e in events if e.name == "executor.task"]
+        assert len(tasks) == 2
+        # executor tasks nest under the kernel span
+        assert all(e.depth == par[0].depth + 1 for e in tasks)
+
+    def test_executor_metrics(self):
+        run_tasks([lambda: 1, lambda: 2])
+        snap = metrics.snapshot()
+        assert snap["executor.tasks"] == 2
+        assert snap["executor.regions"] == 1
+        assert snap["executor.load_imbalance"] >= 1.0
+        assert snap["executor.task_seconds"]["count"] == 2
+
+    def test_cpals_iteration_spans(self):
+        from repro.cpd.cp_als import cp_als
+
+        coo = load("uber")
+        hic = HicooTensor(coo, block_bits=4)
+        trace.enable()
+        cp_als(hic, rank=2, maxiters=2, seed=0)
+        trace.disable()
+        events = trace.events()
+        iters = [e for e in events if e.name == "cpals.iter"]
+        assert len(iters) == 2
+        for e in iters:
+            assert "fit" in e.args
+            assert e.args["alpha_b"] == pytest.approx(hic.block_ratio())
+            assert e.args["c_b"] == pytest.approx(hic.avg_slice_size())
+        root = next(e for e in events if e.name == "cpals")
+        assert root.args["iterations"] == 2
+        # sequential kernels route through the dispatch span too
+        assert sum(e.name == "mttkrp.seq" for e in events) == 2 * hic.nmodes
+
+
+# ----------------------------------------------------------------------
+# ExecutionReport edge cases (satellite)
+# ----------------------------------------------------------------------
+class TestExecutionReportEdges:
+    def test_zero_tasks(self):
+        report = ExecutionReport()
+        assert report.load_imbalance() == 1.0
+        assert report.makespan() == 0.0
+        assert report.total_work_time() == 0.0
+
+    def test_one_task(self):
+        report = ExecutionReport(results=[TaskResult(tid=0, elapsed=0.5)])
+        assert report.load_imbalance() == pytest.approx(1.0)
+
+    def test_one_task_zero_elapsed(self):
+        report = ExecutionReport(results=[TaskResult(tid=0, elapsed=0.0)])
+        assert report.load_imbalance() == 1.0
+
+    def test_run_tasks_empty(self):
+        report = run_tasks([])
+        assert report.nthreads == 0
+        assert report.load_imbalance() == 1.0

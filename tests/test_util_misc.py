@@ -1,5 +1,7 @@
 """Tests for timers, logging, and report rendering."""
 
+import logging
+import threading
 import time
 
 import pytest
@@ -59,6 +61,35 @@ class TestStopwatch:
             pass
         assert t.count == 1
 
+    def test_section_yields_local_timer(self):
+        sw = Stopwatch()
+        with sw.section("a") as local:
+            pass
+        # the yielded timer is per-call; the accumulator is separate
+        assert local is not sw.timers["a"]
+        assert local.count == 1
+
+    def test_concurrent_sections_accumulate_exactly(self):
+        """Overlapping sections from many threads must not lose counts or
+        corrupt elapsed totals (the old shared-Timer section raced)."""
+        sw = Stopwatch()
+        per_thread, nthreads = 200, 8
+
+        def worker():
+            for _ in range(per_thread):
+                with sw.section("hot"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        t = sw.timers["hot"]
+        assert t.count == per_thread * nthreads
+        assert t.elapsed >= 0
+        assert t.mean == pytest.approx(t.elapsed / t.count)
+
 
 class TestLogger:
     def test_idempotent_handlers(self):
@@ -66,6 +97,30 @@ class TestLogger:
         b = get_logger("repro.test")
         assert a is b
         assert len(a.handlers) == 1
+
+    def test_level_honored_after_first_call(self):
+        log = get_logger("repro.test_lvl", level=logging.INFO)
+        assert log.level == logging.INFO
+        log = get_logger("repro.test_lvl", level=logging.DEBUG)
+        assert log.level == logging.DEBUG
+        log = get_logger("repro.test_lvl", level="WARNING")
+        assert log.level == logging.WARNING
+
+    def test_none_level_leaves_current(self):
+        get_logger("repro.test_keep", level=logging.DEBUG)
+        log = get_logger("repro.test_keep")
+        assert log.level == logging.DEBUG
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "ERROR")
+        log = get_logger("repro.test_env", level=logging.DEBUG)
+        assert log.level == logging.ERROR
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "10")
+        assert get_logger("repro.test_env").level == logging.DEBUG
+
+    def test_bad_level_raises(self):
+        with pytest.raises(ValueError):
+            get_logger("repro.test_bad", level="NOPE")
 
 
 class TestFmt:
