@@ -16,6 +16,8 @@ Run from the repo root::
     PYTHONPATH=src python benchmarks/check_regression.py
 """
 
+import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,7 +30,7 @@ from legacy import (legacy_best_block_bits, legacy_hicoo_construct,
                     legacy_morton_encode, legacy_parallel_hicoo)
 from repro.core.hicoo import HicooTensor, best_block_bits
 from repro.data import load
-from repro.kernels.mttkrp import mttkrp_parallel
+from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
 from repro.obs import metrics
 from repro.util.bitops import bits_for, morton_encode
@@ -38,6 +40,10 @@ BLOCK_BITS = 4
 RANK = 16
 NTHREADS = 4
 REPEAT = 5
+
+#: wall-clock floor for the process backend over sequential at NTHREADS
+#: workers — only enforceable on a host that actually has the cores
+PROC_SPEEDUP_FLOOR = 1.5
 
 #: the timed registry tensors of the bench harness (conftest.TIMED_DATASETS)
 CACHE_DATASETS = ("vast", "deli", "uber")
@@ -148,6 +154,72 @@ def check_cache_efficiency() -> bool:
     return ok
 
 
+def check_process_backend() -> bool:
+    """Guard the true-multicore backend: correctness always, speed when
+    the host can express it.
+
+    * the process backend must be bit-identical to the sim backend (same
+      partition, same kernels) and tightly close to the sequential kernel
+      on every mode — any drift means shared-memory corruption;
+    * on a host with >= NTHREADS cores, wall-clock geomean speedup over
+      sequential across the timed datasets must reach PROC_SPEEDUP_FLOOR.
+      On smaller hosts the numbers are recorded (BENCH_mttkrp_proc.json)
+      but the floor is skipped — a process pool cannot beat sequential
+      wall clock on one core.
+    """
+    from bench_mttkrp_par import (PROC_BENCH_FILE, bench_process_backend,
+                                  process_speedups)
+    from conftest import write_bench_json
+    from repro.parallel import procpool
+
+    ok = True
+    coo = load(DATASET)
+    hic = HicooTensor(coo, block_bits=BLOCK_BITS)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, RANK)) for s in coo.shape]
+    plan = plan_mttkrp(hic, RANK, NTHREADS)
+    for mode in range(coo.nmodes):
+        seq = mttkrp(hic, factors, mode)
+        sim = mttkrp_parallel(hic, factors, mode, NTHREADS, plan=plan,
+                              backend="sim").output
+        proc = mttkrp_parallel(hic, factors, mode, NTHREADS, plan=plan,
+                               backend="process").output
+        if not np.array_equal(proc, sim):
+            print(f"FAIL: mode {mode}: process backend differs bitwise "
+                  "from the sim backend")
+            ok = False
+        if not np.allclose(proc, seq, rtol=1e-12, atol=0):
+            print(f"FAIL: mode {mode}: process backend drifts from the "
+                  "sequential kernel")
+            ok = False
+    procpool.release_shared(hic)
+    if ok:
+        print("  process == sim (bitwise), == sequential (1e-12) "
+              f"on all {coo.nmodes} modes")
+
+    records = bench_process_backend(nworkers=NTHREADS, repeat=REPEAT)
+    write_bench_json(records, PROC_BENCH_FILE)
+    speeds = process_speedups(records)
+    geomean = math.exp(sum(math.log(s) for s in speeds.values())
+                       / len(speeds))
+    for name, s in speeds.items():
+        print(f"  {name:<6s} process vs sequential: {s:.2f}x")
+    cores = os.cpu_count() or 1
+    if cores >= NTHREADS:
+        if geomean < PROC_SPEEDUP_FLOOR:
+            print(f"FAIL: process-backend geomean speedup {geomean:.2f}x < "
+                  f"{PROC_SPEEDUP_FLOOR}x at {NTHREADS} workers "
+                  f"({cores} cores)")
+            ok = False
+        else:
+            print(f"  geomean {geomean:.2f}x >= {PROC_SPEEDUP_FLOOR}x "
+                  f"floor at {NTHREADS} workers")
+    else:
+        print(f"  SKIP speedup floor: host has {cores} core(s) < "
+              f"{NTHREADS} workers (geomean recorded: {geomean:.2f}x)")
+    return ok
+
+
 def main() -> int:
     coo = load(DATASET)
     hic = HicooTensor(coo, block_bits=BLOCK_BITS)
@@ -194,7 +266,14 @@ def main() -> int:
     if cache_ok:
         print("OK: MortonContext is reused and warmed plans hit the "
               "gather cache")
-    return 0 if ok and conv_ok and cache_ok else 1
+
+    print("process backend (true multicore):")
+    proc_ok = check_process_backend()
+    if proc_ok:
+        print("OK: process backend is correct"
+              + ("" if (os.cpu_count() or 1) < NTHREADS
+                 else " and meets the speedup floor"))
+    return 0 if ok and conv_ok and cache_ok and proc_ok else 1
 
 
 if __name__ == "__main__":

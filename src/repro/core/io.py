@@ -52,26 +52,48 @@ def load_hicoo(source: PathLike) -> HicooTensor:
 
     Validates the structural invariants (monotone ``bptr`` covering all
     nonzeros, offsets within the block edge) so a corrupted file fails
-    loudly instead of producing silent garbage.
+    loudly instead of producing silent garbage.  Every decode failure —
+    truncated file, non-zip garbage, missing arrays, wrong version — is
+    reported as a ``ValueError`` naming the problem, never as a NumPy or
+    zipfile internals error.
     """
-    with np.load(source) as archive:
+    try:
+        archive = np.load(source)
+    except ValueError as exc:
+        raise ValueError(f"not a .hicoo archive: {exc}") from exc
+    except Exception as exc:
+        # np.load surfaces zipfile.BadZipFile, zlib.error, EOFError,
+        # struct.error... on truncated or garbage input; translate all of
+        # them into one clear diagnostic
+        if isinstance(exc, OSError) and getattr(exc, "errno", None):
+            raise  # genuine filesystem error (ENOENT, EACCES, ...)
+        raise ValueError(
+            f"not a .hicoo archive (corrupt or truncated): {exc}") from exc
+    with archive:
         required = {"version", "shape", "block_bits", "bptr", "binds",
                     "einds", "values"}
         missing = required - set(archive.files)
         if missing:
             raise ValueError(f"not a .hicoo archive: missing {sorted(missing)}")
-        version = int(archive["version"])
-        if version != _FORMAT_VERSION:
+        try:
+            version = int(archive["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported .hicoo version {version} "
+                    f"(this build reads version {_FORMAT_VERSION})"
+                )
+            shape = tuple(int(s) for s in archive["shape"])
+            block_bits = int(archive["block_bits"])
+            bptr = archive["bptr"].astype(np.int64)
+            binds = archive["binds"].astype(np.uint32)
+            einds = archive["einds"].astype(np.uint8)
+            values = archive["values"].astype(np.float64)
+        except ValueError:
+            raise
+        except Exception as exc:
+            # member decompression can fail mid-stream on truncation
             raise ValueError(
-                f"unsupported .hicoo version {version} "
-                f"(this build reads version {_FORMAT_VERSION})"
-            )
-        shape = tuple(int(s) for s in archive["shape"])
-        block_bits = int(archive["block_bits"])
-        bptr = archive["bptr"].astype(np.int64)
-        binds = archive["binds"].astype(np.uint32)
-        einds = archive["einds"].astype(np.uint8)
-        values = archive["values"].astype(np.float64)
+                f"corrupt .hicoo archive: {exc}") from exc
 
     nnz = len(values)
     nblocks = len(binds)

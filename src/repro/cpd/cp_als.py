@@ -62,7 +62,7 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
            nthreads: int = 1, strategy: str = "auto",
            seed: Optional[int] = None,
            callback: Optional[Callable[[int, float], None]] = None,
-           plan=None) -> CpAlsResult:
+           plan=None, backend: Optional[str] = None) -> CpAlsResult:
     """Compute a rank-``rank`` CP decomposition of ``tensor``.
 
     Parameters
@@ -80,6 +80,11 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
         schedules, fused gather arrays) across CP-ALS restarts.  When
         omitted and ``nthreads > 1``, one plan is built here and reused by
         every mode of every iteration.
+    backend : parallel execution backend forwarded to
+        :func:`repro.kernels.mttkrp.mttkrp_parallel` — ``"sim"`` (default),
+        ``"thread"``, or ``"process"`` (true multicore over shared memory;
+        the worker pool and shared segments persist across iterations, so
+        start-up cost is paid once per run).
     """
     if rank < 1:
         raise ValueError(f"rank must be positive, got {rank}")
@@ -110,7 +115,8 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
     # across iterations — built here (or passed in), reused every MTTKRP
     from ..core.hicoo import HicooTensor
 
-    if plan is None and nthreads > 1 and isinstance(tensor, HicooTensor):
+    parallel = nthreads > 1 or backend == "process"
+    if plan is None and parallel and isinstance(tensor, HicooTensor):
         from ..kernels.plan import plan_mttkrp
 
         plan = plan_mttkrp(tensor, rank, nthreads,
@@ -131,6 +137,7 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
     t_start = time.perf_counter()
     prev_fit = 0.0
     with trace.span("cpals", rank=rank, nthreads=nthreads,
+                    backend=backend or "sim",
                     format=tensor.format_name, **geom) as root:
         for it in range(maxiters):
             with trace.span("cpals.iter", it=it, **geom) as sp:
@@ -139,10 +146,11 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
                     if plan is not None:
                         m = mttkrp_parallel(tensor, factors, mode,
                                             plan.nthreads, strategy=strategy,
-                                            plan=plan).output
-                    elif nthreads > 1:
+                                            plan=plan, backend=backend).output
+                    elif parallel:
                         m = mttkrp_parallel(tensor, factors, mode, nthreads,
-                                            strategy=strategy).output
+                                            strategy=strategy,
+                                            backend=backend).output
                     else:
                         m = mttkrp(tensor, factors, mode)
                     result.mttkrp_seconds += time.perf_counter() - t0

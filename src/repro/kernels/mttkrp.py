@@ -32,7 +32,7 @@ from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
 from ..obs import metrics, trace
-from ..parallel.executor import ExecutionReport, run_tasks
+from ..parallel.executor import ExecutionReport, resolve_backend, run_tasks
 from ..parallel.partition import balanced_ranges
 from ..parallel.privatize import PrivateBuffers
 from ..util.validation import check_factors, check_mode
@@ -81,7 +81,7 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
                     mode: int, nthreads: int, strategy: str = "auto",
                     superblock_bits: Optional[int] = None,
                     real_threads: bool = False,
-                    plan=None) -> MttkrpRun:
+                    plan=None, backend: Optional[str] = None) -> MttkrpRun:
     """Parallel MTTKRP with the strategy set of the paper.
 
     ``strategy``:
@@ -94,11 +94,27 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     ``plan`` — a precomputed :class:`repro.kernels.plan.MttkrpPlan` for a
     HiCOO tensor; skips superblock construction and scheduling entirely
     (CP-ALS builds one plan and reuses it every iteration).
+
+    ``backend`` — ``"sim"`` (sequential, individually timed tasks),
+    ``"thread"`` (GIL-sharing thread pool; equivalent to the legacy
+    ``real_threads=True``), or ``"process"`` (true multicore over shared
+    memory; HiCOO only, see :mod:`repro.parallel.procpool`).
     """
     factors = check_factors(factors, tensor.shape)
     mode = check_mode(mode, tensor.nmodes)
     if nthreads < 1:
         raise ValueError(f"nthreads must be positive, got {nthreads}")
+    backend = resolve_backend(backend, real_threads)
+    real_threads = backend == "thread"
+
+    if backend == "process":
+        if not isinstance(tensor, HicooTensor):
+            raise ValueError(
+                "backend='process' shares HiCOO structure arrays between "
+                f"workers; format {tensor.format_name!r} is not supported — "
+                "convert with HicooTensor(coo) or use backend='thread'")
+        return _parallel_hicoo_process(tensor, factors, mode, nthreads,
+                                       strategy, superblock_bits, plan)
 
     with trace.span("mttkrp.parallel", mode=mode,
                     format=tensor.format_name, nthreads=nthreads) as sp:
@@ -344,6 +360,30 @@ def _parallel_hicoo_planned(tensor, factors, mode, plan, real_threads):
                      thread_nnz=mp.thread_nnz.copy(),
                      reduction_flops=bufs.reduction_flops(), report=report,
                      scatter_backends=_backends_of(report))
+
+
+def _parallel_hicoo_process(tensor, factors, mode, nthreads, strategy,
+                            superblock_bits, plan):
+    """True multicore HiCOO MTTKRP: superblock partitions executed by the
+    shared-memory process pool (see :mod:`repro.parallel.procpool`)."""
+    from ..parallel.procpool import mttkrp_process
+
+    with trace.span("mttkrp.parallel", mode=mode, backend="process",
+                    format=tensor.format_name, nthreads=nthreads) as sp:
+        pr = mttkrp_process(tensor, factors, mode, nthreads,
+                            strategy=strategy,
+                            superblock_bits=superblock_bits, plan=plan)
+        run = MttkrpRun(output=pr.output, strategy=pr.strategy,
+                        nthreads=pr.nworkers, thread_nnz=pr.thread_nnz,
+                        reduction_flops=pr.reduction_flops,
+                        schedule=pr.schedule, report=pr.report,
+                        scatter_backends=pr.scatter_backends)
+        sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("mttkrp.parallel_calls")
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    return run
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,7 @@ __all__ = [
     "span",
     "instant",
     "events",
+    "ingest",
     "to_chrome_trace",
     "save",
     "report",
@@ -182,6 +183,15 @@ class Tracer:
         with self._lock:
             return list(self._events)
 
+    def ingest(self, events: List[SpanEvent]) -> None:
+        """Merge externally-recorded spans (e.g. shipped from a worker
+        process).  Negative ``thread`` idents are reserved for process
+        workers and rendered as ``proc-N`` lanes; no-op while disabled."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._events.extend(events)
+
     @property
     def nevents(self) -> int:
         with self._lock:
@@ -207,7 +217,12 @@ class Tracer:
         out = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
                 "args": {"name": "repro"}}]
         for ident, tid in tids.items():
-            label = "main" if ident == self._main_thread else f"worker-{tid}"
+            if ident == self._main_thread:
+                label = "main"
+            elif ident < 0:
+                label = f"proc-{-ident - 1}"
+            else:
+                label = f"worker-{tid}"
             out.append({"name": "thread_name", "ph": "M", "pid": pid,
                         "tid": tid, "args": {"name": label}})
         t0 = min((e.start_ns for e in evts), default=0)
@@ -371,6 +386,10 @@ def instant(name: str, **args) -> None:
 
 def events() -> List[SpanEvent]:
     return _GLOBAL.events()
+
+
+def ingest(evts: List[SpanEvent]) -> None:
+    _GLOBAL.ingest(evts)
 
 
 def to_chrome_trace() -> dict:

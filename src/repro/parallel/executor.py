@@ -1,18 +1,27 @@
-"""Task execution with per-thread accounting.
+"""Task execution with per-thread accounting and selectable backends.
 
-Python cannot reproduce OpenMP's parallel wall-clock behaviour (the GIL
-serializes the index-manipulation parts of our kernels), so parallel runs
-are executed through this shim, which
+Parallel regions run through one entry point, :func:`run_tasks`, behind
+three backends:
 
-* runs every thread's task (optionally on a real thread pool — NumPy
-  releases the GIL inside large vector operations, so this can still help),
-* measures each task's *own* CPU time, and
-* reports the makespan ``max_t(time_t)`` — the quantity a real parallel run
-  would have taken, which the machine model combines with memory-bandwidth
-  limits.
+* ``"sim"`` — tasks run sequentially but each is timed individually, so the
+  report's ``makespan`` is what a perfectly overlapping parallel execution
+  would cost.  This is the documented substitution for the paper's OpenMP
+  testbed (see DESIGN.md section 2): the GIL serializes the index-heavy
+  parts of our kernels, so simulated time is the honest single-interpreter
+  number.
+* ``"thread"`` — a real ``ThreadPoolExecutor``.  NumPy releases the GIL
+  inside large vector operations, so this can overlap the numeric parts.
+* ``"process"`` — worker *processes* over shared memory (true multicore;
+  see :mod:`repro.parallel.procpool`).  Tasks must be picklable zero-arg
+  callables (module-level functions, ``functools.partial`` of them, …);
+  the specialized MTTKRP path does not go through this generic entry but
+  through :func:`repro.parallel.procpool.mttkrp_process`, which shares the
+  tensor structure zero-copy instead of pickling it.
 
-This is the documented substitution for the paper's OpenMP testbed; see
-DESIGN.md section 2.
+Exceptions raised inside a task always propagate to the caller with the
+original traceback — never swallowed into a partial
+:class:`ExecutionReport` — and the region fails fast: unstarted tasks are
+cancelled once the first failure is observed.
 """
 
 from __future__ import annotations
@@ -20,11 +29,15 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..obs import metrics, trace
 
-__all__ = ["TaskResult", "ExecutionReport", "run_tasks"]
+__all__ = ["TaskResult", "ExecutionReport", "run_tasks", "resolve_backend",
+           "BACKENDS"]
+
+#: the selectable execution backends
+BACKENDS = ("sim", "thread", "process")
 
 
 @dataclass
@@ -42,6 +55,8 @@ class ExecutionReport:
 
     results: List[TaskResult] = field(default_factory=list)
     real_threads: bool = False
+    #: which backend executed the region ("sim", "thread", or "process")
+    backend: str = "sim"
 
     @property
     def nthreads(self) -> int:
@@ -65,16 +80,41 @@ class ExecutionReport:
         return [r.value for r in self.results]
 
 
-def run_tasks(tasks: Sequence[Callable[[], object]],
-              real_threads: bool = False) -> ExecutionReport:
-    """Execute one callable per logical thread.
+def resolve_backend(backend: Optional[str], real_threads: bool = False) -> str:
+    """Normalize the (backend, legacy real_threads flag) pair to a name."""
+    if backend is None:
+        return "thread" if real_threads else "sim"
+    if backend in ("seq", "sequential"):
+        return "sim"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    return backend
 
-    With ``real_threads=False`` (default) the tasks run sequentially but each
-    is timed individually, so the report's ``makespan`` is what a perfectly
-    overlapping parallel execution would cost.  With ``real_threads=True``
-    the tasks run on a ``ThreadPoolExecutor``.
+
+def run_tasks(tasks: Sequence[Callable[[], object]],
+              real_threads: bool = False,
+              backend: Optional[str] = None,
+              nworkers: Optional[int] = None) -> ExecutionReport:
+    """Execute one callable per logical thread on the chosen backend.
+
+    ``backend=None`` keeps the legacy semantics: ``"thread"`` when
+    ``real_threads`` is set, ``"sim"`` otherwise.  ``nworkers`` caps the
+    worker count of the process backend (default: one per task).
+
+    A task that raises aborts the region: the exception propagates with its
+    original traceback (for process workers, the remote traceback is chained
+    as the ``__cause__``), pending tasks are cancelled, and no partial
+    report is returned.
     """
-    report = ExecutionReport(real_threads=real_threads)
+    backend = resolve_backend(backend, real_threads)
+    if backend == "process":
+        from .procpool import run_generic_tasks
+
+        return run_generic_tasks(tasks, nworkers=nworkers)
+
+    report = ExecutionReport(real_threads=(backend == "thread"),
+                             backend=backend)
 
     def timed_call(pair):
         tid, task = pair
@@ -84,9 +124,19 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
             elapsed = time.perf_counter() - t0
         return TaskResult(tid=tid, elapsed=elapsed, value=value)
 
-    if real_threads and len(tasks) > 1:
+    if backend == "thread" and len(tasks) > 1:
         with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
-            report.results = list(pool.map(timed_call, enumerate(tasks)))
+            futures = [pool.submit(timed_call, pair)
+                       for pair in enumerate(tasks)]
+            try:
+                report.results = [f.result() for f in futures]
+            except BaseException:
+                # fail fast: a task raised — cancel everything not yet
+                # started, then re-raise the original exception (result()
+                # preserves the in-task traceback)
+                for f in futures:
+                    f.cancel()
+                raise
     else:
         report.results = [timed_call(pair) for pair in enumerate(tasks)]
 

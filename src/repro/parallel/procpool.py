@@ -1,0 +1,777 @@
+"""True multicore MTTKRP: a shared-memory process backend.
+
+The GIL caps what the thread backend can overlap, so this module runs
+superblock task partitions in worker *processes*:
+
+* the HiCOO structure arrays (``bptr``, ``binds``, ``einds``, ``values``)
+  and the dense factor matrices live in ``multiprocessing.shared_memory``
+  segments, placed once per tensor and mapped zero-copy by every worker;
+* each worker computes its scheduler-assigned superblock group straight
+  into the shared mode-``m`` output — safe without locks because the
+  lock-free schedule guarantees the groups write disjoint output rows;
+* the privatized fallback (non-row-disjoint partitions) gives each worker
+  a private slab of one shared buffer and the parent reduces the slabs;
+* workers are reused across calls (a warm pool keyed by worker count), so
+  CP-ALS pays process start-up once per run, not once per iteration;
+* per-task spans and counters measured inside the workers are shipped back
+  over the result pipe and merged into the parent's tracer/registry.
+
+Lifecycle: segments are created by a :class:`SharedMttkrpSession` (cached
+on the tensor, like the gather cache), closed+unlinked by
+:func:`release_shared` or at interpreter exit.  Workers attach segments by
+name and keep them mapped until shutdown; on Linux an unlinked segment
+stays valid for already-attached processes, so teardown order is safe.
+
+See ``docs/parallel_backends.md`` for when to prefer which backend.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import traceback
+import uuid
+import weakref
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from multiprocessing.connection import wait as _conn_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs import metrics, trace
+from .executor import ExecutionReport, TaskResult
+
+__all__ = [
+    "ShmArraySpec",
+    "SharedTensorHandle",
+    "SharedMttkrpSession",
+    "ProcPool",
+    "WorkerTaskError",
+    "get_pool",
+    "shutdown_pools",
+    "mttkrp_process",
+    "release_shared",
+    "run_generic_tasks",
+    "default_start_method",
+]
+
+#: per-collect timeout (seconds); prevents a hung worker from deadlocking
+#: CI.  Override with the REPRO_PROC_TIMEOUT environment variable.
+DEFAULT_TIMEOUT = float(os.environ.get("REPRO_PROC_TIMEOUT", "120"))
+
+#: workers cap their symbolic gather cache at this many entries
+_WORKER_GATHER_CACHE_CAP = 256
+
+
+def default_start_method() -> str:
+    """``fork`` where available (fast start, inherited imports), else the
+    platform default.  Override with REPRO_PROC_START."""
+    env = os.environ.get("REPRO_PROC_START", "")
+    if env:
+        return env
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else mp.get_start_method()
+
+
+# ----------------------------------------------------------------------
+# shared-memory arrays
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Picklable recipe for mapping an ndarray view over a shared segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach ``shm`` from this process's resource tracker.
+
+    Attaching registers the segment with the tracker, which would warn about
+    (or even unlink) segments the *parent* owns when a worker exits.  The
+    parent arena is the single owner responsible for unlinking.
+    """
+    try:  # pragma: no cover - depends on CPython internals, best effort
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class ShmArena:
+    """Owner of a set of shared segments (create, view, close, unlink)."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+
+    def share(self, arr: np.ndarray) -> ShmArraySpec:
+        """Copy ``arr`` into a fresh segment; returns its spec."""
+        arr = np.ascontiguousarray(arr)
+        shm = shared_memory.SharedMemory(create=True,
+                                         size=max(1, arr.nbytes))
+        self._segments[shm.name] = shm
+        spec = ShmArraySpec(name=shm.name, shape=tuple(arr.shape),
+                            dtype=arr.dtype.str)
+        self.view(spec)[...] = arr
+        return spec
+
+    def alloc(self, shape, dtype=np.float64) -> ShmArraySpec:
+        """Allocate a zeroed segment of the given logical shape."""
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._segments[shm.name] = shm
+        spec = ShmArraySpec(name=shm.name, shape=tuple(shape),
+                            dtype=np.dtype(dtype).str)
+        self.view(spec)[...] = 0
+        return spec
+
+    def view(self, spec: ShmArraySpec) -> np.ndarray:
+        """Parent-side ndarray view of a spec over an owned segment."""
+        shm = self._segments[spec.name]
+        return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=shm.buf, offset=spec.offset)
+
+    def total_bytes(self) -> int:
+        return sum(s.size for s in self._segments.values())
+
+    def close(self) -> None:
+        """Close and unlink every owned segment (idempotent)."""
+        for shm in self._segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover
+                pass
+            try:
+                shm.unlink()
+            except Exception:  # pragma: no cover - already unlinked
+                pass
+        self._segments.clear()
+
+
+@dataclass(frozen=True)
+class SharedTensorHandle:
+    """Picklable handle to a HiCOO structure placed in shared memory.
+
+    ``key`` is unique per session; workers use it to key their symbolic
+    gather caches, so a re-shared tensor never aliases stale entries.
+    """
+
+    key: str
+    block_bits: int
+    shape: Tuple[int, ...]
+    bptr: ShmArraySpec
+    binds: ShmArraySpec
+    einds: ShmArraySpec
+    values: ShmArraySpec
+
+
+class _TensorView:
+    """Worker-side zero-copy view satisfying the duck-typed HiCOO attribute
+    contract of :func:`repro.kernels.gather.build_task_gather`."""
+
+    __slots__ = ("bptr", "binds", "einds", "values", "block_bits", "shape")
+
+    def __init__(self, handle: SharedTensorHandle, attach) -> None:
+        self.bptr = attach(handle.bptr)
+        self.binds = attach(handle.binds)
+        self.einds = attach(handle.einds)
+        self.values = attach(handle.values)
+        self.block_bits = handle.block_bits
+        self.shape = handle.shape
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _pack_events(events) -> list:
+    """Serialize worker span events as plain tuples (SpanEvent is picklable,
+    but tuples keep the pipe payload small and version-tolerant)."""
+    return [(e.name, e.start_ns, e.dur_ns, e.depth, e.args, e.phase)
+            for e in events]
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker loop: attach shared arrays, run tasks, ship results back."""
+    # a forked worker inherits the parent's tracer/registry state; start
+    # clean so shipped events/counters are strictly this worker's own
+    trace.disable()
+    trace.clear()
+    metrics.reset()
+
+    from ..kernels.gather import build_task_gather, mttkrp_gather_chunk
+
+    shm_cache: Dict[str, shared_memory.SharedMemory] = {}
+    array_cache: Dict[ShmArraySpec, np.ndarray] = {}
+    tensor_cache: Dict[str, _TensorView] = {}
+    gather_cache: Dict[tuple, object] = {}
+
+    def attach(spec: ShmArraySpec) -> np.ndarray:
+        arr = array_cache.get(spec)
+        if arr is None:
+            shm = shm_cache.get(spec.name)
+            if shm is None:
+                shm = shared_memory.SharedMemory(name=spec.name)
+                _untrack(shm)
+                shm_cache[spec.name] = shm
+            arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                             buffer=shm.buf, offset=spec.offset)
+            array_cache[spec] = arr
+        return arr
+
+    def tensor_view(handle: SharedTensorHandle) -> _TensorView:
+        tv = tensor_cache.get(handle.key)
+        if tv is None:
+            tv = tensor_cache[handle.key] = _TensorView(handle, attach)
+        return tv
+
+    def gather_for(tv: _TensorView, key: str, runs: tuple):
+        ck = (key, runs)
+        tg = gather_cache.get(ck)
+        if tg is None:
+            if len(gather_cache) >= _WORKER_GATHER_CACHE_CAP:
+                gather_cache.clear()
+            tg = gather_cache[ck] = build_task_gather(tv, runs)
+        return tg
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        except KeyboardInterrupt:  # pragma: no cover - interactive abort
+            break
+        kind = msg[0]
+        if kind == "shutdown":
+            break
+        task_id = msg[1]
+        try:
+            if kind == "mttkrp":
+                (_, _, handle, factor_specs, mode, runs,
+                 out_spec, row_local, want_trace) = msg
+                if want_trace:
+                    trace.enable(clear=True)
+                t0 = time.perf_counter()
+                with trace.span("procpool.task", worker=worker_id,
+                                mode=mode, pid=os.getpid()):
+                    tv = tensor_view(handle)
+                    factors = [attach(s) for s in factor_specs]
+                    out = attach(out_spec)
+                    tg = gather_for(tv, handle.key, tuple(runs))
+                    backend = mttkrp_gather_chunk(tg, factors, mode, out,
+                                                  row_local=row_local)
+                elapsed = time.perf_counter() - t0
+                events = None
+                if want_trace:
+                    events = _pack_events(trace.events())
+                    trace.disable()
+                    trace.clear()
+                conn.send(("ok", task_id, elapsed, backend, tg.nnz, events))
+            elif kind == "generic":
+                _, _, fn = msg
+                t0 = time.perf_counter()
+                value = fn()
+                elapsed = time.perf_counter() - t0
+                conn.send(("ok", task_id, elapsed, value, 0, None))
+            elif kind == "ping":
+                conn.send(("ok", task_id, 0.0, "pong", 0, None))
+            else:
+                raise ValueError(f"unknown worker message {kind!r}")
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            tb = "".join(traceback.format_exception(type(exc), exc,
+                                                    exc.__traceback__))
+            try:
+                conn.send(("err", task_id, exc, tb))
+            except Exception:
+                # unpicklable exception object: ship a reconstructible stub
+                conn.send(("err", task_id,
+                           RuntimeError(f"{type(exc).__name__}: {exc}"), tb))
+
+
+# ----------------------------------------------------------------------
+# exception plumbing (original traceback chained across the process gap)
+# ----------------------------------------------------------------------
+class _RemoteTraceback(Exception):
+    """Carrier for a worker-side traceback, chained as ``__cause__``."""
+
+    def __init__(self, tb: str) -> None:
+        super().__init__(tb)
+        self.tb = tb
+
+    def __str__(self) -> str:
+        return "\n" + self.tb
+
+
+class WorkerTaskError(RuntimeError):
+    """A worker task failed; the remote traceback is in ``__cause__``."""
+
+
+def _raise_remote(task_id: int, exc: BaseException, tb: str):
+    """Re-raise a worker exception, preserving its type where possible and
+    always chaining the formatted remote traceback."""
+    exc.__cause__ = _RemoteTraceback(tb)
+    raise exc
+
+
+# ----------------------------------------------------------------------
+# warm worker pool
+# ----------------------------------------------------------------------
+class ProcPool:
+    """A fixed set of long-lived worker processes connected by pipes.
+
+    Tasks are addressed to a specific worker (the MTTKRP path pins task
+    ``t`` to worker ``t`` so privatized slabs stay worker-local) and results
+    are collected with :meth:`collect`, which fails fast on worker errors
+    and death.
+    """
+
+    def __init__(self, nworkers: int,
+                 start_method: Optional[str] = None) -> None:
+        if nworkers < 1:
+            raise ValueError(f"nworkers must be positive, got {nworkers}")
+        self.nworkers = nworkers
+        self.start_method = start_method or default_start_method()
+        ctx = mp.get_context(self.start_method)
+        self._procs: List[mp.Process] = []
+        self._conns = []
+        for wid in range(nworkers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child_conn, wid),
+                               daemon=True, name=f"repro-procpool-{wid}")
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._closed = False
+        metrics.inc("procpool.workers_started", nworkers)
+
+    @property
+    def alive(self) -> bool:
+        return (not self._closed
+                and all(p.is_alive() for p in self._procs))
+
+    def submit(self, worker_id: int, msg: tuple) -> None:
+        self._conns[worker_id].send(msg)
+
+    def collect(self, expected: Dict[int, int],
+                timeout: Optional[float] = None) -> Dict[int, tuple]:
+        """Collect one response per (task_id -> worker_id) in ``expected``.
+
+        Returns ``{task_id: (elapsed, value, nnz, events)}``.  Every
+        outstanding response is drained before raising (so the pool stays
+        reusable), then the first failure in task order is re-raised with
+        its remote traceback chained.
+        """
+        timeout = DEFAULT_TIMEOUT if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        pending: Dict[object, List[int]] = {}
+        for task_id, wid in expected.items():
+            pending.setdefault(self._conns[wid], []).append(task_id)
+        results: Dict[int, tuple] = {}
+        errors: Dict[int, tuple] = {}
+        outstanding = set(expected)
+        while outstanding:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._abandon()
+                raise TimeoutError(
+                    f"process backend timed out after {timeout:.0f}s waiting "
+                    f"for tasks {sorted(outstanding)}")
+            for conn in _conn_wait(list(pending), timeout=remaining):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._abandon()
+                    raise RuntimeError(
+                        "a procpool worker died mid-task (pipe closed); "
+                        "the pool has been shut down") from None
+                status, task_id = msg[0], msg[1]
+                outstanding.discard(task_id)
+                waiting = pending[conn]
+                waiting.remove(task_id)
+                if not waiting:
+                    del pending[conn]
+                if status == "ok":
+                    _, _, elapsed, value, nnz, events = msg
+                    results[task_id] = (elapsed, value, nnz, events)
+                else:
+                    _, _, exc, tb = msg
+                    errors[task_id] = (exc, tb)
+        if errors:
+            task_id = min(errors)
+            exc, tb = errors[task_id]
+            metrics.inc("procpool.task_errors", len(errors))
+            _raise_remote(task_id, exc, tb)
+        return results
+
+    def _abandon(self) -> None:
+        """Hard-kill the pool (worker death / timeout); drop it from the
+        warm cache so the next call builds a fresh one."""
+        _POOLS.pop((self.nworkers, self.start_method), None)
+        self.shutdown(grace=0.2)
+
+    def shutdown(self, grace: float = 2.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("shutdown",))
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=grace)
+            if proc.is_alive():  # pragma: no cover - unresponsive worker
+                proc.terminate()
+                proc.join(timeout=grace)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+_POOLS: Dict[Tuple[int, str], ProcPool] = {}
+
+
+def get_pool(nworkers: int, start_method: Optional[str] = None) -> ProcPool:
+    """Warm-start pool cache: one living pool per (nworkers, start method).
+
+    Reuse is what amortizes process start-up across CP-ALS iterations; the
+    ``procpool.pool_reuses`` counter proves it in the metrics report.
+    """
+    start_method = start_method or default_start_method()
+    key = (nworkers, start_method)
+    pool = _POOLS.get(key)
+    if pool is not None and pool.alive:
+        metrics.inc("procpool.pool_reuses")
+        return pool
+    if pool is not None:
+        pool.shutdown(grace=0.2)
+    pool = ProcPool(nworkers, start_method=start_method)
+    _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Stop every warm pool (tests and interpreter exit)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+# ----------------------------------------------------------------------
+# per-tensor shared session
+# ----------------------------------------------------------------------
+_LIVE_SESSIONS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+class SharedMttkrpSession:
+    """Shared-memory residency of one HiCOO tensor plus its dense operands.
+
+    Created once per (tensor, nworkers) and cached on the tensor; the
+    structure arrays are copied into shared segments a single time, factor
+    slots are rewritten in place every call (a memcpy, no pickling), and the
+    output/privatized slabs are recycled across modes and iterations.
+    """
+
+    def __init__(self, tensor, nworkers: int) -> None:
+        self.nworkers = nworkers
+        self.arena = ShmArena()
+        self.key = uuid.uuid4().hex
+        self.shape = tuple(tensor.shape)
+        self.handle = SharedTensorHandle(
+            key=self.key,
+            block_bits=tensor.block_bits,
+            shape=self.shape,
+            bptr=self.arena.share(tensor.bptr),
+            binds=self.arena.share(tensor.binds),
+            einds=self.arena.share(tensor.einds),
+            values=self.arena.share(tensor.values),
+        )
+        self.rank: Optional[int] = None
+        self.factor_specs: List[ShmArraySpec] = []
+        self._out_spec: Optional[ShmArraySpec] = None
+        self._priv_spec: Optional[ShmArraySpec] = None
+        self._closed = False
+        _LIVE_SESSIONS.add(self)
+        metrics.inc("procpool.sessions")
+        metrics.set_gauge("procpool.shared_bytes", self.arena.total_bytes())
+
+    # -- dense operand slots ------------------------------------------
+    def ensure_rank(self, rank: int) -> None:
+        """(Re)allocate factor and output slots for decomposition rank R."""
+        if self.rank == rank:
+            return
+        self.rank = rank
+        maxrows = max(self.shape)
+        self.factor_specs = [self.arena.alloc((dim, rank))
+                             for dim in self.shape]
+        self._out_spec = self.arena.alloc((maxrows, rank))
+        self._priv_spec = None  # lazily sized on first privatized call
+        metrics.set_gauge("procpool.shared_bytes", self.arena.total_bytes())
+
+    def _out_view(self, rows: int) -> Tuple[ShmArraySpec, np.ndarray]:
+        spec = ShmArraySpec(name=self._out_spec.name, shape=(rows, self.rank),
+                            dtype=self._out_spec.dtype)
+        return spec, self.arena.view(spec)
+
+    def _priv_views(self, rows: int):
+        """Per-worker (spec, view) pairs into the privatized slab."""
+        maxrows = max(self.shape)
+        if self._priv_spec is None:
+            self._priv_spec = self.arena.alloc(
+                (self.nworkers, maxrows, self.rank))
+            metrics.set_gauge("procpool.shared_bytes",
+                              self.arena.total_bytes())
+        stride = maxrows * self.rank * np.dtype(self._priv_spec.dtype).itemsize
+        pairs = []
+        for t in range(self.nworkers):
+            spec = ShmArraySpec(name=self._priv_spec.name,
+                                shape=(rows, self.rank),
+                                dtype=self._priv_spec.dtype,
+                                offset=t * stride)
+            pairs.append((spec, self.arena.view(spec)))
+        return pairs
+
+    # -- execution -----------------------------------------------------
+    def run_mode(self, pool: ProcPool, factors: Sequence[np.ndarray],
+                 mode: int, thread_runs, strategy: str,
+                 timeout: Optional[float] = None):
+        """One parallel MTTKRP over pre-partitioned block runs.
+
+        Returns ``(output, report, backends)`` where ``output`` is an owned
+        (non-shared) array, ``report`` an :class:`ExecutionReport` built
+        from worker-measured task times, and ``backends`` the deduplicated
+        scatter backends the workers used.
+        """
+        if self._closed:
+            raise RuntimeError("session used after release_shared()")
+        rank = factors[0].shape[1]
+        self.ensure_rank(rank)
+        rows = self.shape[mode]
+        for spec, factor in zip(self.factor_specs, factors):
+            self.arena.view(spec)[...] = factor
+
+        want_trace = trace.enabled()
+        row_local = strategy == "schedule"
+        if row_local:
+            out_spec, out_view = self._out_view(rows)
+            out_view[...] = 0.0
+            targets = [(out_spec, out_view)] * len(thread_runs)
+        else:
+            targets = self._priv_views(rows)
+            for _, view in targets:
+                view[...] = 0.0
+
+        expected: Dict[int, int] = {}
+        for t, runs in enumerate(thread_runs):
+            pool.submit(t, ("mttkrp", t, self.handle, self.factor_specs,
+                            mode, tuple(tuple(r) for r in runs),
+                            targets[t][0], row_local, want_trace))
+            expected[t] = t
+        results = pool.collect(expected, timeout=timeout)
+
+        report = ExecutionReport(backend="process")
+        backends = set()
+        reg = metrics.get_registry()
+        for t in sorted(results):
+            elapsed, backend, nnz, events = results[t]
+            report.results.append(TaskResult(tid=t, elapsed=elapsed,
+                                             value=backend))
+            if isinstance(backend, str) and backend not in ("noop", ""):
+                backends.add(backend)
+            if reg.enabled:
+                reg.inc("procpool.tasks")
+                reg.observe("procpool.task_seconds", elapsed)
+                reg.inc("mttkrp.nnz_processed", int(nnz))
+                if isinstance(backend, str) and backend != "noop":
+                    reg.inc("scatter.calls")
+                    reg.inc("scatter." + backend)
+            if events:
+                _ingest_worker_events(events, t)
+        if reg.enabled:
+            reg.set_gauge("procpool.load_imbalance", report.load_imbalance())
+
+        if row_local:
+            output = np.array(targets[0][1], copy=True)
+        else:
+            output = np.zeros((rows, rank))
+            for _, view in targets:
+                output += view
+        return output, report, tuple(sorted(backends))
+
+    # -- lifecycle -----------------------------------------------------
+    def structure_specs(self) -> Tuple[ShmArraySpec, ...]:
+        """The shared segments holding the tensor structure arrays."""
+        h = self.handle
+        return (h.bptr, h.binds, h.einds, h.values)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.arena.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC order dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _ingest_worker_events(packed: list, worker_id: int) -> None:
+    """Merge shipped worker span events into the parent tracer.
+
+    Linux ``perf_counter_ns`` is CLOCK_MONOTONIC — system-wide — so worker
+    timestamps land on the parent timeline unadjusted; each worker gets its
+    own synthetic thread lane.
+    """
+    events = [trace.SpanEvent(name=name, start_ns=start_ns, dur_ns=dur_ns,
+                              thread=-(worker_id + 1), depth=depth,
+                              args=args, phase=phase)
+              for name, start_ns, dur_ns, depth, args, phase in packed]
+    trace.ingest(events)
+
+
+def _session_for(tensor, nworkers: int) -> SharedMttkrpSession:
+    sessions = tensor.__dict__.setdefault("_proc_sessions", {})
+    session = sessions.get(nworkers)
+    if session is None or session._closed:
+        session = sessions[nworkers] = SharedMttkrpSession(tensor, nworkers)
+    else:
+        metrics.inc("procpool.session_reuses")
+    return session
+
+
+def release_shared(tensor) -> None:
+    """Close and unlink every shared-memory session of ``tensor``."""
+    sessions = tensor.__dict__.get("_proc_sessions") or {}
+    for session in sessions.values():
+        session.close()
+    sessions.clear()
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+@dataclass
+class ProcessRun:
+    """Raw result of a process-backend MTTKRP (wrapped into MttkrpRun by
+    :func:`repro.kernels.mttkrp.mttkrp_parallel`)."""
+
+    output: np.ndarray
+    strategy: str
+    nworkers: int
+    thread_nnz: np.ndarray
+    schedule: object = None
+    report: ExecutionReport = field(default_factory=ExecutionReport)
+    scatter_backends: tuple = ()
+    reduction_flops: int = 0
+
+
+def mttkrp_process(tensor, factors: Sequence[np.ndarray], mode: int,
+                   nworkers: int, strategy: str = "auto",
+                   superblock_bits: Optional[int] = None,
+                   plan=None, start_method: Optional[str] = None,
+                   timeout: Optional[float] = None) -> ProcessRun:
+    """Parallel HiCOO MTTKRP on real cores via the shared-memory pool.
+
+    ``plan`` is an optional precomputed
+    :class:`repro.kernels.plan.MttkrpPlan`; without one, a per-call plan is
+    built (and its symbolic partition reused through the session's worker
+    caches on later calls).
+    """
+    from ..core.hicoo import HicooTensor
+    from ..kernels.plan import plan_mttkrp
+
+    if not isinstance(tensor, HicooTensor):
+        raise TypeError(
+            "the process backend shares HiCOO structure arrays; got "
+            f"{type(tensor).__name__} — convert with HicooTensor(coo) first")
+    rank = factors[0].shape[1]
+    if plan is None:
+        plan = plan_mttkrp(tensor, rank, nworkers, strategy=strategy,
+                           superblock_bits=superblock_bits)
+    nworkers = plan.nthreads
+    mp_ = plan.for_mode(mode)
+
+    with trace.span("mttkrp.process", mode=mode, nworkers=nworkers,
+                    strategy=mp_.strategy):
+        pool = get_pool(nworkers, start_method=start_method)
+        session = _session_for(tensor, nworkers)
+        output, report, backends = session.run_mode(
+            pool, factors, mode, mp_.thread_runs, mp_.strategy,
+            timeout=timeout)
+    metrics.inc("procpool.calls")
+
+    reduction_flops = 0
+    if mp_.strategy != "schedule":
+        reduction_flops = (nworkers - 1) * tensor.shape[mode] * rank
+    return ProcessRun(output=output, strategy=mp_.strategy,
+                      nworkers=nworkers,
+                      thread_nnz=mp_.thread_nnz.copy(),
+                      schedule=mp_.schedule, report=report,
+                      scatter_backends=backends,
+                      reduction_flops=reduction_flops)
+
+
+def run_generic_tasks(tasks, nworkers: Optional[int] = None,
+                      start_method: Optional[str] = None,
+                      timeout: Optional[float] = None) -> ExecutionReport:
+    """Generic process execution of picklable zero-arg callables.
+
+    The task's return value must be picklable too; side effects on captured
+    objects do *not* propagate back (workers run on copies) — which is why
+    the MTTKRP path uses shared memory instead of this entry point.
+    """
+    tasks = list(tasks)
+    report = ExecutionReport(backend="process")
+    if not tasks:
+        return report
+    nworkers = min(len(tasks), nworkers or len(tasks))
+    pool = get_pool(nworkers, start_method=start_method)
+    expected: Dict[int, int] = {}
+    for i, task in enumerate(tasks):
+        wid = i % nworkers
+        try:
+            pool.submit(wid, ("generic", i, task))
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise TypeError(
+                "process-backend tasks must be picklable zero-arg callables "
+                "(module-level functions or functools.partial of them); "
+                f"task {i} failed to serialize: {exc}") from exc
+        expected[i] = wid
+    results = pool.collect(expected, timeout=timeout)
+    for i in sorted(results):
+        elapsed, value, _, _ = results[i]
+        report.results.append(TaskResult(tid=i, elapsed=elapsed, value=value))
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("executor.regions")
+        reg.inc("executor.tasks", len(tasks))
+        reg.set_gauge("executor.load_imbalance", report.load_imbalance())
+        for r in report.results:
+            reg.observe("executor.task_seconds", r.elapsed)
+    return report
+
+
+@atexit.register
+def _cleanup_at_exit() -> None:  # pragma: no cover - interpreter teardown
+    try:
+        shutdown_pools()
+    except Exception:
+        pass
+    for session in list(_LIVE_SESSIONS):
+        try:
+            session.close()
+        except Exception:
+            pass

@@ -116,9 +116,12 @@ def cmd_mttkrp(args) -> int:
     rng = np.random.default_rng(args.seed)
     factors = [rng.random((s, args.rank)) for s in coo.shape]
 
+    backend = getattr(args, "backend", "sim")
+
     def one_run():
-        if args.threads > 1:
-            return mttkrp_parallel(tensor, factors, args.mode, args.threads)
+        if args.threads > 1 or backend == "process":
+            return mttkrp_parallel(tensor, factors, args.mode, args.threads,
+                                   backend=backend)
         return mttkrp(tensor, factors, args.mode)
 
     # warmup passes absorb one-time symbolic cost (gather-cache fills,
@@ -128,9 +131,10 @@ def cmd_mttkrp(args) -> int:
     t0 = time.perf_counter()
     result = one_run()
     dt = time.perf_counter() - t0
-    if args.threads > 1:
+    if args.threads > 1 or backend == "process":
         out = result.output
-        extra = (f" strategy={result.strategy}"
+        extra = (f" backend={result.report.backend}"
+                 f" strategy={result.strategy}"
                  f" imbalance={result.load_imbalance():.2f}")
     else:
         out = result
@@ -156,7 +160,8 @@ def cmd_cpd(args) -> int:
               f"weights={np.round(res.ktensor.weights, 3)}")
         return 0
     res = cp_als(hic, args.rank, maxiters=args.maxiters, tol=args.tol,
-                 seed=args.seed, nthreads=args.threads)
+                 seed=args.seed, nthreads=args.threads,
+                 backend=getattr(args, "backend", None))
     for it, fit in enumerate(res.fits):
         print(f"iter {it + 1:3d}: fit = {fit:.6f}")
     print(f"converged={res.converged} "
@@ -282,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.set_defaults(func=cmd_storage)
 
+    def add_backend(p):
+        p.add_argument("--backend", choices=["sim", "thread", "process"],
+                       default="sim",
+                       help="parallel backend: 'sim' (sequential, per-task "
+                            "timing), 'thread' (GIL-sharing pool), or "
+                            "'process' (true multicore over shared memory)")
+
     p = sub.add_parser("mttkrp", help="run and time one MTTKRP")
     add_common(p)
     p.add_argument("-r", "--rank", type=int, default=16)
@@ -291,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="hicoo")
     p.add_argument("--warmup", type=int, default=1,
                    help="unrecorded warmup passes before the timed run")
+    add_backend(p)
     p.set_defaults(func=cmd_mttkrp)
 
     p = sub.add_parser("cpd", help="CP decomposition (ALS or Poisson APR)")
@@ -300,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-4)
     p.add_argument("-t", "--threads", type=int, default=1)
     p.add_argument("--method", choices=["als", "apr"], default="als")
+    add_backend(p)
     p.set_defaults(func=cmd_cpd)
 
     p = sub.add_parser("tucker", help="sparse Tucker decomposition (HOOI)")

@@ -1,0 +1,167 @@
+"""Round-trip and corruption tests for ``.hicoo`` serialization.
+
+``load_hicoo`` must reject truncated, garbage, tampered, or
+wrong-version files with a clear ``ValueError`` naming the problem —
+never by leaking ``zipfile.BadZipFile``, ``zlib.error``, ``EOFError``,
+``struct.error`` or other NumPy/zipfile internals at the caller.
+Genuine filesystem errors (missing file, permissions) must still come
+through as ``OSError`` so callers can distinguish the two failure
+families.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.core.io import load_hicoo, save_hicoo
+from tests.conftest import make_random_coo
+
+
+def _random_hicoo(seed: int) -> HicooTensor:
+    rng = np.random.default_rng(seed)
+    order = 3 + seed % 3
+    shape = tuple(int(rng.integers(8, 40)) for _ in range(order))
+    coo = make_random_coo(shape, nnz=int(rng.integers(20, 200)), seed=seed)
+    return HicooTensor(coo, block_bits=1 + seed % 4)
+
+
+def _saved_bytes(hic: HicooTensor) -> bytes:
+    buf = io.BytesIO()
+    save_hicoo(hic, buf)
+    return buf.getvalue()
+
+
+# ----------------------------------------------------------------------
+# round-trip property
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(12))
+def test_roundtrip_preserves_structure(seed, tmp_path):
+    hic = _random_hicoo(seed)
+    path = tmp_path / f"t{seed}.hicoo"
+    save_hicoo(hic, path)
+    back = load_hicoo(path)
+    assert back.shape == hic.shape
+    assert back.block_bits == hic.block_bits
+    assert np.array_equal(back.bptr, hic.bptr)
+    assert np.array_equal(back.binds, hic.binds)
+    assert np.array_equal(back.einds, hic.einds)
+    assert np.array_equal(back.values, hic.values)
+    a, b = hic.to_coo(), back.to_coo()
+    assert np.array_equal(a.indices, b.indices)
+    assert np.array_equal(a.values, b.values)
+
+
+def test_roundtrip_empty_tensor(tmp_path):
+    from repro.formats.coo import CooTensor
+
+    coo = CooTensor((4, 4, 4), np.empty((0, 3), dtype=np.int64),
+                    np.empty(0), sum_duplicates=False)
+    hic = HicooTensor(coo, block_bits=2)
+    path = tmp_path / "empty.hicoo"
+    save_hicoo(hic, path)
+    back = load_hicoo(path)
+    assert back.nnz == 0 and back.shape == (4, 4, 4)
+
+
+# ----------------------------------------------------------------------
+# corruption: every failure is a clear ValueError
+# ----------------------------------------------------------------------
+def test_truncated_at_every_granularity(tmp_path):
+    """Cut the file at many points; each cut must raise ValueError with a
+    recognizable message, not a zip/zlib/struct internals error."""
+    data = _saved_bytes(_random_hicoo(0))
+    for frac in (0.02, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99):
+        cut = data[: int(len(data) * frac)]
+        path = tmp_path / "trunc.hicoo"
+        path.write_bytes(cut)
+        with pytest.raises(ValueError) as ei:
+            load_hicoo(path)
+        msg = str(ei.value)
+        assert ".hicoo" in msg or "corrupt" in msg, (
+            f"cut at {frac}: unhelpful message {msg!r}")
+
+
+def test_garbage_bytes(tmp_path):
+    rng = np.random.default_rng(1)
+    for size in (0, 1, 10, 1000):
+        path = tmp_path / "garbage.hicoo"
+        path.write_bytes(rng.bytes(size))
+        with pytest.raises(ValueError, match="hicoo"):
+            load_hicoo(path)
+
+
+def test_valid_zip_wrong_contents(tmp_path):
+    """A real npz that simply isn't a .hicoo archive."""
+    path = tmp_path / "other.npz"
+    np.savez(path, totally="unrelated", data=np.arange(3))
+    with pytest.raises(ValueError, match="missing"):
+        load_hicoo(path)
+
+
+def test_wrong_version(tmp_path):
+    hic = _random_hicoo(2)
+    path = tmp_path / "future.hicoo"
+    with open(path, "wb") as fh:  # np.savez appends .npz to bare paths
+        np.savez_compressed(
+            fh, version=np.int64(99),
+            shape=np.asarray(hic.shape, dtype=np.int64),
+            block_bits=np.int64(hic.block_bits),
+            bptr=hic.bptr, binds=hic.binds, einds=hic.einds,
+            values=hic.values)
+    with pytest.raises(ValueError, match="version 99"):
+        load_hicoo(path)
+
+
+def _tampered(hic: HicooTensor, **overrides):
+    fields = dict(
+        version=np.int64(1),
+        shape=np.asarray(hic.shape, dtype=np.int64),
+        block_bits=np.int64(hic.block_bits),
+        bptr=hic.bptr, binds=hic.binds, einds=hic.einds, values=hic.values)
+    fields.update(overrides)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **fields)
+    buf.seek(0)
+    return buf
+
+
+@pytest.mark.parametrize("overrides,match", [
+    ({"block_bits": np.int64(0)}, "block_bits"),
+    ({"block_bits": np.int64(40)}, "block_bits"),
+    ({"bptr": np.array([0, 1], dtype=np.int64)}, "bptr"),
+    ({"einds": np.zeros((1, 1), dtype=np.uint8)}, "einds"),
+    ({"shape": np.asarray([2, 2, 2], dtype=np.int64)}, "corrupt"),
+])
+def test_tampered_structure_rejected(overrides, match):
+    hic = _random_hicoo(3)
+    assert hic.nnz > 1
+    with pytest.raises(ValueError, match=match):
+        load_hicoo(_tampered(hic, **overrides))
+
+
+def test_nonmonotone_bptr_rejected():
+    hic = _random_hicoo(4)
+    if hic.nblocks < 2:
+        pytest.skip("need at least two blocks")
+    bad = hic.bptr.copy()
+    bad[1] = bad[2] + 1  # break monotonicity without moving the endpoints
+    with pytest.raises(ValueError, match="bptr"):
+        load_hicoo(_tampered(hic, bptr=bad))
+
+
+def test_offset_exceeding_block_edge_rejected():
+    hic = _random_hicoo(5)
+    bad = hic.einds.copy()
+    bad[0, 0] = 1 << hic.block_bits
+    with pytest.raises(ValueError, match="block edge"):
+        load_hicoo(_tampered(hic, einds=bad))
+
+
+def test_missing_file_stays_oserror(tmp_path):
+    """ENOENT is a filesystem problem, not a format problem."""
+    with pytest.raises(OSError):
+        load_hicoo(tmp_path / "does-not-exist.hicoo")

@@ -1,0 +1,157 @@
+"""Property test for the lock-free scheduler invariant.
+
+The parallel MTTKRP relies on :func:`repro.core.scheduler.schedule_mode`
+to guarantee that **no two superblocks assigned to different threads share
+a mode-``m`` output coordinate** — that disjointness is the entire reason
+the schedule strategy needs no atomics, locks, or privatized buffers.
+This suite checks the invariant directly (not via ``Schedule.verify``,
+which is itself under test) over hundreds of seeded-random superblock
+populations, plus real tensors where it also cross-checks ``verify`` and
+the element-level ``output_range`` disjointness the workers actually
+depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.hicoo import HicooTensor
+from repro.core.scheduler import Schedule, schedule_mode
+from repro.core.superblock import SuperblockIndex, build_superblocks
+from tests.conftest import make_random_coo
+
+#: running count of (population, mode, nthreads) invariant checks
+CASES = {"count": 0}
+
+
+def _random_sbs(seed: int) -> SuperblockIndex:
+    """Synthetic superblock population: scheduling only reads ``scoords``
+    and ``nnz_per_superblock``, so no backing tensor is needed."""
+    rng = np.random.default_rng(seed)
+    nmodes = int(rng.integers(1, 6))
+    nsuper = int(rng.integers(0, 300))
+    # small coordinate ranges force heavy group collisions (the hard case);
+    # occasionally use wide ranges so most groups are singletons
+    span = int(rng.choice([2, 3, 7, 64]))
+    scoords = rng.integers(0, span, size=(nsuper, nmodes)).astype(np.int64)
+    # skewed loads: a few superblocks dominate, like real hot slices
+    nnz = (rng.pareto(1.2, size=nsuper) * 10 + 1).astype(np.int64)
+    sptr = np.arange(nsuper + 1, dtype=np.int64)
+    return SuperblockIndex(superblock_bits=4, sptr=sptr, scoords=scoords,
+                           nnz_per_superblock=nnz)
+
+
+def _assert_invariant(sched: Schedule, sbs: SuperblockIndex, mode: int):
+    """Independent re-derivation of every safety property."""
+    # 1. exact cover: every superblock assigned to exactly one thread
+    flat = [sb for blocks in sched.assignment for sb in blocks]
+    assert sorted(flat) == list(range(sbs.nsuper)), "not an exact cover"
+
+    # 2. THE lock-free invariant: a mode-m coordinate has a unique owner
+    owner = {}
+    for tid, blocks in enumerate(sched.assignment):
+        for sb in blocks:
+            coord = int(sbs.scoords[sb, mode])
+            assert owner.setdefault(coord, tid) == tid, (
+                f"coordinate {coord} split across threads "
+                f"{owner[coord]} and {tid}")
+
+    # 3. bookkeeping consistency
+    assert len(sched.assignment) == sched.nthreads
+    assert int(sched.thread_nnz.sum()) == int(sbs.nnz_per_superblock.sum())
+    for tid, blocks in enumerate(sched.assignment):
+        assert int(sched.thread_nnz[tid]) == int(
+            sbs.nnz_per_superblock[blocks].sum())
+    for coord, tid in sched.group_of.items():
+        assert owner.get(coord, tid) == tid
+    CASES["count"] += 1
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_invariant_on_random_populations(seed):
+    sbs = _random_sbs(seed)
+    rng = np.random.default_rng(10_000 + seed)
+    for mode in range(sbs.scoords.shape[1]):
+        for nthreads in (1, int(rng.integers(2, 5)), 8):
+            sched = schedule_mode(sbs, mode, nthreads)
+            _assert_invariant(sched, sbs, mode)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_invariant_on_real_tensors(seed):
+    """Real HiCOO tensors: also cross-check ``Schedule.verify`` and the
+    element-level write-range disjointness the workers rely on."""
+    rng = np.random.default_rng(seed)
+    order = 3 + seed % 3
+    shape = tuple(int(rng.integers(16, 64)) for _ in range(order))
+    coo = make_random_coo(shape, nnz=int(rng.integers(50, 400)),
+                          seed=seed)
+    hic = HicooTensor(coo, block_bits=2)
+    sbs = build_superblocks(hic, superblock_bits=2 + seed % 3 + 2)
+    for mode in range(order):
+        for nthreads in (2, 4):
+            sched = schedule_mode(sbs, mode, nthreads)
+            _assert_invariant(sched, sbs, mode)
+            sched.verify(sbs)  # the built-in checker must agree
+            # element-level: write intervals of distinct threads disjoint
+            intervals = [set() for _ in range(nthreads)]
+            for tid, blocks in enumerate(sched.assignment):
+                for sb in blocks:
+                    lo, hi = sbs.output_range(sb, mode)
+                    intervals[tid].update(range(lo, hi))
+            for a in range(nthreads):
+                for b in range(a + 1, nthreads):
+                    assert not (intervals[a] & intervals[b]), (
+                        f"threads {a} and {b} write overlapping rows")
+
+
+def test_verify_rejects_split_group():
+    """``Schedule.verify`` must catch a hand-corrupted assignment."""
+    sbs = _random_sbs(3)
+    if sbs.nsuper < 2:
+        pytest.skip("population too small")
+    # force two superblocks with equal coordinates onto different threads
+    sbs.scoords[0] = sbs.scoords[1]
+    sched = schedule_mode(sbs, 0, 2)
+    good = [list(b) for b in sched.assignment]
+    bad = [list(b) for b in good]
+    # move superblock 0 to the other thread than superblock 1
+    for blocks in bad:
+        if 0 in blocks:
+            blocks.remove(0)
+    owner1 = next(t for t, b in enumerate(good) if 1 in b)
+    bad[(owner1 + 1) % 2].append(0)
+    corrupted = Schedule(mode=0, nthreads=2, assignment=bad,
+                         thread_nnz=sched.thread_nnz,
+                         group_of=sched.group_of)
+    with pytest.raises(AssertionError, match="split across"):
+        corrupted.verify(sbs)
+
+
+def test_verify_rejects_duplicate_and_missing():
+    sbs = _random_sbs(7)
+    if sbs.nsuper < 1:
+        pytest.skip("population too small")
+    sched = schedule_mode(sbs, 0, 2)
+    dup = [list(b) for b in sched.assignment]
+    dup[0] = dup[0] + [dup[0][0]] if dup[0] else [dup[1][0], dup[1][0]]
+    with pytest.raises(AssertionError):
+        Schedule(mode=0, nthreads=2, assignment=dup,
+                 thread_nnz=sched.thread_nnz,
+                 group_of=sched.group_of).verify(sbs)
+    short = [list(b) for b in sched.assignment]
+    for blocks in short:
+        if blocks:
+            blocks.pop()
+            break
+    with pytest.raises(AssertionError, match="covers"):
+        Schedule(mode=0, nthreads=2, assignment=short,
+                 thread_nnz=sched.thread_nnz,
+                 group_of=sched.group_of).verify(sbs)
+
+
+def test_zz_case_floor():
+    """>= 200 randomized invariant checks must have executed."""
+    assert CASES["count"] >= 200, (
+        f"only {CASES['count']} scheduler property cases executed")
