@@ -12,7 +12,6 @@ import numpy as np
 from repro.analysis.model import build_format_suite, speedup_over_coo
 from repro.analysis.report import render_table
 from repro.parallel.gpu import GpuProfile, gpu_speedup_over_coo
-from repro.parallel.machine import Machine
 
 from conftest import BENCH_BLOCK_BITS, RANK, all_dataset_names, dataset, write_result
 

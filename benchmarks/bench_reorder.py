@@ -10,7 +10,6 @@ reorderings are ~neutral; on scattered/shuffled tensors they recover most
 of the lost blocking; random permutation always degrades.
 """
 
-import numpy as np
 
 from repro.analysis.report import render_table
 from repro.data.synthetic import power_law_tensor

@@ -7,7 +7,6 @@ shape: small superblocks give many groups (good parallelism, more scheduling
 state); very large superblocks starve the scheduler and force privatization.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.report import render_table

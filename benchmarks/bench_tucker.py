@@ -7,7 +7,6 @@ of one HOOI sweep.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.report import render_series
 from repro.core.hicoo import HicooTensor

@@ -14,8 +14,15 @@ Two families of live baselines (see ``benchmarks/legacy.py``):
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/check_regression.py
+
+``--summary`` runs no benchmark at all: it reads the committed
+``benchmarks/results/BENCH_*.json`` records and prints a one-row-per-group
+geomean table in Markdown — CI appends it to ``$GITHUB_STEP_SUMMARY`` so
+every run shows the perf trajectory at a glance.
 """
 
+import argparse
+import json
 import math
 import os
 import sys
@@ -220,6 +227,35 @@ def check_process_backend() -> bool:
     return ok
 
 
+def summarize() -> int:
+    """Markdown geomean table over the recorded bench JSON (no timing runs).
+
+    One row per (file, op, variant): the geometric mean of ``time_s``
+    across datasets/strategies, plus the record count behind it.
+    """
+    results_dir = Path(__file__).parent / "results"
+    files = sorted(results_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json under {results_dir} — run the benches first")
+        return 0
+    print("### Benchmark geomeans\n")
+    print("| file | op | variant | records | geomean |")
+    print("|---|---|---|---:|---:|")
+    for path in files:
+        groups = {}
+        for r in json.loads(path.read_text()):
+            t = r.get("time_s")
+            if not isinstance(t, (int, float)) or t <= 0:
+                continue
+            groups.setdefault((r.get("op", "?"), r.get("variant", "?")),
+                              []).append(float(t))
+        for (op, variant), times in sorted(groups.items()):
+            gm = math.exp(sum(math.log(t) for t in times) / len(times))
+            print(f"| {path.name} | {op} | {variant} | {len(times)} | "
+                  f"{gm * 1e3:.2f} ms |")
+    return 0
+
+
 def main() -> int:
     coo = load(DATASET)
     hic = HicooTensor(coo, block_bits=BLOCK_BITS)
@@ -277,4 +313,9 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--summary", action="store_true",
+                        help="print a Markdown geomean table of the recorded "
+                             "BENCH_*.json results and exit (no benchmarks)")
+    args = parser.parse_args()
+    sys.exit(summarize() if args.summary else main())

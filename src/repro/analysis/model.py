@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from ..core.hicoo import HicooTensor
 from ..core.scheduler import schedule_mode
 from ..core.superblock import build_superblocks
@@ -20,7 +18,7 @@ from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
 from ..parallel.machine import Machine, Prediction
-from .traffic import KernelWork, mttkrp_work
+from .traffic import mttkrp_work
 
 __all__ = [
     "FormatTimings",

@@ -6,7 +6,7 @@ figures report; these helpers keep that output aligned and consistent.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 __all__ = ["render_table", "render_series", "fmt"]
 

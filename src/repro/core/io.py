@@ -15,7 +15,6 @@ from typing import Union
 
 import numpy as np
 
-from ..formats.coo import CooTensor
 from .hicoo import HicooTensor
 
 __all__ = ["save_hicoo", "load_hicoo"]

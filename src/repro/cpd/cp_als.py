@@ -62,7 +62,8 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
            nthreads: int = 1, strategy: str = "auto",
            seed: Optional[int] = None,
            callback: Optional[Callable[[int, float], None]] = None,
-           plan=None, backend: Optional[str] = None) -> CpAlsResult:
+           plan=None, backend: Optional[str] = None,
+           fault_policy=None) -> CpAlsResult:
     """Compute a rank-``rank`` CP decomposition of ``tensor``.
 
     Parameters
@@ -85,6 +86,14 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
         ``"thread"``, or ``"process"`` (true multicore over shared memory;
         the worker pool and shared segments persist across iterations, so
         start-up cost is paid once per run).
+    fault_policy : process backend only — ``"fail-fast"`` (default),
+        ``"retry"`` (dead/hung workers are respawned and their MTTKRP tasks
+        re-run idempotently; budgets reset every parallel region, so a long
+        run tolerates repeated isolated faults), or ``"degrade"``
+        (exhausted budgets finish the region on the thread/sim backends; a
+        ``supervisor.degradations`` metric and trace instant record each
+        event).  Also accepts a
+        :class:`repro.parallel.supervisor.FaultConfig`.
     """
     if rank < 1:
         raise ValueError(f"rank must be positive, got {rank}")
@@ -146,11 +155,13 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
                     if plan is not None:
                         m = mttkrp_parallel(tensor, factors, mode,
                                             plan.nthreads, strategy=strategy,
-                                            plan=plan, backend=backend).output
+                                            plan=plan, backend=backend,
+                                            fault_policy=fault_policy).output
                     elif parallel:
                         m = mttkrp_parallel(tensor, factors, mode, nthreads,
                                             strategy=strategy,
-                                            backend=backend).output
+                                            backend=backend,
+                                            fault_policy=fault_policy).output
                     else:
                         m = mttkrp(tensor, factors, mode)
                     result.mttkrp_seconds += time.perf_counter() - t0

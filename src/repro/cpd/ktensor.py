@@ -8,7 +8,7 @@ its fit without ever densifying the input tensor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

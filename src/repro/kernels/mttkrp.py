@@ -27,7 +27,7 @@ import numpy as np
 
 from ..core.hicoo import HicooTensor
 from ..core.scheduler import Schedule, choose_strategy, schedule_mode
-from ..core.superblock import SuperblockIndex, build_superblocks
+from ..core.superblock import build_superblocks
 from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
@@ -81,7 +81,8 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
                     mode: int, nthreads: int, strategy: str = "auto",
                     superblock_bits: Optional[int] = None,
                     real_threads: bool = False,
-                    plan=None, backend: Optional[str] = None) -> MttkrpRun:
+                    plan=None, backend: Optional[str] = None,
+                    fault_policy=None) -> MttkrpRun:
     """Parallel MTTKRP with the strategy set of the paper.
 
     ``strategy``:
@@ -99,6 +100,14 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     ``"thread"`` (GIL-sharing thread pool; equivalent to the legacy
     ``real_threads=True``), or ``"process"`` (true multicore over shared
     memory; HiCOO only, see :mod:`repro.parallel.procpool`).
+
+    ``fault_policy`` — process backend only: ``"fail-fast"`` (default, the
+    first worker fault propagates), ``"retry"`` (dead/hung workers are
+    respawned and their tasks re-run idempotently — the recovered output is
+    bit-identical to a fault-free run), or ``"degrade"`` (exhausted
+    recovery budgets fall back to the thread/sim backends).  Accepts a
+    :class:`repro.parallel.supervisor.FaultConfig` for fine-grained
+    budgets; see ``docs/fault_tolerance.md``.
     """
     factors = check_factors(factors, tensor.shape)
     mode = check_mode(mode, tensor.nmodes)
@@ -114,7 +123,14 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
                 f"workers; format {tensor.format_name!r} is not supported — "
                 "convert with HicooTensor(coo) or use backend='thread'")
         return _parallel_hicoo_process(tensor, factors, mode, nthreads,
-                                       strategy, superblock_bits, plan)
+                                       strategy, superblock_bits, plan,
+                                       fault_policy)
+    if fault_policy is not None:
+        # validate the knob even when it is moot (sim/thread tasks run in
+        # this very process and cannot be lost) so typos fail loudly
+        from ..parallel.supervisor import FaultConfig
+
+        FaultConfig.resolve(fault_policy)
 
     with trace.span("mttkrp.parallel", mode=mode,
                     format=tensor.format_name, nthreads=nthreads) as sp:
@@ -363,21 +379,67 @@ def _parallel_hicoo_planned(tensor, factors, mode, plan, real_threads):
 
 
 def _parallel_hicoo_process(tensor, factors, mode, nthreads, strategy,
-                            superblock_bits, plan):
+                            superblock_bits, plan, fault_policy=None):
     """True multicore HiCOO MTTKRP: superblock partitions executed by the
-    shared-memory process pool (see :mod:`repro.parallel.procpool`)."""
-    from ..parallel.procpool import mttkrp_process
+    shared-memory process pool (see :mod:`repro.parallel.procpool`).
 
-    with trace.span("mttkrp.parallel", mode=mode, backend="process",
-                    format=tensor.format_name, nthreads=nthreads) as sp:
-        pr = mttkrp_process(tensor, factors, mode, nthreads,
-                            strategy=strategy,
-                            superblock_bits=superblock_bits, plan=plan)
-        run = MttkrpRun(output=pr.output, strategy=pr.strategy,
-                        nthreads=pr.nworkers, thread_nnz=pr.thread_nnz,
-                        reduction_flops=pr.reduction_flops,
-                        schedule=pr.schedule, report=pr.report,
-                        scatter_backends=pr.scatter_backends)
+    Under ``fault_policy="degrade"``, an exhausted recovery budget falls
+    back to the in-process backends (``config.fallback_backends``, thread
+    then sim) — same partition, same kernels, so the degraded output is
+    numerically identical; the event is logged, counted
+    (``supervisor.degradations``) and traced.
+    """
+    from ..parallel.procpool import mttkrp_process
+    from ..parallel.supervisor import DegradedExecution
+
+    try:
+        with trace.span("mttkrp.parallel", mode=mode, backend="process",
+                        format=tensor.format_name, nthreads=nthreads) as sp:
+            pr = mttkrp_process(tensor, factors, mode, nthreads,
+                                strategy=strategy,
+                                superblock_bits=superblock_bits, plan=plan,
+                                fault_policy=fault_policy)
+            run = MttkrpRun(output=pr.output, strategy=pr.strategy,
+                            nthreads=pr.nworkers, thread_nnz=pr.thread_nnz,
+                            reduction_flops=pr.reduction_flops,
+                            schedule=pr.schedule, report=pr.report,
+                            scatter_backends=pr.scatter_backends)
+            sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
+    except DegradedExecution as exc:
+        return _degrade_hicoo(tensor, factors, mode, nthreads, strategy,
+                              superblock_bits, plan, exc)
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("mttkrp.parallel_calls")
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    return run
+
+
+def _degrade_hicoo(tensor, factors, mode, nthreads, strategy,
+                   superblock_bits, plan, exc) -> MttkrpRun:
+    """Finish an MTTKRP whose process-backend region gave up, on the first
+    usable fallback backend (the in-process paths share the partition and
+    kernels, so the result matches what the process backend would have
+    produced)."""
+    from ..util.log import get_logger
+
+    fallbacks = exc.config.fallback_backends or ("sim",)
+    backend = next((b for b in fallbacks if b in ("thread", "sim")), "sim")
+    get_logger("repro.supervisor").warning(
+        "process backend degraded to %r for mode %d: %s", backend, mode, exc)
+    metrics.inc("supervisor.degradations")
+    trace.instant("supervisor.degrade", mode=mode, fallback=backend,
+                  reason=str(exc))
+    real_threads = backend == "thread"
+    with trace.span("mttkrp.parallel", mode=mode, backend=backend,
+                    format=tensor.format_name, nthreads=nthreads,
+                    degraded=True) as sp:
+        if plan is not None:
+            run = _parallel_hicoo_planned(tensor, factors, mode, plan,
+                                          real_threads)
+        else:
+            run = _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
+                                  superblock_bits, real_threads)
         sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
     reg = metrics.get_registry()
     if reg.enabled:
@@ -396,7 +458,6 @@ def _parallel_csf(tensor, factors, mode, nthreads, strategy, real_threads):
         raise ValueError(f"CSF supports 'subtree' or 'privatize', got {strategy!r}")
     rank = factors[0].shape[1]
     rows = tensor.shape[mode]
-    nroot = tensor.levels[0].nnodes
 
     # weight of each root subtree = its leaf count
     subtree_nnz = _root_subtree_nnz(tensor)

@@ -164,20 +164,26 @@ class MetricsRegistry:
             return metric.count
         return metric.value
 
-    def snapshot(self) -> dict:
-        """``{name: value}`` (histograms expand to their summary dict)."""
+    def snapshot(self, prefix: Optional[str] = None) -> dict:
+        """``{name: value}`` (histograms expand to their summary dict).
+
+        ``prefix`` restricts the view to one subsystem, e.g.
+        ``snapshot("supervisor.")`` returns only the fault-tolerance
+        recovery accounting."""
         with self._lock:
             items = list(self._metrics.items())
         out = {}
         for name, metric in sorted(items):
+            if prefix is not None and not name.startswith(prefix):
+                continue
             out[name] = (metric.summary() if isinstance(metric, Histogram)
                          else metric.value)
         return out
 
-    def report(self) -> List[str]:
+    def report(self, prefix: Optional[str] = None) -> List[str]:
         """Human-readable lines, sorted by name."""
         lines = []
-        for name, val in self.snapshot().items():
+        for name, val in self.snapshot(prefix).items():
             if isinstance(val, dict):
                 lines.append(
                     f"{name:<32s} n={val['count']} total={val['total']:.6g} "
@@ -232,12 +238,12 @@ def value(name: str, default: float = 0):
     return _GLOBAL.value(name, default)
 
 
-def snapshot() -> dict:
-    return _GLOBAL.snapshot()
+def snapshot(prefix: Optional[str] = None) -> dict:
+    return _GLOBAL.snapshot(prefix)
 
 
-def report() -> List[str]:
-    return _GLOBAL.report()
+def report(prefix: Optional[str] = None) -> List[str]:
+    return _GLOBAL.report(prefix)
 
 
 def reset() -> None:

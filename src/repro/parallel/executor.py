@@ -95,7 +95,8 @@ def resolve_backend(backend: Optional[str], real_threads: bool = False) -> str:
 def run_tasks(tasks: Sequence[Callable[[], object]],
               real_threads: bool = False,
               backend: Optional[str] = None,
-              nworkers: Optional[int] = None) -> ExecutionReport:
+              nworkers: Optional[int] = None,
+              fault_policy=None) -> ExecutionReport:
     """Execute one callable per logical thread on the chosen backend.
 
     ``backend=None`` keeps the legacy semantics: ``"thread"`` when
@@ -105,13 +106,24 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
     A task that raises aborts the region: the exception propagates with its
     original traceback (for process workers, the remote traceback is chained
     as the ``__cause__``), pending tasks are cancelled, and no partial
-    report is returned.
+    report is returned.  ``fault_policy`` (process backend only) relaxes
+    this: ``"retry"`` respawns dead/hung workers and re-runs their tasks,
+    ``"degrade"`` additionally falls back to inline execution when the
+    recovery budget is exhausted — see
+    :mod:`repro.parallel.supervisor` and ``docs/fault_tolerance.md``.
     """
     backend = resolve_backend(backend, real_threads)
     if backend == "process":
         from .procpool import run_generic_tasks
 
-        return run_generic_tasks(tasks, nworkers=nworkers)
+        return run_generic_tasks(tasks, nworkers=nworkers,
+                                 fault_policy=fault_policy)
+    if fault_policy is not None:
+        # validate eagerly (typos should not pass silently), then ignore:
+        # in-process backends cannot lose workers
+        from .supervisor import FaultConfig
+
+        FaultConfig.resolve(fault_policy)
 
     report = ExecutionReport(real_threads=(backend == "thread"),
                              backend=backend)

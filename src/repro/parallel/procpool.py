@@ -214,6 +214,8 @@ def _worker_main(conn, worker_id: int) -> None:
     array_cache: Dict[ShmArraySpec, np.ndarray] = {}
     tensor_cache: Dict[str, _TensorView] = {}
     gather_cache: Dict[tuple, object] = {}
+    chaos_state = None  # ChaosState once a ("chaos", plan) message arrives
+    task_seq = 0  # compute tasks executed by this worker slot (1-based)
 
     def attach(spec: ShmArraySpec) -> np.ndarray:
         arr = array_cache.get(spec)
@@ -253,11 +255,33 @@ def _worker_main(conn, worker_id: int) -> None:
         kind = msg[0]
         if kind == "shutdown":
             break
+        if kind == "chaos":
+            from ..testing import ChaosState
+
+            chaos_state = ChaosState(msg[1], worker_id)
+            task_seq = 0  # at_task counts from plan installation
+            continue
         task_id = msg[1]
+        directive = None
+        if kind in ("mttkrp", "generic"):
+            task_seq += 1
+            if chaos_state is not None:
+                directive = chaos_state.draw(task_seq)
         try:
+            if directive is not None:
+                if directive.kind == "raise":
+                    from ..testing import ChaosError
+
+                    raise ChaosError(
+                        f"injected fault in worker {worker_id} "
+                        f"(task #{task_seq})")
+                if directive.kind in ("hang", "delay"):
+                    # "hang": the parent's deadline fires long before this
+                    # sleep ends and the worker is terminated mid-nap
+                    time.sleep(directive.seconds)
             if kind == "mttkrp":
                 (_, _, handle, factor_specs, mode, runs,
-                 out_spec, row_local, want_trace) = msg
+                 out_spec, row_local, want_trace, reset) = msg
                 if want_trace:
                     trace.enable(clear=True)
                 t0 = time.perf_counter()
@@ -267,6 +291,17 @@ def _worker_main(conn, worker_id: int) -> None:
                     factors = [attach(s) for s in factor_specs]
                     out = attach(out_spec)
                     tg = gather_for(tv, handle.key, tuple(runs))
+                    if reset:
+                        # a retried task re-runs idempotently: zero what it
+                        # owns first.  Row-local tasks own exactly the rows
+                        # they scatter into (the lock-free schedule keeps
+                        # them disjoint across tasks); privatized tasks own
+                        # their whole slab.
+                        if row_local:
+                            if tg.nnz:
+                                out[np.unique(tg.ginds[:, mode])] = 0.0
+                        else:
+                            out[...] = 0.0
                     backend = mttkrp_gather_chunk(tg, factors, mode, out,
                                                   row_local=row_local)
                 elapsed = time.perf_counter() - t0
@@ -275,12 +310,22 @@ def _worker_main(conn, worker_id: int) -> None:
                     events = _pack_events(trace.events())
                     trace.disable()
                     trace.clear()
+                if directive is not None and directive.kind == "kill":
+                    os._exit(137)
+                if directive is not None and directive.kind == "corrupt":
+                    conn.send(("garbled",))
+                    continue
                 conn.send(("ok", task_id, elapsed, backend, tg.nnz, events))
             elif kind == "generic":
                 _, _, fn = msg
                 t0 = time.perf_counter()
                 value = fn()
                 elapsed = time.perf_counter() - t0
+                if directive is not None and directive.kind == "kill":
+                    os._exit(137)
+                if directive is not None and directive.kind == "corrupt":
+                    conn.send(("garbled",))
+                    continue
                 conn.send(("ok", task_id, elapsed, value, 0, None))
             elif kind == "ping":
                 conn.send(("ok", task_id, 0.0, "pong", 0, None))
@@ -340,27 +385,82 @@ class ProcPool:
             raise ValueError(f"nworkers must be positive, got {nworkers}")
         self.nworkers = nworkers
         self.start_method = start_method or default_start_method()
-        ctx = mp.get_context(self.start_method)
+        self._ctx = mp.get_context(self.start_method)
         self._procs: List[mp.Process] = []
         self._conns = []
         for wid in range(nworkers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(target=_worker_main, args=(child_conn, wid),
-                               daemon=True, name=f"repro-procpool-{wid}")
-            proc.start()
-            child_conn.close()
+            proc, conn = self._spawn(wid)
             self._procs.append(proc)
-            self._conns.append(parent_conn)
+            self._conns.append(conn)
         self._closed = False
         metrics.inc("procpool.workers_started", nworkers)
+
+    def _spawn(self, wid: int):
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main, args=(child_conn, wid),
+                                 daemon=True, name=f"repro-procpool-{wid}")
+        proc.start()
+        child_conn.close()
+        return proc, parent_conn
 
     @property
     def alive(self) -> bool:
         return (not self._closed
                 and all(p.is_alive() for p in self._procs))
 
+    def worker_alive(self, worker_id: int) -> bool:
+        return not self._closed and self._procs[worker_id].is_alive()
+
     def submit(self, worker_id: int, msg: tuple) -> None:
         self._conns[worker_id].send(msg)
+
+    def install_chaos(self, plan) -> None:
+        """Ship a :class:`repro.testing.ChaosPlan` to every *current*
+        worker.  Pipes are FIFO, so the plan is in place before any task
+        submitted afterwards; respawned workers get no plan (directives are
+        one-shot by construction)."""
+        for conn in self._conns:
+            conn.send(("chaos", plan))
+
+    def respawn(self, worker_id: int) -> None:
+        """Replace one worker slot with a fresh process on a fresh pipe.
+
+        The dead/hung worker is terminated and its pipe closed, so no stale
+        reply can ever be attributed to a later task.  The new worker
+        re-attaches shared segments lazily by name on its first task (an
+        unlinked-later segment stays valid for attachers on Linux)."""
+        old = self._procs[worker_id]
+        if old.is_alive():
+            old.terminate()
+        old.join(timeout=5.0)
+        if old.is_alive():  # pragma: no cover - SIGTERM ignored
+            old.kill()
+            old.join(timeout=5.0)
+        try:
+            self._conns[worker_id].close()
+        except OSError:  # pragma: no cover
+            pass
+        proc, conn = self._spawn(worker_id)
+        self._procs[worker_id] = proc
+        self._conns[worker_id] = conn
+        metrics.inc("procpool.workers_respawned")
+
+    def poll_events(self, worker_ids, timeout: float):
+        """Wait up to ``timeout`` seconds for activity on the given workers.
+
+        Returns ``[(worker_id, kind, payload)]`` where kind is ``"msg"``
+        (payload = the received message) or ``"dead"`` (pipe EOF — the
+        worker process died).  An empty list means the wait timed out: the
+        supervisor's deadline logic decides who is hung."""
+        conns = {self._conns[w]: w for w in set(worker_ids)}
+        events = []
+        for conn in _conn_wait(list(conns), timeout=max(0.0, timeout)):
+            wid = conns[conn]
+            try:
+                events.append((wid, "msg", conn.recv()))
+            except (EOFError, OSError):
+                events.append((wid, "dead", None))
+        return events
 
     def collect(self, expected: Dict[int, int],
                 timeout: Optional[float] = None) -> Dict[int, tuple]:
@@ -394,6 +494,14 @@ class ProcPool:
                     raise RuntimeError(
                         "a procpool worker died mid-task (pipe closed); "
                         "the pool has been shut down") from None
+                if (not isinstance(msg, tuple) or len(msg) < 2
+                        or msg[0] not in ("ok", "err")):
+                    # protocol desync (e.g. an injected corrupt reply):
+                    # the worker can no longer be trusted — fail fast
+                    self._abandon()
+                    raise RuntimeError(
+                        "a procpool worker sent a malformed reply "
+                        f"({msg!r}); the pool has been shut down")
                 status, task_id = msg[0], msg[1]
                 outstanding.discard(task_id)
                 waiting = pending[conn]
@@ -546,13 +654,19 @@ class SharedMttkrpSession:
     # -- execution -----------------------------------------------------
     def run_mode(self, pool: ProcPool, factors: Sequence[np.ndarray],
                  mode: int, thread_runs, strategy: str,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None, fault_config=None):
         """One parallel MTTKRP over pre-partitioned block runs.
 
         Returns ``(output, report, backends)`` where ``output`` is an owned
         (non-shared) array, ``report`` an :class:`ExecutionReport` built
         from worker-measured task times, and ``backends`` the deduplicated
         scatter backends the workers used.
+
+        ``fault_config`` is a resolved
+        :class:`repro.parallel.supervisor.FaultConfig`; with a ``retry`` or
+        ``degrade`` policy the region runs under a
+        :class:`~repro.parallel.supervisor.Supervisor` instead of the
+        fail-fast :meth:`ProcPool.collect`.
         """
         if self._closed:
             raise RuntimeError("session used after release_shared()")
@@ -561,6 +675,12 @@ class SharedMttkrpSession:
         rows = self.shape[mode]
         for spec, factor in zip(self.factor_specs, factors):
             self.arena.view(spec)[...] = factor
+
+        from ..testing import take_chaos_plan
+
+        chaos_plan = take_chaos_plan()
+        if chaos_plan is not None:
+            pool.install_chaos(chaos_plan)
 
         want_trace = trace.enabled()
         row_local = strategy == "schedule"
@@ -573,13 +693,28 @@ class SharedMttkrpSession:
             for _, view in targets:
                 view[...] = 0.0
 
-        expected: Dict[int, int] = {}
-        for t, runs in enumerate(thread_runs):
-            pool.submit(t, ("mttkrp", t, self.handle, self.factor_specs,
-                            mode, tuple(tuple(r) for r in runs),
-                            targets[t][0], row_local, want_trace))
-            expected[t] = t
-        results = pool.collect(expected, timeout=timeout)
+        def msg_builder(t, runs, target_spec):
+            def build(reset: bool) -> tuple:
+                return ("mttkrp", t, self.handle, self.factor_specs, mode,
+                        tuple(tuple(r) for r in runs), target_spec,
+                        row_local, want_trace, reset)
+            return build
+
+        builders = {t: msg_builder(t, runs, targets[t][0])
+                    for t, runs in enumerate(thread_runs)}
+
+        if fault_config is not None and fault_config.policy != "fail-fast":
+            from .supervisor import Supervisor
+
+            sup = Supervisor(pool, fault_config, deadline=timeout)
+            results = sup.run({t: (t, build)
+                               for t, build in builders.items()})
+        else:
+            expected: Dict[int, int] = {}
+            for t, build in builders.items():
+                pool.submit(t, build(False))
+                expected[t] = t
+            results = pool.collect(expected, timeout=timeout)
 
         report = ExecutionReport(backend="process")
         backends = set()
@@ -682,21 +817,31 @@ def mttkrp_process(tensor, factors: Sequence[np.ndarray], mode: int,
                    nworkers: int, strategy: str = "auto",
                    superblock_bits: Optional[int] = None,
                    plan=None, start_method: Optional[str] = None,
-                   timeout: Optional[float] = None) -> ProcessRun:
+                   timeout: Optional[float] = None,
+                   fault_policy=None) -> ProcessRun:
     """Parallel HiCOO MTTKRP on real cores via the shared-memory pool.
 
     ``plan`` is an optional precomputed
     :class:`repro.kernels.plan.MttkrpPlan`; without one, a per-call plan is
     built (and its symbolic partition reused through the session's worker
     caches on later calls).
+
+    ``fault_policy`` is ``"fail-fast"`` (default), ``"retry"``,
+    ``"degrade"``, or a :class:`repro.parallel.supervisor.FaultConfig`; see
+    ``docs/fault_tolerance.md``.  With ``"degrade"``, exhausted recovery
+    budgets surface as :class:`~repro.parallel.supervisor.DegradedExecution`
+    which :func:`repro.kernels.mttkrp.mttkrp_parallel` converts into a
+    fallback-backend run.
     """
     from ..core.hicoo import HicooTensor
     from ..kernels.plan import plan_mttkrp
+    from .supervisor import FaultConfig
 
     if not isinstance(tensor, HicooTensor):
         raise TypeError(
             "the process backend shares HiCOO structure arrays; got "
             f"{type(tensor).__name__} — convert with HicooTensor(coo) first")
+    fault_config = FaultConfig.resolve(fault_policy)
     rank = factors[0].shape[1]
     if plan is None:
         plan = plan_mttkrp(tensor, rank, nworkers, strategy=strategy,
@@ -705,12 +850,12 @@ def mttkrp_process(tensor, factors: Sequence[np.ndarray], mode: int,
     mp_ = plan.for_mode(mode)
 
     with trace.span("mttkrp.process", mode=mode, nworkers=nworkers,
-                    strategy=mp_.strategy):
+                    strategy=mp_.strategy, fault_policy=fault_config.policy):
         pool = get_pool(nworkers, start_method=start_method)
         session = _session_for(tensor, nworkers)
         output, report, backends = session.run_mode(
             pool, factors, mode, mp_.thread_runs, mp_.strategy,
-            timeout=timeout)
+            timeout=timeout, fault_config=fault_config)
     metrics.inc("procpool.calls")
 
     reduction_flops = 0
@@ -726,31 +871,78 @@ def mttkrp_process(tensor, factors: Sequence[np.ndarray], mode: int,
 
 def run_generic_tasks(tasks, nworkers: Optional[int] = None,
                       start_method: Optional[str] = None,
-                      timeout: Optional[float] = None) -> ExecutionReport:
+                      timeout: Optional[float] = None,
+                      fault_policy=None) -> ExecutionReport:
     """Generic process execution of picklable zero-arg callables.
 
     The task's return value must be picklable too; side effects on captured
     objects do *not* propagate back (workers run on copies) — which is why
     the MTTKRP path uses shared memory instead of this entry point.
+
+    ``fault_policy="retry"`` runs the region under a
+    :class:`~repro.parallel.supervisor.Supervisor` (generic tasks must then
+    be safe to re-execute); ``"degrade"`` additionally falls back to
+    running the *whole region* sequentially in the parent when the recovery
+    budget is exhausted.
     """
+    from ..testing import take_chaos_plan
+    from .supervisor import DegradedExecution, FaultConfig, Supervisor
+
     tasks = list(tasks)
     report = ExecutionReport(backend="process")
     if not tasks:
         return report
+    fault_config = FaultConfig.resolve(fault_policy)
     nworkers = min(len(tasks), nworkers or len(tasks))
     pool = get_pool(nworkers, start_method=start_method)
-    expected: Dict[int, int] = {}
-    for i, task in enumerate(tasks):
-        wid = i % nworkers
+    chaos_plan = take_chaos_plan()
+    if chaos_plan is not None:
+        pool.install_chaos(chaos_plan)
+
+    def msg_builder(i, task):
+        def build(reset: bool) -> tuple:
+            return ("generic", i, task)
+        return build
+
+    def submit(wid: int, msg: tuple) -> None:
         try:
-            pool.submit(wid, ("generic", i, task))
+            pool.submit(wid, msg)
         except (AttributeError, TypeError, ValueError) as exc:
             raise TypeError(
                 "process-backend tasks must be picklable zero-arg callables "
                 "(module-level functions or functools.partial of them); "
-                f"task {i} failed to serialize: {exc}") from exc
-        expected[i] = wid
-    results = pool.collect(expected, timeout=timeout)
+                f"task {msg[1]} failed to serialize: {exc}") from exc
+
+    supervised = fault_config.policy != "fail-fast"
+    try:
+        if supervised:
+            sup = Supervisor(pool, fault_config, deadline=timeout,
+                             submit=submit)
+            results = sup.run({i: (i % nworkers, msg_builder(i, task))
+                               for i, task in enumerate(tasks)})
+        else:
+            expected: Dict[int, int] = {}
+            for i, task in enumerate(tasks):
+                wid = i % nworkers
+                submit(wid, ("generic", i, task))
+                expected[i] = wid
+            results = pool.collect(expected, timeout=timeout)
+    except DegradedExecution as exc:
+        # recovery budget exhausted: run the whole region inline — generic
+        # tasks have no shared output, so a clean sequential pass is exact
+        from ..util.log import get_logger
+
+        get_logger("repro.supervisor").warning(
+            "process backend degraded to inline execution: %s", exc)
+        metrics.inc("supervisor.degradations")
+        trace.instant("supervisor.degrade", reason=str(exc))
+        for i, task in enumerate(tasks):
+            t0 = time.perf_counter()
+            value = task()
+            report.results.append(TaskResult(
+                tid=i, elapsed=time.perf_counter() - t0, value=value))
+        report.backend = "sim"
+        return report
     for i in sorted(results):
         elapsed, value, _, _ = results[i]
         report.results.append(TaskResult(tid=i, elapsed=elapsed, value=value))

@@ -1,0 +1,316 @@
+"""Fault tolerance for the shared-memory process backend.
+
+PR 4 made ``backend="process"`` the fastest MTTKRP path, but a single
+crashed or hung worker killed the whole CP-ALS run.  This module wraps a
+:class:`~repro.parallel.procpool.ProcPool` region in a :class:`Supervisor`
+that turns worker faults into bounded recovery work:
+
+* **detection** — worker death is a pipe EOF (``poll_events`` reports
+  ``"dead"``); a hung worker is a task that misses its *deadline* (no
+  reply within ``task_deadline`` seconds of submission) on a worker that
+  is still breathing — both ride the existing pipe protocol, no side
+  channel;
+* **respawn** — a dead, hung, or protocol-desynced worker slot is replaced
+  by a fresh process (:meth:`ProcPool.respawn`); the replacement re-attaches
+  the shared-memory segments lazily by name, so recovery never re-ships the
+  tensor;
+* **retry** — every task lost to a fault (and every task that *raised*) is
+  resubmitted with capped exponential backoff and a ``reset`` flag telling
+  the worker to zero what the task owns before recomputing.  This is safe
+  by construction: HiCOO's lock-free superblock schedule gives each task a
+  row-disjoint slice of the output (privatized tasks own a whole slab), so
+  a retried task is idempotent and the recovered output stays bit-identical
+  to a fault-free ``sim``-backend run;
+* **degradation** — when the respawn or retry budget is exhausted under
+  ``policy="degrade"``, the region raises :class:`DegradedExecution`, and
+  the caller (``mttkrp_parallel`` / ``run_tasks``) re-runs on a fallback
+  backend (``thread`` then ``sim``), logging and metering the event.
+
+Every recovery event is counted in :mod:`repro.obs.metrics`
+(``supervisor.*``) and emitted as trace instants/spans, so degradation is
+observable in the Chrome trace export.  The deterministic fault-injection
+hooks this layer is tested against live in :mod:`repro.testing`
+(``ChaosPlan``); see ``docs/fault_tolerance.md`` for the full policy and
+guarantee write-up.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..obs import metrics, trace
+from ..util.log import get_logger
+from .procpool import DEFAULT_TIMEOUT, ProcPool, _raise_remote
+
+__all__ = [
+    "FAULT_POLICIES",
+    "FaultConfig",
+    "FaultToleranceExhausted",
+    "DegradedExecution",
+    "Supervisor",
+]
+
+#: the selectable fault policies, least to most forgiving
+FAULT_POLICIES = ("fail-fast", "retry", "degrade")
+
+#: fault kinds that poison the worker slot and force a respawn ("error"
+#: means the task raised — the worker itself is healthy and keeps its slot)
+_RESPAWN_KINDS = ("died", "hung", "corrupt")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Resolved fault-tolerance knobs of one supervised region.
+
+    ``policy``:
+
+    * ``"fail-fast"`` — no supervision: first fault tears the region down
+      and propagates (with the original worker traceback chained);
+    * ``"retry"`` — respawn + retry within the budgets below; exhausting
+      them raises :class:`FaultToleranceExhausted`;
+    * ``"degrade"`` — like retry, but exhausted budgets raise
+      :class:`DegradedExecution` so the caller can finish the work on
+      ``fallback_backends`` instead of failing.
+    """
+
+    policy: str = "fail-fast"
+    #: retries per task (beyond its first attempt)
+    max_task_retries: int = 2
+    #: worker respawns per supervised region
+    respawn_budget: int = 2
+    #: exponential backoff before a retry: min(cap, base * 2**(attempt-1))
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    #: seconds a task may stay unanswered before its worker counts as hung
+    #: (None -> the region's collect timeout, ultimately DEFAULT_TIMEOUT)
+    task_deadline: Optional[float] = None
+    #: tried in order when a degrade-policy region gives up
+    fallback_backends: Tuple[str, ...] = ("thread", "sim")
+
+    def __post_init__(self) -> None:
+        if self.policy not in FAULT_POLICIES:
+            raise ValueError(
+                f"unknown fault policy {self.policy!r}; expected one of "
+                f"{FAULT_POLICIES}")
+
+    @staticmethod
+    def resolve(policy) -> "FaultConfig":
+        """Normalize a policy name / None / FaultConfig to a FaultConfig."""
+        if policy is None:
+            return FaultConfig()
+        if isinstance(policy, FaultConfig):
+            return policy
+        return FaultConfig(policy=policy)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** max(0, attempt - 1)))
+
+
+class FaultToleranceExhausted(RuntimeError):
+    """A ``retry``-policy region ran out of respawns or task retries."""
+
+
+class DegradedExecution(RuntimeError):
+    """Internal signal of a ``degrade``-policy region that gave up on the
+    process backend; the caller finishes on ``config.fallback_backends``.
+    The last underlying worker fault rides along as ``__cause__``."""
+
+    def __init__(self, reason: str, config: FaultConfig) -> None:
+        super().__init__(reason)
+        self.config = config
+
+
+@dataclass
+class _TaskState:
+    """Parent-side bookkeeping of one supervised task."""
+
+    task_id: int
+    worker: int
+    make_msg: Callable[[bool], tuple]
+    retries: int = 0
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+class Supervisor:
+    """Run one pool region to completion under a :class:`FaultConfig`.
+
+    One supervisor instance covers one parallel region (e.g. one MTTKRP
+    mode): budgets are per region, so a long CP-ALS run tolerates a fault
+    per iteration, not a fixed number over its lifetime.  Tasks stay
+    pinned to their worker slot — a respawn replaces the slot in place, so
+    the privatized-slab ownership the MTTKRP path relies on survives
+    recovery.
+    """
+
+    def __init__(self, pool: ProcPool, config: FaultConfig,
+                 deadline: Optional[float] = None,
+                 submit: Optional[Callable[[int, tuple], None]] = None) -> None:
+        self.pool = pool
+        self.config = config
+        self.deadline = (config.task_deadline if config.task_deadline
+                         is not None else (deadline if deadline is not None
+                                           else DEFAULT_TIMEOUT))
+        self._submit_fn = submit or pool.submit
+        self.respawns_used = 0
+        self.log = get_logger("repro.supervisor")
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Dict[int, Tuple[int, Callable[[bool], tuple]]]
+            ) -> Dict[int, tuple]:
+        """Execute ``{task_id: (worker_id, make_msg)}``; returns
+        ``{task_id: (elapsed, value, nnz, events)}``.
+
+        ``make_msg(reset)`` builds the submission message; ``reset=True``
+        marks a retry, telling the worker to zero the task's owned output
+        before recomputing (idempotent re-execution).
+        """
+        states: Dict[int, _TaskState] = {}
+        by_worker: Dict[int, list] = {}
+        for task_id, (wid, make_msg) in tasks.items():
+            st = _TaskState(task_id=task_id, worker=wid, make_msg=make_msg)
+            states[task_id] = st
+            by_worker.setdefault(wid, []).append(task_id)
+            self._submit(st, reset=False)
+
+        results: Dict[int, tuple] = {}
+        recovering: set = set()
+        while states:
+            now = time.monotonic()
+            next_due = min(st.submitted_at + self.deadline
+                           for st in states.values())
+            events = self.pool.poll_events(
+                [st.worker for st in states.values()],
+                timeout=max(0.0, next_due - now))
+            if not events:
+                self._handle_overdue(states, by_worker, recovering)
+                continue
+            for wid, kind, payload in events:
+                if kind == "dead":
+                    self._fault_worker(wid, "died", states, by_worker,
+                                       recovering)
+                    continue
+                parsed = self._parse(payload)
+                if parsed is None:
+                    self._fault_worker(wid, "corrupt", states, by_worker,
+                                       recovering)
+                    continue
+                status, task_id, rest = parsed
+                st = states.get(task_id)
+                if st is None:  # reply for an already-faulted task
+                    continue
+                if status == "ok":
+                    del states[task_id]
+                    by_worker[wid].remove(task_id)
+                    results[task_id] = rest
+                    if task_id in recovering:
+                        recovering.discard(task_id)
+                        metrics.inc("supervisor.recoveries")
+                        trace.instant("supervisor.recovered", task=task_id,
+                                      worker=wid)
+                else:  # in-task exception: worker healthy, task failed
+                    exc, tb = rest
+                    metrics.inc("supervisor.task_errors")
+                    trace.instant("supervisor.fault", kind="error",
+                                  task=task_id, worker=wid)
+                    self._retry_or_give_up(st, recovering,
+                                           reason=f"task {task_id} raised "
+                                                  f"{type(exc).__name__}",
+                                           exc=exc, tb=tb)
+        return results
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _submit(self, st: _TaskState, reset: bool) -> None:
+        st.submitted_at = time.monotonic()
+        try:
+            self._submit_fn(st.worker, st.make_msg(reset))
+        except (BrokenPipeError, OSError):
+            # the worker died between our last look and this send; the next
+            # poll reports the pipe EOF and the fault path reclaims the task
+            self.log.debug("submit to dead worker %d deferred to recovery",
+                           st.worker)
+
+    @staticmethod
+    def _parse(payload):
+        """Split a worker reply into (status, task_id, rest); None if the
+        reply does not follow the pipe protocol (corrupt)."""
+        if not isinstance(payload, tuple) or len(payload) < 2:
+            return None
+        status, task_id = payload[0], payload[1]
+        if status == "ok" and len(payload) == 6:
+            return status, task_id, tuple(payload[2:])
+        if status == "err" and len(payload) == 4:
+            return status, task_id, (payload[2], payload[3])
+        return None
+
+    def _handle_overdue(self, states, by_worker, recovering) -> None:
+        """Poll timed out: every worker owing an overdue task is hung."""
+        now = time.monotonic()
+        hung = {st.worker for st in states.values()
+                if now >= st.submitted_at + self.deadline}
+        for wid in sorted(hung):
+            self._fault_worker(wid, "hung", states, by_worker, recovering)
+
+    def _fault_worker(self, wid, kind, states, by_worker, recovering) -> None:
+        """A worker slot failed (died / hung / corrupt): respawn it and
+        retry every task it still owed."""
+        owed = [tid for tid in by_worker.get(wid, ()) if tid in states]
+        metrics.inc(f"supervisor.workers_{kind}")
+        self.log.warning("worker %d %s with %d task(s) outstanding",
+                         wid, kind, len(owed))
+        trace.instant("supervisor.fault", kind=kind, worker=wid,
+                      tasks=list(owed))
+        if self.respawns_used >= self.config.respawn_budget:
+            self._give_up(
+                f"worker {wid} {kind} and the respawn budget "
+                f"({self.config.respawn_budget}) is exhausted")
+        with trace.span("supervisor.respawn", worker=wid, cause=kind):
+            self.pool.respawn(wid)
+        self.respawns_used += 1
+        metrics.inc("supervisor.respawns")
+        for tid in owed:
+            self._retry_or_give_up(states[tid], recovering,
+                                   reason=f"worker {wid} {kind}")
+
+    def _retry_or_give_up(self, st: _TaskState, recovering,
+                          reason: str, exc=None, tb=None) -> None:
+        if st.retries >= self.config.max_task_retries:
+            self._give_up(
+                f"{reason}; task {st.task_id} is out of retries "
+                f"({self.config.max_task_retries})", exc=exc, tb=tb)
+        st.retries += 1
+        pause = self.config.backoff(st.retries)
+        metrics.inc("supervisor.task_retries")
+        trace.instant("supervisor.retry", task=st.task_id, worker=st.worker,
+                      attempt=st.retries, backoff_s=pause)
+        self.log.warning("retrying task %d on worker %d (attempt %d, "
+                         "backoff %.0f ms): %s", st.task_id, st.worker,
+                         st.retries, pause * 1e3, reason)
+        if pause > 0:
+            time.sleep(pause)
+        recovering.add(st.task_id)
+        self._submit(st, reset=True)
+
+    def _give_up(self, reason: str, exc=None, tb=None) -> None:
+        """Budgets exhausted: tear the pool down (no stale replies can leak
+        into a later region) and raise per policy."""
+        self.pool._abandon()
+        metrics.inc("supervisor.gave_up")
+        trace.instant("supervisor.gave_up", reason=reason,
+                      policy=self.config.policy)
+        if self.config.policy == "degrade":
+            err = DegradedExecution(reason, self.config)
+            if exc is not None:
+                raise err from exc
+            raise err
+        if exc is not None and tb is not None:
+            try:
+                _raise_remote(0, exc, tb)
+            except BaseException as remote:
+                raise FaultToleranceExhausted(reason) from remote
+        raise FaultToleranceExhausted(reason)

@@ -20,7 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..formats.coo import CooTensor
-from .apply import apply_permutations, invert_permutation
+from .apply import apply_permutations
 
 __all__ = ["lexi_order", "slice_sort_mode"]
 

@@ -1,4 +1,4 @@
-"""Public verification oracles for sparse-tensor formats and kernels.
+"""Public verification oracles and fault-injection hooks.
 
 Downstream users adding a new storage format (the reason a format paper
 gets adopted) need a way to certify it.  This module packages the oracles
@@ -11,11 +11,24 @@ the internal test suite uses:
 * :func:`assert_roundtrip` — lossless conversion to/from COO;
 * :func:`check_format` — all of the above over a battery of structured
   random tensors, returning a report dict.
+
+It also hosts the deterministic **chaos hooks** the fault-tolerance layer
+(:mod:`repro.parallel.supervisor`) is tested against.  A
+:class:`ChaosPlan` is a set of one-shot :class:`ChaosDirective` entries —
+*kill worker w at its Nth task*, *hang*, *delay*, *corrupt the reply*,
+*raise inside the kernel* — installed with :func:`install_chaos` and
+consumed by the next supervised process-backend region.  Directives fire
+exactly once per worker slot and respawned workers receive no plan, so a
+chaos run is deterministic: the fault happens, recovery proceeds cleanly,
+and the output can be compared bit-for-bit against the ``sim`` backend
+(see ``tests/test_supervisor_chaos.py`` and ``docs/fault_tolerance.md``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +41,19 @@ __all__ = [
     "assert_mttkrp_consistent",
     "assert_roundtrip",
     "check_format",
+    "ChaosDirective",
+    "ChaosPlan",
+    "ChaosError",
+    "ChaosState",
+    "chaos",
+    "kill_at",
+    "hang_at",
+    "delay_at",
+    "corrupt_at",
+    "raise_at",
+    "install_chaos",
+    "take_chaos_plan",
+    "clear_chaos",
 ]
 
 #: format constructor: CooTensor -> SparseTensorFormat
@@ -132,3 +158,125 @@ def check_format(factory: FormatFactory,
             raise AssertionError("format invented nonzeros for an empty tensor")
         checks += 1
     return {"tensors": 2 * len(shapes), "oracle_checks": checks}
+
+
+# ----------------------------------------------------------------------
+# deterministic fault injection (chaos hooks)
+# ----------------------------------------------------------------------
+#: the injectable fault kinds, in worker-loop order of effect
+CHAOS_KINDS = ("kill", "hang", "delay", "corrupt", "raise")
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``raise`` directive throws in the kernel."""
+
+
+@dataclass(frozen=True)
+class ChaosDirective:
+    """One deterministic fault: fire on worker ``worker``'s ``at_task``-th
+    compute task (1-based, per worker slot; pings don't count).
+
+    kind:
+      * ``"kill"``    — hard ``os._exit`` *after* computing, before replying
+        (the worst case for retry idempotence: output rows already written);
+      * ``"hang"``    — sleep ``seconds`` before replying (deadline test);
+      * ``"delay"``   — sleep ``seconds``, then finish normally (no fault);
+      * ``"corrupt"`` — reply with a garbled, unparseable message;
+      * ``"raise"``   — raise :class:`ChaosError` inside the kernel.
+    """
+
+    kind: str
+    worker: int
+    at_task: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in CHAOS_KINDS:
+            raise ValueError(
+                f"unknown chaos kind {self.kind!r}; expected one of "
+                f"{CHAOS_KINDS}")
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.at_task < 1:
+            raise ValueError(f"at_task is 1-based, got {self.at_task}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """An immutable, picklable set of one-shot directives."""
+
+    directives: Tuple[ChaosDirective, ...] = ()
+
+    def for_worker(self, worker: int) -> List[ChaosDirective]:
+        return [d for d in self.directives if d.worker == worker]
+
+
+def chaos(*directives: ChaosDirective) -> ChaosPlan:
+    """Bundle directives into a plan: ``chaos(kill_at(0), hang_at(1))``."""
+    return ChaosPlan(directives=tuple(directives))
+
+
+def kill_at(worker: int, at_task: int = 1) -> ChaosDirective:
+    return ChaosDirective("kill", worker, at_task)
+
+
+def hang_at(worker: int, at_task: int = 1,
+            seconds: float = 3600.0) -> ChaosDirective:
+    return ChaosDirective("hang", worker, at_task, seconds)
+
+
+def delay_at(worker: int, at_task: int = 1,
+             seconds: float = 0.05) -> ChaosDirective:
+    return ChaosDirective("delay", worker, at_task, seconds)
+
+
+def corrupt_at(worker: int, at_task: int = 1) -> ChaosDirective:
+    return ChaosDirective("corrupt", worker, at_task)
+
+
+def raise_at(worker: int, at_task: int = 1) -> ChaosDirective:
+    return ChaosDirective("raise", worker, at_task)
+
+
+class ChaosState:
+    """Worker-side directive consumer (lives inside a pool worker process).
+
+    Directives are *one-shot*: once drawn for a task they never fire again,
+    so a retried task runs clean and the test observes exactly one fault
+    per directive.
+    """
+
+    def __init__(self, plan: ChaosPlan, worker: int) -> None:
+        self._pending = plan.for_worker(worker)
+
+    def draw(self, task_seq: int) -> Optional[ChaosDirective]:
+        for i, d in enumerate(self._pending):
+            if d.at_task == task_seq:
+                return self._pending.pop(i)
+        return None
+
+
+# one pending plan, installed by tests and consumed (atomically) by the
+# next process-backend region — no API threading through the kernel stack
+_chaos_lock = threading.Lock()
+_chaos_plan: Optional[ChaosPlan] = None
+
+
+def install_chaos(plan: ChaosPlan) -> None:
+    """Arm ``plan`` for the next process-backend parallel region."""
+    global _chaos_plan
+    with _chaos_lock:
+        _chaos_plan = plan
+
+
+def take_chaos_plan() -> Optional[ChaosPlan]:
+    """Pop the armed plan (one region consumes it; later regions run clean)."""
+    global _chaos_plan
+    with _chaos_lock:
+        plan, _chaos_plan = _chaos_plan, None
+        return plan
+
+
+def clear_chaos() -> None:
+    """Disarm any pending plan (test teardown)."""
+    take_chaos_plan()

@@ -117,11 +117,13 @@ def cmd_mttkrp(args) -> int:
     factors = [rng.random((s, args.rank)) for s in coo.shape]
 
     backend = getattr(args, "backend", "sim")
+    fault_policy = getattr(args, "fault_policy", None)
 
     def one_run():
         if args.threads > 1 or backend == "process":
             return mttkrp_parallel(tensor, factors, args.mode, args.threads,
-                                   backend=backend)
+                                   backend=backend,
+                                   fault_policy=fault_policy)
         return mttkrp(tensor, factors, args.mode)
 
     # warmup passes absorb one-time symbolic cost (gather-cache fills,
@@ -161,7 +163,8 @@ def cmd_cpd(args) -> int:
         return 0
     res = cp_als(hic, args.rank, maxiters=args.maxiters, tol=args.tol,
                  seed=args.seed, nthreads=args.threads,
-                 backend=getattr(args, "backend", None))
+                 backend=getattr(args, "backend", None),
+                 fault_policy=getattr(args, "fault_policy", None))
     for it, fit in enumerate(res.fits):
         print(f"iter {it + 1:3d}: fit = {fit:.6f}")
     print(f"converged={res.converged} "
@@ -293,6 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel backend: 'sim' (sequential, per-task "
                             "timing), 'thread' (GIL-sharing pool), or "
                             "'process' (true multicore over shared memory)")
+        p.add_argument("--fault-policy",
+                       choices=["fail-fast", "retry", "degrade"],
+                       default="fail-fast",
+                       help="process-backend fault tolerance: 'fail-fast' "
+                            "(first worker fault propagates), 'retry' "
+                            "(respawn dead/hung workers and re-run their "
+                            "tasks idempotently), or 'degrade' (fall back "
+                            "to thread/sim when the recovery budget is "
+                            "exhausted); see docs/fault_tolerance.md")
 
     p = sub.add_parser("mttkrp", help="run and time one MTTKRP")
     add_common(p)

@@ -6,7 +6,6 @@ import pytest
 from repro.analysis.blockviz import block_density_grid, render_heatmap
 from repro.core.hicoo import HicooTensor
 from repro.formats.coo import CooTensor
-from tests.conftest import make_random_coo
 
 
 @pytest.fixture

@@ -5,7 +5,6 @@ import pytest
 
 from repro.formats.coo import CooTensor
 from repro.formats.dense import DenseTensor
-from tests.conftest import make_random_coo
 
 
 class TestConstruction:

@@ -10,7 +10,6 @@ from repro.cpd.ktensor import KruskalTensor
 from repro.formats.coo import CooTensor
 from repro.formats.csf import CsfTensor
 from repro.data.synthetic import lowrank_tensor
-from tests.conftest import make_random_coo
 
 
 class TestRecovery:

@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data.frostt import read_tns, write_tns
-from repro.formats.coo import CooTensor
 
 
 class TestTnsFuzz:

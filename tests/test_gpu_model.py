@@ -1,6 +1,5 @@
 """Tests for the GPU execution-model extension."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.model import build_format_suite

@@ -4,12 +4,10 @@ import numpy as np
 import pytest
 
 from repro.formats.coo import CooTensor
-from repro.formats.dense import DenseTensor
 from repro.kernels.khatrirao import gram, hadamard_all, hadamard_grams, khatri_rao
 from repro.kernels.matricize import column_index, unfold_coo, unfold_dense
 from repro.kernels.ttm import ttm
 from repro.kernels.ttv import mttkrp_via_ttv, ttv, ttv_chain
-from tests.conftest import make_random_coo
 
 
 class TestKhatriRaoUtils:

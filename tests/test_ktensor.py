@@ -5,7 +5,6 @@ import pytest
 
 from repro.cpd.ktensor import KruskalTensor
 from repro.formats.coo import CooTensor
-from tests.conftest import make_random_coo
 
 
 def random_kt(shape, rank, seed=0):

@@ -1,6 +1,5 @@
 """Tests for CP-ALS restarts and rank sweeps."""
 
-import numpy as np
 import pytest
 
 from repro.cpd.model_selection import RankProfile, cp_als_restarts, rank_sweep

@@ -6,7 +6,6 @@ import pytest
 from repro.core.hicoo import HicooTensor
 from repro.formats.csf import CsfTensor
 from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
-from tests.conftest import make_random_coo
 
 
 @pytest.fixture

@@ -1,13 +1,11 @@
 """Unit tests for HiCOO parameter analysis and storage comparison."""
 
 import numpy as np
-import pytest
 
 from repro.core.hicoo import HicooTensor
 from repro.core.params import HicooParams, analyze_block_sizes, recommend_block_bits
 from repro.core.storage import StorageRow, compare_formats, format_table
 from repro.data.synthetic import banded_tensor, random_tensor
-from tests.conftest import make_random_coo
 
 
 class TestHicooParams:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.hicoo import HicooTensor
 from repro.cpd.cp_als import cp_als
 from repro.data.synthetic import power_law_tensor
 from repro.formats.coo import CooTensor
@@ -18,7 +17,6 @@ from repro.reorder import (
     random_permutations,
     slice_sort_mode,
 )
-from tests.conftest import make_random_coo
 
 
 @pytest.fixture

@@ -15,7 +15,6 @@ from repro.core.hicoo import HicooTensor
 from repro.formats.csf import CsfTensor
 from repro.parallel.machine import Machine
 from repro.data.synthetic import banded_tensor, clustered_tensor, random_tensor
-from tests.conftest import make_random_coo
 
 
 MACHINE = Machine()  # deterministic defaults

@@ -8,9 +8,7 @@ from repro.core.streaming import hicoo_from_chunks, read_tns_chunks, stream_tns
 from repro.core.tuner import tune
 from repro.data.frostt import write_tns
 from repro.data.synthetic import clustered_tensor
-from repro.formats.coo import CooTensor
 from repro.parallel.machine import Machine
-from tests.conftest import make_random_coo
 
 MACHINE = Machine()
 
