@@ -1,19 +1,42 @@
-"""E13 (extension) — predicted GPU MTTKRP comparison.
+"""E13 (extension) — predicted GPU MTTKRP comparison, and the compiled-tier
+measured-vs-predicted join.
 
 The paper's follow-on work ports HiCOO to GPUs; this bench regenerates the
 predicted *shape* of that comparison with the GPU roofline profile: on an
 accelerator, COO's per-nonzero atomics and uncoalesced gathers hurt more
 than on a CPU, so HiCOO's relative advantage should grow wherever its
 blocks coalesce (alpha_b small), and collapse on scattered tensors.
+
+When a compiled kernel tier (numba / cupy) is importable, a second
+experiment *measures* it: steady-state compiled MTTKRP (compile/upload
+excluded and recorded separately) against the NumPy sequential kernel and
+against the analytic profile's prediction — the measured/predicted ratio
+is what makes the model falsifiable.  Results land in
+``BENCH_mttkrp_jit.json``; the pure-model experiment above runs unchanged
+on every host.
 """
 
+import math
+import os
+import time
+
 import numpy as np
+import pytest
 
 from repro.analysis.model import build_format_suite, speedup_over_coo
 from repro.analysis.report import render_table
-from repro.parallel.gpu import GpuProfile, gpu_speedup_over_coo
+from repro.core.hicoo import HicooTensor
+from repro.kernels.backends import tier_available, tier_reason
+from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
+from repro.kernels.plan import plan_mttkrp
+from repro.parallel.gpu import (GpuProfile, gpu_speedup_over_coo,
+                                measured_vs_predicted)
 
-from conftest import BENCH_BLOCK_BITS, RANK, all_dataset_names, dataset, write_result
+from conftest import (BENCH_BLOCK_BITS, RANK, TIMED_DATASETS,
+                      all_dataset_names, best_time, dataset, write_bench_json,
+                      write_result)
+
+JIT_BENCH_FILE = "BENCH_mttkrp_jit.json"
 
 
 def test_e13_gpu_speedup_figure(machine, benchmark):
@@ -49,3 +72,93 @@ def test_e13_gpu_speedup_figure(machine, benchmark):
     benchmark(gpu_speedup_over_coo,
               build_format_suite(dataset("vast"), block_bits=BENCH_BLOCK_BITS),
               RANK, gpu)
+
+
+# ----------------------------------------------------------------------
+# compiled-tier measurement (only when a tier is importable)
+# ----------------------------------------------------------------------
+def _tier_profile(tier: str, nthreads: int) -> GpuProfile:
+    return GpuProfile.cpu_jit(nthreads) if tier == "numba" else GpuProfile()
+
+
+def bench_compiled_tier(tier: str = "numba", repeat: int = 5,
+                        nthreads: int | None = None):
+    """Measure the compiled tier on the timed datasets; returns
+    ``(records, rows)`` — machine-readable bench records and the
+    measured-vs-predicted table rows.
+
+    Steady-state only: the plan's gather arrays are materialized and the
+    JIT warmed *before* timing, so ``time_s`` is what a CP-ALS iteration
+    pays; the one-time compile cost is reported in its own record
+    (``variant="<tier>_compile"``), never folded into the kernel times.
+    """
+    from repro.kernels.compiled import warmup_numba
+
+    nthreads = nthreads or min(4, os.cpu_count() or 1)
+    t0 = time.perf_counter()
+    compile_s = warmup_numba() if tier == "numba" else 0.0
+    setup_s = time.perf_counter() - t0
+    records = [{"op": "mttkrp", "format": "hicoo", "strategy": "compile",
+                "dataset": "-", "variant": f"{tier}_compile",
+                "time_s": max(compile_s, setup_s, 1e-9)}]
+    rows = []
+    for name in TIMED_DATASETS:
+        coo = dataset(name)
+        hic = HicooTensor(coo, block_bits=BENCH_BLOCK_BITS)
+        rng = np.random.default_rng(0)
+        factors = [rng.random((s, RANK)) for s in coo.shape]
+        plan = plan_mttkrp(hic, RANK, nthreads)
+        plan.ensure_gathers(hic)
+        measured = {}
+        for mode in range(coo.nmodes):
+            t_seq = best_time(mttkrp, hic, factors, mode,
+                              repeat=repeat, warmup=1)
+            t_jit = best_time(
+                lambda m=mode: mttkrp_parallel(hic, factors, m, nthreads,
+                                               plan=plan, backend=tier),
+                repeat=repeat, warmup=2)
+            measured[mode] = t_jit
+            records.append({
+                "op": "mttkrp", "format": "hicoo", "strategy": "planned",
+                "dataset": name, "mode": mode, "variant": tier,
+                "time_s": t_jit, "seq_time_s": t_seq,
+                "speedup_vs_seq": t_seq / t_jit if t_jit else float("inf"),
+            })
+        for row in measured_vs_predicted(hic, RANK,
+                                         _tier_profile(tier, nthreads),
+                                         measured):
+            rows.append({"dataset": name, **row})
+    return records, rows
+
+
+def compiled_geomean_speedup(records) -> float:
+    """Geomean of the per-(dataset, mode) speedups over the NumPy
+    sequential kernel (compile records excluded)."""
+    speeds = [r["speedup_vs_seq"] for r in records if "speedup_vs_seq" in r]
+    return math.exp(sum(math.log(s) for s in speeds) / len(speeds))
+
+
+@pytest.mark.parametrize("tier", ["numba", "cupy"])
+def test_bench_json_jit(tier, benchmark):
+    """Measured-vs-predicted for a compiled tier (auto-skips without it)."""
+    if not tier_available(tier):
+        pytest.skip(tier_reason(tier) or f"{tier} unavailable")
+    records, rows = bench_compiled_tier(tier=tier)
+    for row in rows:
+        row["measured_ms"] = row.pop("measured_s") * 1e3
+        row["predicted_ms"] = row.pop("predicted_s") * 1e3
+    text = render_table(
+        rows, ["dataset", "mode", "measured_ms", "predicted_ms", "ratio",
+               "bound"],
+        title=f"E13b: {tier} MTTKRP measured vs model-predicted "
+              f"(R={RANK}, b={BENCH_BLOCK_BITS}; steady state, compile "
+              "excluded)",
+        widths={"dataset": 10})
+    write_result(f"E13b_{tier}.txt", text)
+    write_bench_json(records, JIT_BENCH_FILE)
+    geomean = compiled_geomean_speedup(records)
+    print(f"[{tier} geomean speedup over sequential NumPy: {geomean:.2f}x]")
+    benchmark(mttkrp_parallel, HicooTensor(dataset("vast"),
+                                           block_bits=BENCH_BLOCK_BITS),
+              [np.random.default_rng(0).random((s, RANK))
+               for s in dataset("vast").shape], 0, 2, backend=tier)

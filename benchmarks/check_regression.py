@@ -37,6 +37,7 @@ from legacy import (legacy_best_block_bits, legacy_hicoo_construct,
                     legacy_morton_encode, legacy_parallel_hicoo)
 from repro.core.hicoo import HicooTensor, best_block_bits
 from repro.data import load
+from repro.kernels.backends import tier_available, tier_reason
 from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
 from repro.obs import metrics
@@ -56,6 +57,11 @@ PROC_SPEEDUP_FLOOR = 1.5
 CACHE_DATASETS = ("vast", "deli", "uber")
 #: a plan warmed by >= 2 further runs must hit at least this often
 MIN_GATHER_HIT_RATE = 0.5
+
+#: steady-state geomean wall-clock floor for the numba tier over the
+#: sequential NumPy kernel (compile cost excluded — it is warmed up front
+#: and recorded in its own bench record / the compiled.* metrics)
+JIT_SPEEDUP_FLOOR = 2.0
 
 
 def best_of(fn, repeat=REPEAT):
@@ -227,6 +233,73 @@ def check_process_backend() -> bool:
     return ok
 
 
+def check_compiled_tier() -> bool:
+    """Guard the Numba JIT tier: correctness always, speed when compiled.
+
+    Skipped (visibly, not silently) on hosts without numba — the default CI
+    job proves the NumPy fallback, and the jit-smoke job runs this check
+    with the dependency installed.  With numba present:
+
+    * the compiled kernel must agree with the sequential oracle within the
+      8-ULP budget on every mode and both strategies;
+    * the steady-state geomean speedup over the sequential NumPy kernel
+      across the timed datasets must reach JIT_SPEEDUP_FLOOR (compile time
+      is warmed before timing and recorded separately).
+    """
+    from bench_gpu import (JIT_BENCH_FILE, bench_compiled_tier,
+                           compiled_geomean_speedup)
+    from conftest import write_bench_json
+
+    if not tier_available("numba"):
+        print(f"  SKIP compiled tier: {tier_reason('numba')}")
+        return True
+
+    ok = True
+    coo = load(DATASET)
+    hic = HicooTensor(coo, block_bits=BLOCK_BITS)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, RANK)) for s in coo.shape]
+    for strategy in ("schedule", "privatize"):
+        plan = plan_mttkrp(hic, RANK, NTHREADS, strategy=strategy)
+        for mode in range(coo.nmodes):
+            seq = mttkrp(hic, factors, mode)
+            run = mttkrp_parallel(hic, factors, mode, NTHREADS, plan=plan,
+                                  backend="numba")
+            if run.report.backend != "numba":
+                print(f"FAIL: mode {mode} ({strategy}): numba requested but "
+                      f"backend={run.report.backend}")
+                ok = False
+            scale = np.maximum(np.abs(seq), np.abs(run.output))
+            ulp = np.spacing(np.maximum(scale, np.finfo(seq.dtype).tiny))
+            max_ulp = float(np.max(np.abs(run.output - seq) / ulp))
+            if max_ulp > 8.0:
+                print(f"FAIL: mode {mode} ({strategy}): compiled kernel "
+                      f"drifts {max_ulp:.1f} ULP (> 8) from the oracle")
+                ok = False
+    if ok:
+        print("  numba == sequential oracle (<= 8 ULP) on all modes, "
+              "both strategies")
+
+    records, _ = bench_compiled_tier(tier="numba", repeat=REPEAT)
+    write_bench_json(records, JIT_BENCH_FILE)
+    compile_s = next(r["time_s"] for r in records
+                     if r["variant"] == "numba_compile")
+    geomean = compiled_geomean_speedup(records)
+    for r in records:
+        if "speedup_vs_seq" in r:
+            print(f"  {r['dataset']:<6s} mode {r['mode']}: "
+                  f"{r['speedup_vs_seq']:.2f}x vs sequential")
+    print(f"  one-time compile: {compile_s * 1e3:.0f} ms (excluded from "
+          "kernel times)")
+    if geomean < JIT_SPEEDUP_FLOOR:
+        print(f"FAIL: numba-tier geomean speedup {geomean:.2f}x < "
+              f"{JIT_SPEEDUP_FLOOR}x steady-state floor")
+        ok = False
+    else:
+        print(f"  geomean {geomean:.2f}x >= {JIT_SPEEDUP_FLOOR}x floor")
+    return ok
+
+
 def summarize() -> int:
     """Markdown geomean table over the recorded bench JSON (no timing runs).
 
@@ -309,7 +382,15 @@ def main() -> int:
         print("OK: process backend is correct"
               + ("" if (os.cpu_count() or 1) < NTHREADS
                  else " and meets the speedup floor"))
-    return 0 if ok and conv_ok and cache_ok and proc_ok else 1
+
+    print("compiled tier (numba JIT):")
+    jit_ok = check_compiled_tier()
+    if jit_ok:
+        print("OK: compiled tier"
+              + (" is correct and meets the speedup floor"
+                 if tier_available("numba")
+                 else " check skipped (no numba)"))
+    return 0 if ok and conv_ok and cache_ok and proc_ok and jit_ok else 1
 
 
 if __name__ == "__main__":

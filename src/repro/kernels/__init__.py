@@ -1,15 +1,30 @@
-"""Tensor kernels: MTTKRP (sequential/parallel/planned), TTV/TTM, and the
-gather/scatter layer that separates symbolic index work from numeric work.
+"""Tensor kernels: MTTKRP (sequential/parallel/planned), TTV/TTM, the
+gather/scatter layer that separates symbolic index work from numeric work,
+and the compiled execution tiers (Numba CPU JIT, CuPy GPU) behind the
+kernel-backend registry.
 """
 
-from .gather import (TaskGather, build_task_gather, coalesce_runs,
-                     mttkrp_gather_chunk, runs_from_block_ids, scatter_add)
+from .backends import (KERNEL_TIERS, available_tiers, detect_tiers,
+                       resolve_kernel_backend, tier_available, tier_reason)
+from .gather import (SCATTER_COMPILED_MIN_N, SCATTER_SMALL_N, TaskGather,
+                     build_task_gather, choose_scatter_backend,
+                     coalesce_runs, mttkrp_gather_chunk, runs_from_block_ids,
+                     scatter_add)
 
 __all__ = [
+    "KERNEL_TIERS",
+    "SCATTER_COMPILED_MIN_N",
+    "SCATTER_SMALL_N",
     "TaskGather",
+    "available_tiers",
     "build_task_gather",
+    "choose_scatter_backend",
     "coalesce_runs",
+    "detect_tiers",
     "mttkrp_gather_chunk",
+    "resolve_kernel_backend",
     "runs_from_block_ids",
     "scatter_add",
+    "tier_available",
+    "tier_reason",
 ]

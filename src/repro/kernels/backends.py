@@ -1,0 +1,146 @@
+"""Kernel-tier registry: which compiled execution tiers this host can run.
+
+The numeric half of MTTKRP is a handful of dense gather–multiply–scatter
+loops (see :mod:`repro.kernels.gather`), which a JIT or a GPU executes far
+faster than NumPy's interpreter-bound fancy indexing.  This module is the
+single source of truth for which of those tiers exist *here*:
+
+* ``"numpy"``  — always available; the reference implementation;
+* ``"numba"``  — CPU JIT (``pip install repro[jit]``): fused per-nonzero
+  loops compiled to machine code, ``prange`` over row-disjoint tasks;
+* ``"cupy"``   — GPU (``pip install repro[gpu]``): requires both the cupy
+  package *and* a visible CUDA device.
+
+Detection is done once and cached (:func:`detect_tiers`); every consumer
+resolves a user-requested tier through :func:`resolve_kernel_backend`,
+which **degrades silently to numpy** when the dependency is absent — a
+request for ``"numba"`` on a numba-less host runs the pure-NumPy kernels,
+logs one warning, and bumps the ``kernel.fallbacks`` counter.  CI's
+default jobs rely on this: the whole suite passes unchanged without the
+optional extras.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..obs import metrics
+from ..util.log import get_logger
+
+__all__ = [
+    "KERNEL_TIERS",
+    "TierInfo",
+    "detect_tiers",
+    "tier_available",
+    "tier_reason",
+    "available_tiers",
+    "resolve_kernel_backend",
+]
+
+#: every kernel tier this repo knows about, in preference order for "auto"
+KERNEL_TIERS = ("numpy", "numba", "cupy")
+
+
+@dataclass(frozen=True)
+class TierInfo:
+    """Availability record of one kernel tier on this host."""
+
+    name: str
+    available: bool
+    #: human-readable reason when unavailable ("" when available); shown by
+    #: ``hicoo-repro info`` and used as the pytest skip reason
+    reason: str = ""
+    version: str = ""
+
+
+_CACHE: Optional[Dict[str, TierInfo]] = None
+_WARNED: set = set()
+
+
+def _detect_numba() -> TierInfo:
+    try:
+        import numba
+    except Exception as exc:  # ImportError or a broken install
+        return TierInfo("numba", False,
+                        f"numba is not installed ({exc}); "
+                        "pip install repro[jit]")
+    return TierInfo("numba", True, version=getattr(numba, "__version__", "?"))
+
+
+def _detect_cupy() -> TierInfo:
+    try:
+        import cupy
+    except Exception as exc:
+        return TierInfo("cupy", False,
+                        f"cupy is not installed ({exc}); "
+                        "pip install repro[gpu]")
+    try:
+        ndev = cupy.cuda.runtime.getDeviceCount()
+    except Exception as exc:  # driver missing / no GPU
+        return TierInfo("cupy", False,
+                        f"cupy is installed but CUDA is unusable ({exc})")
+    if ndev < 1:
+        return TierInfo("cupy", False,
+                        "cupy is installed but no CUDA device is visible")
+    return TierInfo("cupy", True, version=getattr(cupy, "__version__", "?"))
+
+
+def detect_tiers(refresh: bool = False) -> Dict[str, TierInfo]:
+    """Probe (once) which kernel tiers can run on this host."""
+    global _CACHE
+    if _CACHE is None or refresh:
+        _CACHE = {
+            "numpy": TierInfo("numpy", True),
+            "numba": _detect_numba(),
+            "cupy": _detect_cupy(),
+        }
+    return _CACHE
+
+
+def tier_available(name: str) -> bool:
+    """True when tier ``name`` can execute here."""
+    info = detect_tiers().get(name)
+    return bool(info and info.available)
+
+
+def tier_reason(name: str) -> str:
+    """Why tier ``name`` is unavailable ("" when it is available)."""
+    info = detect_tiers().get(name)
+    if info is None:
+        return f"unknown kernel tier {name!r}"
+    return info.reason
+
+
+def available_tiers() -> tuple:
+    """Names of the tiers that can execute here, in preference order."""
+    return tuple(n for n in KERNEL_TIERS if tier_available(n))
+
+
+def resolve_kernel_backend(name: Optional[str]) -> str:
+    """Map a requested tier to one that can actually run.
+
+    ``None``/``"numpy"`` → ``"numpy"``; ``"auto"`` → the fastest available
+    CPU tier (numba when present, else numpy — the GPU tier is never
+    auto-selected because upload cost only pays off for large plans).  An
+    unavailable explicit request **falls back to numpy silently**: one
+    warning per tier per process, a ``kernel.fallbacks`` counter bump, and
+    the numpy kernels produce the identical result.  Unknown names raise.
+    """
+    if name is None or name == "numpy":
+        return "numpy"
+    if name == "auto":
+        return "numba" if tier_available("numba") else "numpy"
+    if name not in KERNEL_TIERS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{KERNEL_TIERS + ('auto',)}")
+    if tier_available(name):
+        return name
+    if name not in _WARNED:
+        _WARNED.add(name)
+        get_logger("repro.kernels").warning(
+            "kernel tier %r unavailable (%s); falling back to numpy",
+            name, tier_reason(name))
+    metrics.inc("kernel.fallbacks")
+    return "numpy"

@@ -33,8 +33,10 @@ from ..obs import metrics, trace
 
 __all__ = [
     "SCATTER_SMALL_N",
+    "SCATTER_COMPILED_MIN_N",
     "TaskGather",
     "scatter_add",
+    "choose_scatter_backend",
     "coalesce_runs",
     "runs_from_block_ids",
     "build_task_gather",
@@ -44,6 +46,12 @@ __all__ = [
 #: below this many updates the bookkeeping of the fast backends costs more
 #: than ``np.add.at`` itself.
 SCATTER_SMALL_N = 64
+
+#: below this many updates a *compiled* scatter (numba/cupy) is never
+#: selected even when requested and available: the per-call dispatch
+#: overhead — and, on the very first call, JIT compilation — dwarfs the
+#: scatter itself, so tiny inputs stay on the NumPy ladder above.
+SCATTER_COMPILED_MIN_N = 4096
 
 #: when the output has this many times more rows than there are updates, a
 #: per-column bincount (which walks the whole output) loses to sorting the
@@ -56,18 +64,23 @@ _SPARSE_OUT_RATIO = 8
 # ----------------------------------------------------------------------
 def scatter_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
                 presorted: bool | None = None,
-                row_local: bool = False) -> str:
+                row_local: bool = False,
+                backend: str | None = None) -> str:
     """Accumulate ``acc`` into ``out`` at rows ``idx``; returns the backend.
 
     Semantically identical to ``np.add.at(out, idx, acc)`` — duplicate
-    indices sum — but picks the fastest NumPy primitive available:
+    indices sum — but picks the fastest primitive available:
 
     * ``"add_at"`` — tiny inputs (< :data:`SCATTER_SMALL_N` updates);
     * ``"reduceat"`` — ``idx`` is non-decreasing (HiCOO tasks know this from
       their cached sortedness flags): one segmented reduction, no sort;
     * ``"bincount"`` — general case, one ``np.bincount`` per output column;
     * ``"sort_reduceat"`` — output rows vastly outnumber updates, where
-      bincount's full-output walk loses to sorting the updates first.
+      bincount's full-output walk loses to sorting the updates first;
+    * ``"numba"`` — only when ``backend="numba"`` is requested, the tier is
+      importable, **and** ``n >= SCATTER_COMPILED_MIN_N``: a jitted
+      update loop (no per-column passes, no index sort).  An unavailable
+      request silently stays on the NumPy ladder.
 
     ``presorted=None`` probes sortedness (one O(n) pass, cheap next to the
     scatter itself); pass ``True``/``False`` when the caller already knows.
@@ -78,9 +91,10 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
     ``out`` may be 1-D (with 1-D ``acc``) or 2-D (rows x rank).
 
     Each call increments the ``scatter.calls`` / ``scatter.updates`` /
-    ``scatter.<backend>`` counters of :mod:`repro.obs.metrics`.
+    ``scatter.<backend>`` counters of :mod:`repro.obs.metrics` (so the
+    compiled tiers surface as ``scatter.numba`` / ``scatter.cupy``).
     """
-    backend = _scatter_add(out, idx, acc, presorted, row_local)
+    backend = _scatter_add(out, idx, acc, presorted, row_local, backend)
     reg = metrics.get_registry()
     if reg.enabled:
         reg.inc("scatter.calls")
@@ -89,29 +103,67 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
     return backend
 
 
-def _scatter_add(out, idx, acc, presorted, row_local) -> str:
-    n = len(idx)
+def choose_scatter_backend(n: int, rows: int,
+                           presorted: bool = False,
+                           row_local: bool = False,
+                           backend: str | None = None,
+                           compiled_available: bool | None = None) -> str:
+    """Pure backend choice for an ``n``-update scatter into ``rows`` rows.
+
+    Factored out of :func:`scatter_add` so the crossover policy — in
+    particular that compiled tiers are never chosen below
+    :data:`SCATTER_COMPILED_MIN_N` — is unit-testable on hosts where the
+    tiers are not installed (``compiled_available`` overrides detection).
+    """
     if n == 0:
         return "noop"
     if n <= SCATTER_SMALL_N:
-        np.add.at(out, idx, acc)
         return "add_at"
-    if presorted is None:
-        presorted = bool(np.all(idx[1:] >= idx[:-1]))
+    # only the numba tier applies here: these are host arrays (the GPU
+    # tier scatters device-side, inside repro.kernels.compiled, and feeds
+    # the scatter.cupy counter from there)
+    if backend == "numba" and n >= SCATTER_COMPILED_MIN_N:
+        if compiled_available is None:
+            from .backends import tier_available
+
+            compiled_available = tier_available(backend)
+        if compiled_available:
+            return backend
     if presorted:
-        _segment_add(out, idx, acc)
         return "reduceat"
-    rows = out.shape[0]
     if row_local or rows > _SPARSE_OUT_RATIO * n:
+        return "sort_reduceat"
+    return "bincount"
+
+
+def _scatter_add(out, idx, acc, presorted, row_local, backend=None) -> str:
+    n = len(idx)
+    if n == 0:
+        return "noop"
+    if presorted is None and SCATTER_SMALL_N < n:
+        presorted = bool(np.all(idx[1:] >= idx[:-1]))
+    choice = choose_scatter_backend(n, out.shape[0], bool(presorted),
+                                    row_local, backend)
+    if choice == "add_at":
+        np.add.at(out, idx, acc)
+    elif choice == "numba":
+        from .compiled import scatter_add_compiled
+
+        scatter_add_compiled(out, idx, acc)
+    elif choice == "reduceat":
+        _segment_add(out, idx, acc)
+    elif choice == "sort_reduceat":
         order = np.argsort(idx, kind="stable")
         _segment_add(out, idx[order], acc[order])
-        return "sort_reduceat"
-    if acc.ndim == 1:
-        out += np.bincount(idx, weights=acc, minlength=rows)
-    else:
-        for r in range(acc.shape[1]):
-            out[:, r] += np.bincount(idx, weights=acc[:, r], minlength=rows)
-    return "bincount"
+    else:  # bincount
+        rows = out.shape[0]
+        if acc.ndim == 1:
+            out += np.bincount(idx, weights=acc, minlength=rows)
+        else:
+            for r in range(acc.shape[1]):
+                out[:, r] += np.bincount(idx, weights=acc[:, r],
+                                         minlength=rows)
+    return choice
 
 
 def _segment_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray) -> None:
@@ -221,26 +273,31 @@ def build_task_gather(tensor, runs: Sequence[Tuple[int, int]]) -> TaskGather:
 # numeric MTTKRP pass over a cached gather
 # ----------------------------------------------------------------------
 def mttkrp_gather_chunk(tg: TaskGather, factors, mode: int, out: np.ndarray,
-                        row_local: bool = False) -> str:
+                        row_local: bool = False,
+                        backend: str | None = None) -> str:
     """Pure-numeric MTTKRP of one task: gather, multiply, scatter-add.
 
     All symbolic work lives in ``tg``; this touches only factor values.
     Returns the scatter backend used (recorded in :class:`MttkrpRun`).
     ``row_local`` is forwarded to :func:`scatter_add` (set it when ``out``
-    is shared between concurrently running tasks).
+    is shared between concurrently running tasks); ``backend`` requests a
+    compiled scatter tier for large-enough updates (see
+    :func:`choose_scatter_backend`).
     """
     if tg.nnz == 0:
         return "noop"
     if trace.enabled():
         with trace.span("gather.chunk", mode=mode, nnz=tg.nnz):
-            backend = _mttkrp_gather_chunk(tg, factors, mode, out, row_local)
+            used = _mttkrp_gather_chunk(tg, factors, mode, out, row_local,
+                                        backend)
     else:
-        backend = _mttkrp_gather_chunk(tg, factors, mode, out, row_local)
+        used = _mttkrp_gather_chunk(tg, factors, mode, out, row_local,
+                                    backend)
     metrics.inc("mttkrp.nnz_processed", tg.nnz)
-    return backend
+    return used
 
 
-def _mttkrp_gather_chunk(tg, factors, mode, out, row_local):
+def _mttkrp_gather_chunk(tg, factors, mode, out, row_local, backend=None):
     acc = None
     for m, f in enumerate(factors):
         if m == mode:
@@ -256,4 +313,4 @@ def _mttkrp_gather_chunk(tg, factors, mode, out, row_local):
         acc *= tg.values[:, None]
     return scatter_add(out, tg.ginds[:, mode], acc,
                        presorted=bool(tg.sorted_modes[mode]),
-                       row_local=row_local)
+                       row_local=row_local, backend=backend)

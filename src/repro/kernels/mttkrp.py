@@ -32,10 +32,12 @@ from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
 from ..obs import metrics, trace
-from ..parallel.executor import ExecutionReport, resolve_backend, run_tasks
+from ..parallel.executor import (ExecutionReport, TaskResult, resolve_backend,
+                                 run_tasks)
 from ..parallel.partition import balanced_ranges
 from ..parallel.privatize import PrivateBuffers
 from ..util.validation import check_factors, check_mode
+from .backends import resolve_kernel_backend
 from .gather import mttkrp_gather_chunk, scatter_add
 
 __all__ = ["MttkrpRun", "mttkrp", "mttkrp_parallel"]
@@ -98,8 +100,14 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
 
     ``backend`` — ``"sim"`` (sequential, individually timed tasks),
     ``"thread"`` (GIL-sharing thread pool; equivalent to the legacy
-    ``real_threads=True``), or ``"process"`` (true multicore over shared
-    memory; HiCOO only, see :mod:`repro.parallel.procpool`).
+    ``real_threads=True``), ``"process"`` (true multicore over shared
+    memory; HiCOO only, see :mod:`repro.parallel.procpool`), ``"numba"``
+    (fused machine-code kernels, ``prange`` over the plan's row-disjoint
+    tasks), or ``"cupy"`` (GPU segmented reductions over a device-resident
+    plan).  The compiled tiers are HiCOO-only and **degrade silently** to
+    the NumPy kernels when the dependency is absent (one warning, a
+    ``kernel.fallbacks`` counter bump, identical results) — see
+    :mod:`repro.kernels.backends` and :mod:`repro.kernels.compiled`.
 
     ``fault_policy`` — process backend only: ``"fail-fast"`` (default, the
     first worker fault propagates), ``"retry"`` (dead/hung workers are
@@ -114,6 +122,19 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     if nthreads < 1:
         raise ValueError(f"nthreads must be positive, got {nthreads}")
     backend = resolve_backend(backend, real_threads)
+    if backend in ("numba", "cupy"):
+        tier = resolve_kernel_backend(backend)
+        if tier == "numpy":
+            backend = "sim"  # tier unavailable: silent NumPy fallback
+        elif not isinstance(tensor, HicooTensor):
+            # the compiled tiers consume HiCOO plans; other formats take
+            # the NumPy path (same silent-degrade contract)
+            metrics.inc("kernel.fallbacks")
+            backend = "sim"
+        else:
+            return _parallel_hicoo_compiled(tensor, factors, mode, nthreads,
+                                            strategy, superblock_bits, plan,
+                                            tier)
     real_threads = backend == "thread"
 
     if backend == "process":
@@ -376,6 +397,49 @@ def _parallel_hicoo_planned(tensor, factors, mode, plan, real_threads):
                      thread_nnz=mp.thread_nnz.copy(),
                      reduction_flops=bufs.reduction_flops(), report=report,
                      scatter_backends=_backends_of(report))
+
+
+def _parallel_hicoo_compiled(tensor, factors, mode, nthreads, strategy,
+                             superblock_bits, plan, tier):
+    """Execute one mode's MTTKRP on a compiled tier (numba / cupy).
+
+    Reuses the plan layer end to end: the partition, strategies, and fused
+    gather arrays are exactly the sim/process backends' symbolic state;
+    only the numeric pass changes (one jitted kernel launch / one device
+    segmented reduction instead of per-task NumPy chunks).  Without a plan
+    one is built here — callers that iterate (CP-ALS) pass a plan so the
+    per-mode fused arrays and device uploads are paid once.
+    """
+    from .compiled import mttkrp_compiled, warmup_numba
+    from .plan import plan_mttkrp
+
+    if plan is None:
+        plan = plan_mttkrp(tensor, factors[0].shape[1], nthreads,
+                           superblock_bits=superblock_bits,
+                           strategy=strategy)
+    if tier == "numba":
+        # JIT compilation happens here, outside the kernel span, so the
+        # steady-state numbers never include it (recorded separately in
+        # the compiled.compile_seconds metric)
+        warmup_numba()
+    with trace.span("mttkrp.compiled", mode=mode, tier=tier,
+                    format=tensor.format_name, nthreads=plan.nthreads) as sp:
+        output, flavor, times = mttkrp_compiled(tensor, factors, mode,
+                                                plan, tier)
+        sp.note(flavor=flavor)
+    mp = plan.for_mode(mode)
+    report = ExecutionReport(backend=tier, results=[
+        TaskResult(tid=0, elapsed=times[0], value=flavor)])
+    run = MttkrpRun(output=output, strategy=mp.strategy,
+                    nthreads=plan.nthreads,
+                    thread_nnz=mp.thread_nnz.copy(),
+                    schedule=mp.schedule, report=report,
+                    scatter_backends=(flavor,) if flavor != "noop" else ())
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("mttkrp.parallel_calls")
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    return run
 
 
 def _parallel_hicoo_process(tensor, factors, mode, nthreads, strategy,

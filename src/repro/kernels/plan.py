@@ -49,6 +49,11 @@ class ModePlan:
     thread_nnz: Optional[np.ndarray] = None
     #: lazily-filled fused gather cache, one TaskGather per thread task
     gathers: Optional[List[TaskGather]] = None
+    #: compiled-tier state cached per mode: the concatenated kernel-ready
+    #: arrays ("fused") and, for the GPU tier, the device arena ("arena") —
+    #: built once per plan and reused by every CP-ALS iteration (see
+    #: :mod:`repro.kernels.compiled`)
+    compiled: dict = field(default_factory=dict)
 
     @property
     def thread_blocks(self) -> List[List[int]]:

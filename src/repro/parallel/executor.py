@@ -36,8 +36,13 @@ from ..obs import metrics, trace
 __all__ = ["TaskResult", "ExecutionReport", "run_tasks", "resolve_backend",
            "BACKENDS"]
 
-#: the selectable execution backends
-BACKENDS = ("sim", "thread", "process")
+#: the selectable execution backends.  The compiled tiers ("numba",
+#: "cupy") run tasks in-process like "sim" — their parallelism lives
+#: *inside* the jitted/device kernels (prange over row-disjoint tasks,
+#: device-wide segmented reductions), not across Python callables — and
+#: they degrade silently to the NumPy kernels when the dependency is
+#: absent (see :mod:`repro.kernels.backends`).
+BACKENDS = ("sim", "thread", "process", "numba", "cupy")
 
 
 @dataclass
@@ -124,6 +129,15 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
         from .supervisor import FaultConfig
 
         FaultConfig.resolve(fault_policy)
+
+    if backend in ("numba", "cupy"):
+        from ..kernels.backends import resolve_kernel_backend
+
+        # generic callables cannot be jitted from here; the region runs
+        # in-process (kernel-level parallelism happens inside the tasks),
+        # and an unavailable tier is recorded as the numpy fallback
+        if resolve_kernel_backend(backend) == "numpy":
+            backend = "sim"
 
     report = ExecutionReport(real_threads=(backend == "thread"),
                              backend=backend)

@@ -27,7 +27,8 @@ from ..analysis.traffic import mttkrp_work
 from ..core.hicoo import HicooTensor
 from ..formats.base import SparseTensorFormat
 
-__all__ = ["GpuProfile", "predict_gpu_mttkrp", "gpu_speedup_over_coo"]
+__all__ = ["GpuProfile", "predict_gpu_mttkrp", "gpu_speedup_over_coo",
+           "measured_vs_predicted"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,19 @@ class GpuProfile:
     atomic_throughput: float = 2.0e9
     coalesced_fraction: float = 1.0
     scattered_fraction: float = 0.25
+
+    @classmethod
+    def cpu_jit(cls, cores: int = 4) -> "GpuProfile":
+        """The same roofline shape fitted to a multicore CPU running the
+        fused Numba kernels: DDR-class bandwidth, per-core FMA throughput,
+        and cheap "atomics" (the lock-free schedule never issues any, so
+        the term only prices privatized reductions).  Used to predict the
+        compiled CPU tier so its measured times can falsify the model
+        (see :func:`measured_vs_predicted`).
+        """
+        return cls(bandwidth=12.0e9 * cores, flops=8.0e9 * cores,
+                   atomic_throughput=50.0e6 * cores,
+                   coalesced_fraction=1.0, scattered_fraction=0.5)
 
     def __post_init__(self):
         for name in ("bandwidth", "flops", "atomic_throughput"):
@@ -97,6 +111,31 @@ def predict_gpu_mttkrp(tensor: SparseTensorFormat, mode: int, rank: int,
         memory_seconds=memory,
         atomic_seconds=atomics,
     )
+
+
+def measured_vs_predicted(tensor: SparseTensorFormat, rank: int,
+                          gpu: GpuProfile, measured_seconds: dict) -> list:
+    """Join measured per-mode kernel times against the model's predictions.
+
+    ``measured_seconds`` maps mode → steady-state seconds (compile/upload
+    excluded; those are tracked by the ``compiled.*`` metrics).  Returns
+    one row per mode with the prediction breakdown and the
+    measured/predicted ratio — the number that makes the analytic model
+    falsifiable: a ratio far from 1 on a tier the model claims to cover
+    means the profile's rates (not the measurement) need revisiting.
+    """
+    rows = []
+    for mode, secs in sorted(measured_seconds.items()):
+        pred = predict_gpu_mttkrp(tensor, mode, rank, gpu)
+        rows.append({
+            "mode": mode,
+            "measured_s": float(secs),
+            "predicted_s": pred.seconds,
+            "ratio": float(secs) / pred.seconds if pred.seconds else
+            float("inf"),
+            "bound": pred.bound,
+        })
+    return rows
 
 
 def gpu_speedup_over_coo(suite: dict, rank: int, gpu: GpuProfile) -> dict:

@@ -17,6 +17,7 @@ written by ``convert``) inputs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -240,6 +241,31 @@ def cmd_reorder(args) -> int:
     return 0
 
 
+def cmd_info(args) -> int:
+    """Report versions, kernel-tier availability, and execution backends."""
+    import platform
+
+    from .. import __version__ as repro_version
+    from ..kernels.backends import KERNEL_TIERS, detect_tiers
+    from ..parallel.executor import BACKENDS
+
+    tiers = detect_tiers(refresh=True)
+    print(f"repro     : {repro_version}")
+    print(f"python    : {platform.python_version()}")
+    print(f"numpy     : {np.__version__}")
+    print(f"cores     : {os.cpu_count()}")
+    print("kernel tiers:")
+    for name in KERNEL_TIERS:
+        info = tiers[name]
+        if info.available:
+            ver = f" ({info.version})" if info.version else ""
+            print(f"  {name:<6s}: available{ver}")
+        else:
+            print(f"  {name:<6s}: unavailable — {info.reason}")
+    print(f"execution backends: {', '.join(BACKENDS)}")
+    return 0
+
+
 def cmd_dataset(args) -> int:
     if args.name not in REGISTRY:
         raise SystemExit(
@@ -291,11 +317,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_storage)
 
     def add_backend(p):
-        p.add_argument("--backend", choices=["sim", "thread", "process"],
+        p.add_argument("--backend",
+                       choices=["sim", "thread", "process", "numba", "cupy"],
                        default="sim",
                        help="parallel backend: 'sim' (sequential, per-task "
-                            "timing), 'thread' (GIL-sharing pool), or "
-                            "'process' (true multicore over shared memory)")
+                            "timing), 'thread' (GIL-sharing pool), "
+                            "'process' (true multicore over shared memory), "
+                            "'numba' (fused JIT kernels; pip install "
+                            ".[jit]), or 'cupy' (GPU; pip install .[gpu]). "
+                            "Compiled tiers fall back to NumPy when the "
+                            "dependency is absent — see 'hicoo-repro info'")
         p.add_argument("--fault-policy",
                        choices=["fail-fast", "retry", "degrade"],
                        default="fail-fast",
@@ -354,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iterations", type=int, default=2,
                    help="lexi-order rounds")
     p.set_defaults(func=cmd_reorder)
+
+    p = sub.add_parser("info", help="versions and kernel-tier availability")
+    add_obs(p)
+    p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("dataset", help="emit a registry analog as .tns")
     p.add_argument("name", help="registry name (e.g. deli, uber)")

@@ -26,9 +26,18 @@ import pytest
 
 from repro.core.hicoo import HicooTensor
 from repro.formats.coo import CooTensor
+from repro.kernels.backends import tier_available, tier_reason
 from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
 from repro.parallel import procpool
+
+#: the compiled tiers, each parametrized with a *visible* skip reason when
+#: its dependency is absent (CI's default jobs show exactly why)
+COMPILED_TIERS = [
+    pytest.param(t, marks=pytest.mark.skipif(
+        not tier_available(t), reason=tier_reason(t) or f"{t} unavailable"))
+    for t in ("numba", "cupy")
+]
 
 #: ULP budget for paths that reassociate row reductions: the oracle may
 #: accumulate a row with sequential ``bincount`` while a parallel task uses
@@ -204,6 +213,73 @@ def test_process_backend_rejects_non_hicoo():
     factors = [rng.random((s, 3)) for s in coo.shape]
     with pytest.raises(ValueError, match="process"):
         mttkrp_parallel(coo, factors, 0, 2, backend="process")
+
+
+# ----------------------------------------------------------------------
+# compiled tiers (numba / cupy): fuzz vs the sequential oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("tier", COMPILED_TIERS)
+@pytest.mark.parametrize("seed", range(12))
+def test_compiled_tier_matches_oracle(tier, seed):
+    """Differential fuzz of the compiled tiers: orders 3-5, uniform /
+    skewed / hyper-sparse regimes, both strategies, 8-ULP budget."""
+    coo = _random_coo(300 + seed)
+    hic = HicooTensor(coo, block_bits=2 + seed % 3)
+    rng = np.random.default_rng(4000 + seed)
+    rank = int(rng.integers(2, 9))
+    factors = [rng.random((s, rank)) + 0.1 for s in coo.shape]
+    nthreads = 2 + seed % 3
+    for strategy in ("schedule", "privatize"):
+        plan = plan_mttkrp(hic, rank, nthreads, strategy=strategy)
+        for mode in range(coo.nmodes):
+            oracle = mttkrp(hic, factors, mode)
+            for repeat in range(2):  # repeat 1 = warm fused/device caches
+                run = mttkrp_parallel(hic, factors, mode, nthreads,
+                                      plan=plan, backend=tier)
+                assert run.report.backend == tier
+                _check_against_oracle(
+                    run.output, oracle,
+                    f"seed={seed} mode={mode} {tier}/{strategy} "
+                    f"repeat={repeat}")
+
+
+@pytest.mark.parametrize("tier", COMPILED_TIERS)
+def test_compiled_tier_unplanned_and_empty(tier):
+    coo = _random_coo(777)
+    hic = HicooTensor(coo, block_bits=3)
+    rng = np.random.default_rng(777)
+    factors = [rng.random((s, 4)) + 0.1 for s in coo.shape]
+    oracle = mttkrp(hic, factors, 0)
+    run = mttkrp_parallel(hic, factors, 0, 2, backend=tier)  # plan built ad hoc
+    _check_against_oracle(run.output, oracle, f"{tier} unplanned")
+
+    empty = HicooTensor(CooTensor((8, 8, 8), np.empty((0, 3), dtype=np.int64),
+                                  np.empty(0), sum_duplicates=False),
+                        block_bits=2)
+    ones = [np.ones((8, 3)) for _ in range(3)]
+    run = mttkrp_parallel(empty, ones, 0, 2, backend=tier)
+    assert np.array_equal(run.output, np.zeros((8, 3)))
+    CASES["count"] += 1
+
+
+# ----------------------------------------------------------------------
+# compiled-tier *requests* must be safe everywhere: when the dependency is
+# absent these exercise the silent NumPy fallback (and always run)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("tier", ["numba", "cupy"])
+def test_compiled_request_always_matches_oracle(tier, seed):
+    coo = _random_coo(400 + seed)
+    hic = HicooTensor(coo, block_bits=2 + seed % 3)
+    rng = np.random.default_rng(5000 + seed)
+    factors = [rng.random((s, 5)) + 0.1 for s in coo.shape]
+    for mode in range(coo.nmodes):
+        oracle = mttkrp(hic, factors, mode)
+        run = mttkrp_parallel(hic, factors, mode, 2, backend=tier)
+        _check_against_oracle(run.output, oracle,
+                              f"seed={seed} mode={mode} request={tier}")
+        expected = tier if tier_available(tier) else "sim"
+        assert run.report.backend == expected
 
 
 # ----------------------------------------------------------------------
