@@ -10,6 +10,7 @@ The measured part times the real parallel kernels (strategy dispatch +
 per-thread execution) on the timed subset.
 """
 
+import functools
 import os
 
 import numpy as np
@@ -18,6 +19,8 @@ import pytest
 from repro.analysis.model import speedup_over_coo
 from repro.analysis.report import render_table
 from repro.core.hicoo import HicooTensor
+from repro.formats.alto import AltoTensor
+from repro.formats.coo import CooTensor
 from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
 
@@ -29,6 +32,9 @@ from legacy import legacy_parallel_hicoo
 #: file holding the true-multicore wall-clock records (kept separate from
 #: BENCH_mttkrp.json because these numbers are core-count dependent)
 PROC_BENCH_FILE = "BENCH_mttkrp_proc.json"
+
+#: file holding the ALTO-vs-HiCOO records on the skewed + regular suites
+ALTO_BENCH_FILE = "BENCH_alto.json"
 
 
 def test_e5_parallel_speedup_figure(machine, benchmark):
@@ -181,6 +187,106 @@ def test_bench_json_process():
         assert r["time_s"] > 0
 
 
+# ----------------------------------------------------------------------
+# ALTO vs HiCOO: skewed/hyper-sparse synthetics + the regular registry suite
+# ----------------------------------------------------------------------
+#: skewed/hyper-sparse synthetic regime — nonzeros scatter across a huge,
+#: unevenly-populated index space, so HiCOO degenerates to ~1-nnz blocks
+#: and its per-call superblock schedule dominates; ALTO's equal-nnz
+#: partition over linearized keys is structure-oblivious
+ALTO_SKEWED_SUITE = ("zipf", "hyper", "tail")
+#: regular regime — the registry tensors HiCOO was designed for (parity gate)
+ALTO_REGULAR_SUITE = tuple(TIMED_DATASETS)
+
+
+def _skewed_coo(shape, nnz, seed, a=1.3):
+    """Hyper-sparse COO with a Zipf-skewed mode 0 (a few hot rows)."""
+    rng = np.random.default_rng(seed)
+    r = np.minimum((rng.zipf(a, nnz) - 1) % shape[0], shape[0] - 1)
+    idx = np.stack([r] + [rng.integers(0, s, nnz) for s in shape[1:]],
+                   axis=1)
+    return CooTensor(shape, idx, rng.standard_normal(nnz).astype(np.float32))
+
+
+@functools.lru_cache(maxsize=None)
+def alto_dataset(name: str):
+    """Tensor behind one ALTO-suite name: synthetic regimes + registry."""
+    if name == "zipf":   # skewed rows, mid-size modes
+        return _skewed_coo((200000, 8000, 800), 60000, seed=21)
+    if name == "hyper":  # uniformly hyper-sparse: nnz << volume
+        rng = np.random.default_rng(22)
+        shape, nnz = (100000, 50000, 20000), 50000
+        idx = np.stack([rng.integers(0, s, nnz) for s in shape], axis=1)
+        return CooTensor(shape, idx,
+                         rng.standard_normal(nnz).astype(np.float32))
+    if name == "tail":   # long-tailed mode 0 with tiny trailing modes
+        return _skewed_coo((500000, 300, 40), 40000, seed=23, a=1.1)
+    return dataset(name)
+
+
+def bench_alto(nthreads: int = 4, repeat: int = 5):
+    """Warm unplanned parallel MTTKRP, ALTO vs HiCOO, both suites.
+
+    The unplanned dispatch is what one-shot callers (and the tuner's
+    auto-pick) pay per call; warmup fills each format's memoized caches so
+    the numbers isolate steady-state dispatch + kernel cost.
+    """
+    records = []
+    for suite, names in (("skewed", ALTO_SKEWED_SUITE),
+                         ("regular", ALTO_REGULAR_SUITE)):
+        for name in names:
+            coo = alto_dataset(name)
+            rng = np.random.default_rng(0)
+            factors = [rng.random((s, RANK)) for s in coo.shape]
+            tensors = {"hicoo": HicooTensor(coo, block_bits=BENCH_BLOCK_BITS),
+                       "alto": AltoTensor(coo)}
+            for fmt, tensor in tensors.items():
+                t = best_time(
+                    lambda t=tensor: mttkrp_parallel(t, factors, 0, nthreads,
+                                                     "schedule"),
+                    repeat=repeat)
+                records.append({
+                    "op": "mttkrp_alto", "format": fmt,
+                    "strategy": "schedule", "dataset": name,
+                    "variant": "unplanned", "suite": suite, "nnz": coo.nnz,
+                    "rank": RANK, "nthreads": nthreads, "time_s": t,
+                })
+    return records
+
+
+def alto_speedups(records, suite: str):
+    """Per-dataset HiCOO/ALTO time ratios for one suite (>1 = ALTO wins)."""
+    by = {(r["dataset"], r["format"]): r["time_s"]
+          for r in records if r.get("suite") == suite}
+    return {name: by[(name, "hicoo")] / by[(name, "alto")]
+            for name in sorted({k[0] for k in by})
+            if (name, "alto") in by and (name, "hicoo") in by}
+
+
+def alto_geomean(records, suite: str) -> float:
+    import math
+
+    speeds = alto_speedups(records, suite)
+    if not speeds:
+        return float("nan")
+    return math.exp(sum(math.log(s) for s in speeds.values()) / len(speeds))
+
+
+def test_bench_json_alto():
+    """ALTO-vs-HiCOO records -> BENCH_alto.json.
+
+    Always records; the >= 1.3x skewed-suite floor and the >= 0.95x
+    regular-suite parity gate are enforced by ``check_regression.py``.
+    """
+    records = bench_alto(nthreads=4)
+    write_bench_json(records, ALTO_BENCH_FILE)
+    for suite in ("skewed", "regular"):
+        print(f"alto-vs-hicoo {suite} suite: {alto_speedups(records, suite)} "
+              f"(geomean {alto_geomean(records, suite):.2f}x)")
+    for r in records:
+        assert r["time_s"] > 0
+
+
 def main(argv=None) -> int:
     """Script mode: ``python benchmarks/bench_mttkrp_par.py --backend process``."""
     import argparse
@@ -191,7 +297,20 @@ def main(argv=None) -> int:
                         default="process", help="parallel backend to time")
     parser.add_argument("--nworkers", type=int, default=4)
     parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument("--alto", action="store_true",
+                        help="run the ALTO-vs-HiCOO suite instead of the "
+                             "process-backend bench")
     args = parser.parse_args(argv)
+
+    if args.alto:
+        records = bench_alto(nthreads=args.nworkers, repeat=args.repeat)
+        path = write_bench_json(records, ALTO_BENCH_FILE)
+        for suite in ("skewed", "regular"):
+            for name, speed in alto_speedups(records, suite).items():
+                print(f"  {suite:<8s} {name:<6s} hicoo/alto {speed:.2f}x")
+            print(f"  {suite} geomean: {alto_geomean(records, suite):.2f}x")
+        print(f"[records in {path}]")
+        return 0
 
     records = bench_process_backend(nworkers=args.nworkers,
                                     repeat=args.repeat,

@@ -63,6 +63,25 @@ MIN_GATHER_HIT_RATE = 0.5
 #: and recorded in its own bench record / the compiled.* metrics)
 JIT_SPEEDUP_FLOOR = 2.0
 
+#: ALTO-vs-HiCOO geomean floors on the warm unplanned parallel dispatch:
+#: the skewed/hyper-sparse suite is where HiCOO's superblock schedule
+#: degenerates and ALTO must win; the regular registry suite only needs
+#: parity (HiCOO keeps its home-turf advantage there)
+ALTO_SPEEDUP_FLOOR = 1.3
+ALTO_PARITY_FLOOR = 0.95
+
+#: every bench file a guard family can contribute; ``--summary`` renders a
+#: visible SKIP row (instead of silently omitting the file) when a guard's
+#: optional dependency or benchmark run is absent
+EXPECTED_BENCH_FILES = {
+    "BENCH_mttkrp.json": "run bench_mttkrp_seq.py / bench_mttkrp_par.py",
+    "BENCH_mttkrp_proc.json": "run bench_mttkrp_par.py --backend process",
+    "BENCH_mttkrp_jit.json": "requires numba (jit-smoke job)",
+    "BENCH_convert.json": "run bench_convert.py",
+    "BENCH_gather.json": "run bench_gather.py",
+    "BENCH_alto.json": "run bench_mttkrp_par.py --alto",
+}
+
 
 def best_of(fn, repeat=REPEAT):
     best = float("inf")
@@ -300,15 +319,76 @@ def check_compiled_tier() -> bool:
     return ok
 
 
+def check_alto() -> bool:
+    """Guard the ALTO format: bitwise correctness + the suite speed floors.
+
+    * sequential and parallel-schedule ALTO MTTKRP must be *bit-identical*
+      to the sequential COO oracle (``np.add.at`` in original input order)
+      on every mode — ALTO pins its scatters to that order, so any drift
+      means the sequential-scatter contract broke;
+    * warm unplanned parallel dispatch must reach ALTO_SPEEDUP_FLOOR
+      geomean over HiCOO on the skewed/hyper-sparse suite and
+      ALTO_PARITY_FLOOR on the regular registry suite.
+    """
+    from bench_mttkrp_par import (ALTO_BENCH_FILE, alto_dataset, alto_geomean,
+                                  alto_speedups, bench_alto)
+    from conftest import write_bench_json
+    from repro.formats.alto import AltoTensor
+    from repro.formats.coo import _row_products
+
+    ok = True
+    coo = alto_dataset("zipf")
+    alto = AltoTensor(coo)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, RANK)) for s in coo.shape]
+    for mode in range(coo.nmodes):
+        oracle = np.zeros((coo.shape[mode], RANK))
+        acc = coo.values[:, None] * _row_products(factors, coo.indices, mode)
+        np.add.at(oracle, coo.indices[:, mode], acc)
+        if not np.array_equal(alto.mttkrp(factors, mode), oracle):
+            print(f"FAIL: mode {mode}: sequential ALTO differs bitwise "
+                  "from the COO oracle")
+            ok = False
+        par = mttkrp_parallel(alto, factors, mode, NTHREADS,
+                              strategy="schedule").output
+        if not np.array_equal(par, oracle):
+            print(f"FAIL: mode {mode}: parallel ALTO (schedule) differs "
+                  "bitwise from the COO oracle")
+            ok = False
+    if ok:
+        print(f"  alto == COO oracle (bitwise) on all {coo.nmodes} modes, "
+              "sequential + schedule")
+
+    records = bench_alto(nthreads=NTHREADS, repeat=REPEAT)
+    write_bench_json(records, ALTO_BENCH_FILE)
+    for suite, floor in (("skewed", ALTO_SPEEDUP_FLOOR),
+                         ("regular", ALTO_PARITY_FLOOR)):
+        for name, s in alto_speedups(records, suite).items():
+            print(f"  {suite:<8s} {name:<6s} hicoo/alto: {s:.2f}x")
+        geomean = alto_geomean(records, suite)
+        if geomean < floor:
+            print(f"FAIL: alto {suite}-suite geomean {geomean:.2f}x < "
+                  f"{floor}x floor")
+            ok = False
+        else:
+            print(f"  {suite} geomean {geomean:.2f}x >= {floor}x floor")
+    return ok
+
+
 def summarize() -> int:
     """Markdown geomean table over the recorded bench JSON (no timing runs).
 
     One row per (file, op, variant): the geometric mean of ``time_s``
-    across datasets/strategies, plus the record count behind it.
+    across datasets/strategies, plus the record count behind it.  Expected
+    files with no recorded results get a visible SKIP row so a guard whose
+    optional dependency (numba, cupy) or bench run is absent is never
+    silently dropped from the table.
     """
     results_dir = Path(__file__).parent / "results"
     files = sorted(results_dir.glob("BENCH_*.json"))
-    if not files:
+    missing = [name for name in sorted(EXPECTED_BENCH_FILES)
+               if not (results_dir / name).exists()]
+    if not files and not missing:
         print(f"no BENCH_*.json under {results_dir} — run the benches first")
         return 0
     print("### Benchmark geomeans\n")
@@ -326,6 +406,11 @@ def summarize() -> int:
             gm = math.exp(sum(math.log(t) for t in times) / len(times))
             print(f"| {path.name} | {op} | {variant} | {len(times)} | "
                   f"{gm * 1e3:.2f} ms |")
+        if not groups:
+            print(f"| {path.name} | — | — | 0 | SKIP (no timed records) |")
+    for name in missing:
+        print(f"| {name} | — | — | 0 | "
+              f"SKIP ({EXPECTED_BENCH_FILES[name]}) |")
     return 0
 
 
@@ -390,7 +475,14 @@ def main() -> int:
               + (" is correct and meets the speedup floor"
                  if tier_available("numba")
                  else " check skipped (no numba)"))
-    return 0 if ok and conv_ok and cache_ok and proc_ok and jit_ok else 1
+
+    print("alto format (skewed + regular suites):")
+    alto_ok = check_alto()
+    if alto_ok:
+        print("OK: alto is bit-identical to the COO oracle and meets "
+              "both suite floors")
+    return (0 if ok and conv_ok and cache_ok and proc_ok and jit_ok
+            and alto_ok else 1)
 
 
 if __name__ == "__main__":

@@ -11,9 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.hicoo import HicooTensor
 from ..core.scheduler import schedule_mode
 from ..core.superblock import build_superblocks
+from ..formats.alto import AltoTensor
 from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
@@ -22,12 +25,19 @@ from .traffic import mttkrp_work
 
 __all__ = [
     "FormatTimings",
+    "FormatStats",
+    "PROBE_BLOCK_BITS",
     "predict_mttkrp",
     "predict_all_modes",
     "speedup_over_coo",
     "thread_scaling",
     "build_format_suite",
+    "format_stats",
 ]
+
+#: block size probed when summarizing a tensor's blocking behaviour for the
+#: format chooser: 2^4 = 16 per mode, the middle of HiCOO's useful range.
+PROBE_BLOCK_BITS = 4
 
 
 @dataclass
@@ -100,12 +110,68 @@ def predict_all_modes(tensor: SparseTensorFormat, rank: int, machine: Machine,
 
 def build_format_suite(coo: CooTensor, block_bits: int = 7,
                        mode_order: Optional[Sequence[int]] = None) -> Dict[str, SparseTensorFormat]:
-    """The three competing instances of one tensor: COO, CSF, HiCOO."""
+    """The four competing instances of one tensor: COO, CSF, HiCOO, ALTO."""
     return {
         "coo": coo,
         "csf": CsfTensor(coo, mode_order=mode_order),
         "hicoo": HicooTensor(coo, block_bits=block_bits),
+        "alto": AltoTensor(coo),
     }
+
+
+@dataclass(frozen=True)
+class FormatStats:
+    """Structural summary a format decision can be made from.
+
+    Recorded once per tensor (one O(nnz log nnz) pass), then
+    :func:`repro.core.tuner.choose_format` is a pure function of these
+    numbers — the same stats always produce the same pick.
+    """
+
+    nnz: int
+    nmodes: int
+    shape: tuple
+    #: block ratio nblocks/nnz at :data:`PROBE_BLOCK_BITS` — the paper's
+    #: alpha_b; small means dense blocks (HiCOO's regime), near 1 means
+    #: almost every nonzero sits alone in its block.
+    alpha_b: float
+    #: max over modes of (heaviest slice nnz / mean nonempty slice nnz);
+    #: 1 is perfectly uniform, large means a few slices dominate (the
+    #: skew that breaks row-disjoint superblock schedules).
+    mode_skew: float
+    #: max over modes of nnz / distinct (N-1)-mode fibers — how many
+    #: nonzeros share a fiber under the best root choice (CSF's regime
+    #: when well above 1).
+    fiber_reuse: float
+
+
+def format_stats(coo: CooTensor) -> FormatStats:
+    """Measure the nnz-distribution stats behind data-driven format choice.
+
+    Reuses the memoized :meth:`~repro.formats.coo.CooTensor.morton_context`
+    for the block count, so calling this before building HiCOO (the common
+    tuner path) costs one shared sort plus two O(nnz) passes.
+    """
+    nnz = coo.nnz
+    nmodes = coo.nmodes
+    if nnz == 0:
+        return FormatStats(nnz=0, nmodes=nmodes, shape=tuple(coo.shape),
+                           alpha_b=1.0, mode_skew=1.0, fiber_reuse=1.0)
+    alpha_b = coo.morton_context().nblocks(PROBE_BLOCK_BITS) / nnz
+    skew = 1.0
+    reuse = 1.0
+    for m in range(nmodes):
+        counts = np.bincount(coo.indices[:, m],
+                             minlength=coo.shape[m]).astype(np.float64)
+        nonempty = counts[counts > 0]
+        skew = max(skew, float(nonempty.max() / nonempty.mean()))
+        if nmodes > 1:
+            others = [i for i in range(nmodes) if i != m]
+            nfibers = len(np.unique(coo.indices[:, others], axis=0))
+            reuse = max(reuse, nnz / nfibers)
+    return FormatStats(nnz=nnz, nmodes=nmodes, shape=tuple(coo.shape),
+                       alpha_b=float(alpha_b), mode_skew=skew,
+                       fiber_reuse=float(reuse))
 
 
 def speedup_over_coo(coo: CooTensor, rank: int, machine: Machine,

@@ -32,6 +32,7 @@ from typing import Dict
 import numpy as np
 
 from ..core.hicoo import HicooTensor
+from ..formats.alto import AltoTensor
 from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
@@ -75,7 +76,8 @@ def mttkrp_work(tensor: SparseTensorFormat, mode: int, rank: int,
     ``parallel=True`` marks COO's scatter updates as atomic (the contended
     case the machine model charges for); sequential runs pay no atomics.
     """
-    if not isinstance(tensor, (HicooTensor, CsfTensor, CooTensor)):
+    if not isinstance(tensor, (HicooTensor, CsfTensor, CooTensor,
+                               AltoTensor)):
         raise TypeError(f"no work model for format {type(tensor).__name__}")
     mode = check_mode(mode, tensor.nmodes)
     if rank < 1:
@@ -84,6 +86,8 @@ def mttkrp_work(tensor: SparseTensorFormat, mode: int, rank: int,
         return _hicoo_work(tensor, mode, rank)
     if isinstance(tensor, CsfTensor):
         return _csf_work(tensor, mode, rank)
+    if isinstance(tensor, AltoTensor):
+        return _alto_work(tensor, mode, rank)
     if isinstance(tensor, CooTensor):
         return _coo_work(tensor, mode, rank, parallel)
     raise TypeError(f"no work model for format {type(tensor).__name__}")
@@ -141,6 +145,33 @@ def _distinct_rows_per_block(tensor: HicooTensor) -> np.ndarray:
         key = blk * np.int64(tensor.block_size) + tensor.einds[:, m].astype(np.int64)
         counts[m] = len(np.unique(key))
     return counts
+
+
+def _alto_work(tensor: AltoTensor, mode: int, rank: int) -> KernelWork:
+    """ALTO streams one W-word linearized key per nonzero (W = ceil of the
+    summed adaptive mode widths over 64), gathers like COO (no block-level
+    row reuse — the trade ALTO makes for zero grid overhead), and scatters
+    once per *distinct* output row because the mode view is row-sorted and
+    the equal-nnz partition is row-disjoint (no atomics, no privatization
+    copies on the schedule path)."""
+    n, nnz = tensor.nmodes, tensor.nnz
+    nwords = tensor.keys.shape[0] if nnz else 0
+    index_bytes = 8 * nwords * nnz + VALUE_BYTES * nnz
+    gather_bytes = (n - 1) * rank * FLOAT_BYTES * nnz
+    distinct = len(tensor.row_segments(mode))
+    scatter_bytes = 2 * distinct * rank * FLOAT_BYTES
+    flops = n * rank * nnz
+    return KernelWork(
+        flops=flops,
+        bytes_moved=index_bytes + gather_bytes + scatter_bytes,
+        atomic_updates=0,  # row-disjoint equal-nnz partition
+        detail={
+            "index_bytes": index_bytes,
+            "gather_bytes": gather_bytes,
+            "scatter_bytes": scatter_bytes,
+            "distinct_rows": float(distinct),
+        },
+    )
 
 
 def _csf_work(tensor: CsfTensor, mode: int, rank: int) -> KernelWork:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..analysis.model import predict_all_modes
+from ..analysis.model import FormatStats, format_stats, predict_all_modes
 from ..core.scheduler import choose_strategy, schedule_mode
 from ..core.superblock import build_superblocks
 from ..formats.coo import CooTensor
@@ -22,7 +22,58 @@ from ..parallel.machine import Machine
 from .blocking import MAX_BLOCK_BITS
 from .hicoo import HicooTensor
 
-__all__ = ["TunedConfig", "tune"]
+__all__ = ["TunedConfig", "choose_format", "tune"]
+
+# ----------------------------------------------------------------------
+# data-driven format selection (ISSUE 7 / ALTO paper section 6)
+# ----------------------------------------------------------------------
+#: below this many nonzeros every format's setup cost dwarfs the kernel;
+#: plain COO wins by not paying any.
+COO_NNZ_CEILING = 128
+
+#: alpha_b at the probe block size at or under which blocks are dense
+#: enough for HiCOO's compressed offsets + block locality to pay off.
+HICOO_ALPHA_CEILING = 0.5
+
+#: fiber reuse at or above which CSF's fiber tree factors out enough
+#: multiplies to win — provided the slice distribution is not so skewed
+#: that its per-fiber parallelism collapses (``CSF_SKEW_CEILING``).
+CSF_REUSE_FLOOR = 2.0
+CSF_SKEW_CEILING = 8.0
+
+
+def choose_format(coo: Optional[CooTensor] = None, *,
+                  stats: Optional[FormatStats] = None) -> str:
+    """Pick a storage format from nnz-distribution stats.
+
+    Pass a tensor (stats are measured via
+    :func:`repro.analysis.model.format_stats`) or recorded ``stats``
+    directly; given the same stats the choice is a pure function — no
+    timing, no randomness — so it is reproducible across runs and hosts.
+
+    Decision rule, first match wins:
+
+    1. ``nnz < COO_NNZ_CEILING`` -> ``"coo"`` (setup cost dominates);
+    2. ``alpha_b <= HICOO_ALPHA_CEILING`` -> ``"hicoo"`` (dense blocks:
+       the paper's compression + locality regime);
+    3. ``fiber_reuse >= CSF_REUSE_FLOOR`` and ``mode_skew <=
+       CSF_SKEW_CEILING`` -> ``"csf"`` (fiber tree pays, slices balanced);
+    4. otherwise -> ``"alto"`` (hyper-sparse and/or skewed: adaptive
+       linearization with equal-nnz partitioning is the only one of the
+       four whose load balance is independent of the nnz distribution).
+    """
+    if stats is None:
+        if coo is None:
+            raise ValueError("choose_format needs a tensor or stats")
+        stats = format_stats(coo.to_coo())
+    if stats.nnz < COO_NNZ_CEILING:
+        return "coo"
+    if stats.alpha_b <= HICOO_ALPHA_CEILING:
+        return "hicoo"
+    if (stats.fiber_reuse >= CSF_REUSE_FLOOR
+            and stats.mode_skew <= CSF_SKEW_CEILING):
+        return "csf"
+    return "alto"
 
 
 @dataclass

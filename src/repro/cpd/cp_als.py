@@ -63,7 +63,7 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
            seed: Optional[int] = None,
            callback: Optional[Callable[[int, float], None]] = None,
            plan=None, backend: Optional[str] = None,
-           fault_policy=None) -> CpAlsResult:
+           fault_policy=None, format: Optional[str] = None) -> CpAlsResult:
     """Compute a rank-``rank`` CP decomposition of ``tensor``.
 
     Parameters
@@ -99,11 +99,23 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
         ``supervisor.degradations`` metric and trace instant record each
         event).  Also accepts a
         :class:`repro.parallel.supervisor.FaultConfig`.
+    format : convert ``tensor`` to this storage format first (one of
+        :data:`repro.formats.FORMAT_NAMES`, or ``"auto"`` to let
+        :func:`repro.core.tuner.choose_format` pick from the tensor's nnz
+        distribution).  ``None`` (default) decomposes ``tensor`` as given.
     """
     if rank < 1:
         raise ValueError(f"rank must be positive, got {rank}")
     if maxiters < 1:
         raise ValueError(f"maxiters must be positive, got {maxiters}")
+    if format is not None:
+        from ..formats import as_format
+
+        if format == "auto":
+            from ..core.tuner import choose_format
+
+            format = choose_format(tensor.to_coo())
+        tensor = as_format(tensor, format)
     nmodes = tensor.nmodes
     rng = np.random.default_rng(seed)
 

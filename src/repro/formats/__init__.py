@@ -1,0 +1,46 @@
+"""Sparse tensor storage formats (COO, CSF, HiCOO, ALTO).
+
+Imports stay lazy inside :func:`as_format` so importing the package does not
+drag in the kernel layer (HiCOO lives in :mod:`repro.core.hicoo` for
+historical reasons but is addressable here by name like the rest).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FORMAT_NAMES", "as_format"]
+
+#: every first-class format, in presentation order
+FORMAT_NAMES = ("coo", "csf", "hicoo", "alto")
+
+
+def as_format(tensor, name: str, *, block_bits: int = None,
+              mode_order=None):
+    """Convert ``tensor`` (any format) to the format called ``name``.
+
+    ``block_bits`` applies to ``"hicoo"`` (default: the constructor's own),
+    ``mode_order`` to ``"csf"``.  Conversion goes through COO; a tensor
+    already in the requested format is returned unchanged when no
+    constructor arguments are given.
+    """
+    name = str(name).lower()
+    if name not in FORMAT_NAMES:
+        raise ValueError(
+            f"unknown format {name!r}; expected one of {FORMAT_NAMES}")
+    if tensor.format_name == name and block_bits is None and mode_order is None:
+        return tensor
+    coo = tensor.to_coo()
+    if name == "coo":
+        return coo
+    if name == "csf":
+        from .csf import CsfTensor
+
+        return CsfTensor(coo, mode_order=mode_order)
+    if name == "hicoo":
+        from ..core.hicoo import HicooTensor
+
+        if block_bits is None:
+            return HicooTensor(coo)
+        return HicooTensor(coo, block_bits=block_bits)
+    from .alto import AltoTensor
+
+    return AltoTensor(coo)

@@ -209,6 +209,34 @@ class CooTensor(SparseTensorFormat):
             metrics.inc("convert.context_hits")
         return ctx
 
+    def alto_context(self):
+        """Memoized :class:`~repro.formats.alto.AltoContext` — the adaptive
+        linearization shared by every :class:`AltoTensor` built from this
+        tensor.
+
+        When the per-mode bit widths are uniform the ALTO layout coincides
+        with the Morton layout, so the context is derived from
+        :meth:`morton_context` and conversion to *both* HiCOO and ALTO costs
+        a single encode + sort.  Treat the context's arrays as read-only.
+        """
+        from ..util.bitops import alto_widths
+        from .alto import AltoContext
+
+        cache = self.__dict__.setdefault("_convert_cache", {})
+        ctx = cache.get("alto")
+        if ctx is None:
+            metrics.inc("convert.alto_builds")
+            morton = None
+            if self.nnz and len(set(alto_widths(self._shape))) == 1:
+                morton = self.morton_context()
+            ctx = AltoContext(self, morton)
+            cache["alto"] = ctx
+            metrics.set_gauge("convert.cache_bytes",
+                              self.convert_cache_bytes())
+        else:
+            metrics.inc("convert.alto_hits")
+        return ctx
+
     def block_decomposition(self, block_bits: int):
         """Memoized block decomposition at ``block_bits`` (shared arrays).
 
@@ -228,7 +256,7 @@ class CooTensor(SparseTensorFormat):
         cache = self.__dict__.setdefault("_convert_cache", {})
         total = 0
         for key, entry in cache.items():
-            if key == "context":
+            if key in ("context", "alto"):
                 total += entry.nbytes()
             else:
                 total += entry.nbytes

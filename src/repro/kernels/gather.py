@@ -36,6 +36,7 @@ __all__ = [
     "SCATTER_COMPILED_MIN_N",
     "TaskGather",
     "scatter_add",
+    "scatter_add_sequential",
     "choose_scatter_backend",
     "coalesce_runs",
     "runs_from_block_ids",
@@ -174,6 +175,68 @@ def _segment_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray) -> None:
     out[idx[starts]] += sums
 
 
+def scatter_add_sequential(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
+                           backend: str | None = None) -> str:
+    """Scatter-add with a *pinned* summation order: left-to-right in input
+    order, per output row — bitwise-identical to ``np.add.at``.
+
+    :func:`scatter_add` is free to pick ``reduceat``-family backends whose
+    pairwise reductions round differently from a sequential loop, and its
+    choice depends on ``n`` and the output shape — so tiling one input
+    stream into chunks can change the result in the last ulp.  This variant
+    only ever uses backends that accumulate each row's updates one at a
+    time in array order (``np.add.at``, per-column ``np.bincount``, or the
+    jitted sequential loop of the numba tier), which makes the result
+    invariant under any row-disjoint chunking of the input.  The ALTO
+    format pins its scatters here so every backend and thread count
+    reproduces the COO oracle bit for bit (DESIGN.md section 13).
+
+    Writes only rows in ``[idx.min(), idx.max()]``; when ``out`` is shared
+    between concurrent tasks the caller must own that whole interval (the
+    equal-nnz ALTO partition cuts at row boundaries, so it does).
+    """
+    n = len(idx)
+    if n == 0:
+        return "noop"
+    choice = "add_at"
+    if backend == "numba" and n >= SCATTER_COMPILED_MIN_N:
+        from .backends import tier_available
+
+        if tier_available("numba"):
+            choice = "numba"
+    if choice == "numba":
+        from .compiled import scatter_add_compiled
+
+        scatter_add_compiled(out, idx, acc)
+    elif n > SCATTER_SMALL_N:
+        # bincount accumulates each bin sequentially in array order — same
+        # bits as add_at, much faster — but walks the whole local row span,
+        # so fall back to add_at when the span dwarfs the update count
+        lo = int(idx.min())
+        hi = int(idx.max()) + 1
+        if hi - lo <= _SPARSE_OUT_RATIO * n:
+            choice = "bincount"
+            local = idx - lo
+            span = hi - lo
+            if acc.ndim == 1:
+                out[lo:hi] += np.bincount(local, weights=acc,
+                                          minlength=span)
+            else:
+                for r in range(acc.shape[1]):
+                    out[lo:hi, r] += np.bincount(local, weights=acc[:, r],
+                                                 minlength=span)
+        else:
+            np.add.at(out, idx, acc)
+    else:
+        np.add.at(out, idx, acc)
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("scatter.calls")
+        reg.inc("scatter.updates", n)
+        reg.inc("scatter." + choice)
+    return choice
+
+
 # ----------------------------------------------------------------------
 # run coalescing (O(runs) task setup)
 # ----------------------------------------------------------------------
@@ -274,7 +337,8 @@ def build_task_gather(tensor, runs: Sequence[Tuple[int, int]]) -> TaskGather:
 # ----------------------------------------------------------------------
 def mttkrp_gather_chunk(tg: TaskGather, factors, mode: int, out: np.ndarray,
                         row_local: bool = False,
-                        backend: str | None = None) -> str:
+                        backend: str | None = None,
+                        scatter: str = "auto") -> str:
     """Pure-numeric MTTKRP of one task: gather, multiply, scatter-add.
 
     All symbolic work lives in ``tg``; this touches only factor values.
@@ -282,22 +346,26 @@ def mttkrp_gather_chunk(tg: TaskGather, factors, mode: int, out: np.ndarray,
     ``row_local`` is forwarded to :func:`scatter_add` (set it when ``out``
     is shared between concurrently running tasks); ``backend`` requests a
     compiled scatter tier for large-enough updates (see
-    :func:`choose_scatter_backend`).
+    :func:`choose_scatter_backend`).  ``scatter="seq"`` pins the
+    chunk-invariant left-to-right scatter of
+    :func:`scatter_add_sequential` (the ALTO bit-reproducibility
+    contract) instead of the adaptive ladder.
     """
     if tg.nnz == 0:
         return "noop"
     if trace.enabled():
         with trace.span("gather.chunk", mode=mode, nnz=tg.nnz):
             used = _mttkrp_gather_chunk(tg, factors, mode, out, row_local,
-                                        backend)
+                                        backend, scatter)
     else:
         used = _mttkrp_gather_chunk(tg, factors, mode, out, row_local,
-                                    backend)
+                                    backend, scatter)
     metrics.inc("mttkrp.nnz_processed", tg.nnz)
     return used
 
 
-def _mttkrp_gather_chunk(tg, factors, mode, out, row_local, backend=None):
+def _mttkrp_gather_chunk(tg, factors, mode, out, row_local, backend=None,
+                         scatter="auto"):
     acc = None
     for m, f in enumerate(factors):
         if m == mode:
@@ -311,6 +379,9 @@ def _mttkrp_gather_chunk(tg, factors, mode, out, row_local, backend=None):
         acc = np.repeat(tg.values[:, None], out.shape[1], axis=1)
     else:
         acc *= tg.values[:, None]
+    if scatter == "seq":
+        return scatter_add_sequential(out, tg.ginds[:, mode], acc,
+                                      backend=backend)
     return scatter_add(out, tg.ginds[:, mode], acc,
                        presorted=bool(tg.sorted_modes[mode]),
                        row_local=row_local, backend=backend)

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.hicoo import HicooTensor
 from ..core.scheduler import Schedule, choose_strategy, schedule_mode
 from ..core.superblock import build_superblocks
+from ..formats.alto import AltoTensor
 from ..formats.base import SparseTensorFormat
 from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
@@ -122,22 +123,32 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     if nthreads < 1:
         raise ValueError(f"nthreads must be positive, got {nthreads}")
     backend = resolve_backend(backend, real_threads)
+    kernel_tier = None
     if backend in ("numba", "cupy"):
         tier = resolve_kernel_backend(backend)
         if tier == "numpy":
             backend = "sim"  # tier unavailable: silent NumPy fallback
-        elif not isinstance(tensor, HicooTensor):
-            # the compiled tiers consume HiCOO plans; other formats take
-            # the NumPy path (same silent-degrade contract)
-            metrics.inc("kernel.fallbacks")
-            backend = "sim"
-        else:
+        elif isinstance(tensor, HicooTensor):
             return _parallel_hicoo_compiled(tensor, factors, mode, nthreads,
                                             strategy, superblock_bits, plan,
                                             tier)
+        elif isinstance(tensor, AltoTensor) and tier == "numba":
+            # ALTO's output-space tasks are row-disjoint, so the jitted
+            # scatter tier runs them unchanged: the region executes
+            # in-process (like HiCOO's compiled path) with compiled
+            # scatter-adds wherever they clear the crossover
+            kernel_tier = tier
+        else:
+            # the GPU tier consumes HiCOO device plans; other combinations
+            # take the NumPy path (same silent-degrade contract)
+            metrics.inc("kernel.fallbacks")
+            backend = "sim"
     real_threads = backend == "thread"
 
     if backend == "process":
+        if isinstance(tensor, AltoTensor):
+            return _parallel_alto_process(tensor, factors, mode, nthreads,
+                                          strategy, fault_policy)
         if not isinstance(tensor, HicooTensor):
             raise ValueError(
                 "backend='process' shares HiCOO structure arrays between "
@@ -162,6 +173,9 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
             else:
                 run = _parallel_hicoo(tensor, factors, mode, nthreads,
                                       strategy, superblock_bits, real_threads)
+        elif isinstance(tensor, AltoTensor):
+            run = _parallel_alto(tensor, factors, mode, nthreads, strategy,
+                                 real_threads, exec_backend=kernel_tier)
         elif isinstance(tensor, CsfTensor):
             run = _parallel_csf(tensor, factors, mode, nthreads, strategy,
                                 real_threads)
@@ -504,6 +518,155 @@ def _degrade_hicoo(tensor, factors, mode, nthreads, strategy,
         else:
             run = _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
                                   superblock_bits, real_threads)
+        sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("mttkrp.parallel_calls")
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    return run
+
+
+# ----------------------------------------------------------------------
+# ALTO
+# ----------------------------------------------------------------------
+def _slice_gather(tg, lo: int, hi: int):
+    """Contiguous slice of a mode view as a task-sized :class:`TaskGather`.
+
+    The arrays are views (no copy); the parent's sortedness flags carry
+    over (a slice of a sorted column is sorted — only the target-mode flag,
+    which is always ``True`` for a mode view, affects the scatter choice).
+    """
+    from .gather import TaskGather
+
+    return TaskGather(runs=((lo, hi),), ginds=tg.ginds[lo:hi],
+                      values=tg.values[lo:hi], sorted_modes=tg.sorted_modes)
+
+
+def _parallel_alto(tensor, factors, mode, nthreads, strategy,
+                   real_threads=False, exec_backend=None):
+    """Parallel MTTKRP over ALTO's linearized keys.
+
+    * ``"schedule"`` — the load-balanced default: the mode view (nonzeros
+      ordered by output row, ties in source order) is cut into equal-nnz
+      contiguous ranges on row-segment boundaries, so tasks own disjoint
+      output rows and share the output lock-free.  Per-row accumulation
+      order is independent of the partition, which keeps every task count
+      **bit-identical** to the sequential COO oracle.
+    * ``"privatize"`` — equal-nnz chunks of the raw key order into private
+      buffers plus one reduction (reassociates row sums; ULP-close only).
+
+    ``exec_backend="numba"`` routes the scatters through the compiled tier
+    (same tasks, jitted scatter-adds past the crossover).
+    """
+    if strategy == "auto":
+        strategy = "schedule"
+    if strategy not in ("schedule", "privatize"):
+        raise ValueError(
+            f"ALTO supports 'schedule' or 'privatize', got {strategy!r}")
+    rank = factors[0].shape[1]
+    rows = tensor.shape[mode]
+    scatter_backend = exec_backend if exec_backend == "numba" else None
+
+    if strategy == "schedule":
+        part = tensor.schedule(mode, nthreads)
+        view = tensor.mode_view(mode)
+        gathers = [_slice_gather(view, lo, hi) for lo, hi in part.ranges]
+        _observe_blocks(gathers)
+        out = np.zeros((rows, rank))
+
+        def make_task(tg):
+            def task():
+                return mttkrp_gather_chunk(tg, factors, mode, out,
+                                           row_local=True,
+                                           backend=scatter_backend,
+                                           scatter="seq")
+            return task
+
+        tasks = [make_task(tg) for tg in gathers]
+        report = run_tasks(tasks, real_threads=real_threads,
+                           backend=exec_backend)
+        return MttkrpRun(output=out, strategy="schedule", nthreads=nthreads,
+                         thread_nnz=part.thread_nnz.copy(), report=report,
+                         scatter_backends=_backends_of(report))
+
+    # privatize: equal-nnz chunks of the linearized order, private buffers
+    view = tensor.linear_view()
+    ranges = balanced_ranges(np.ones(tensor.nnz), nthreads)
+    thread_nnz = np.array([hi - lo for lo, hi in ranges], dtype=np.int64)
+    gathers = [_slice_gather(view, lo, hi) for lo, hi in ranges]
+    _observe_blocks(gathers)
+    bufs = PrivateBuffers.allocate(nthreads, rows, rank)
+
+    def make_task(tid, tg):
+        def task():
+            return mttkrp_gather_chunk(tg, factors, mode, bufs.view(tid),
+                                       backend=scatter_backend,
+                                       scatter="seq")
+        return task
+
+    tasks = [make_task(t, tg) for t, tg in enumerate(gathers)]
+    # private buffers are race-free, so the caller's thread mode is honored
+    report = run_tasks(tasks, real_threads=real_threads,
+                       backend=exec_backend)
+    return MttkrpRun(output=bufs.reduce(), strategy="privatize",
+                     nthreads=nthreads, thread_nnz=thread_nnz,
+                     reduction_flops=bufs.reduction_flops(), report=report,
+                     scatter_backends=_backends_of(report))
+
+
+def _parallel_alto_process(tensor, factors, mode, nthreads, strategy,
+                           fault_policy=None):
+    """True multicore ALTO MTTKRP: the equal-nnz row-disjoint partition
+    executed by the shared-memory process pool (see
+    :func:`repro.parallel.procpool.mttkrp_process_alto`).
+
+    Same degrade contract as the HiCOO path: an exhausted recovery budget
+    under ``fault_policy="degrade"`` re-runs the region in process on the
+    schedule strategy — identical partition and kernels, so the degraded
+    output is bit-identical.
+    """
+    from ..parallel.procpool import mttkrp_process_alto
+    from ..parallel.supervisor import DegradedExecution
+
+    try:
+        with trace.span("mttkrp.parallel", mode=mode, backend="process",
+                        format=tensor.format_name, nthreads=nthreads) as sp:
+            pr = mttkrp_process_alto(tensor, factors, mode, nthreads,
+                                     strategy=strategy,
+                                     fault_policy=fault_policy)
+            run = MttkrpRun(output=pr.output, strategy=pr.strategy,
+                            nthreads=pr.nworkers, thread_nnz=pr.thread_nnz,
+                            reduction_flops=pr.reduction_flops,
+                            schedule=pr.schedule, report=pr.report,
+                            scatter_backends=pr.scatter_backends)
+            sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
+    except DegradedExecution as exc:
+        return _degrade_alto(tensor, factors, mode, nthreads, strategy, exc)
+    reg = metrics.get_registry()
+    if reg.enabled:
+        reg.inc("mttkrp.parallel_calls")
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    return run
+
+
+def _degrade_alto(tensor, factors, mode, nthreads, strategy, exc) -> MttkrpRun:
+    """Finish an ALTO MTTKRP whose process region gave up, on the first
+    usable in-process fallback (same partition, same kernels — the result
+    matches what the process backend would have produced)."""
+    from ..util.log import get_logger
+
+    fallbacks = exc.config.fallback_backends or ("sim",)
+    backend = next((b for b in fallbacks if b in ("thread", "sim")), "sim")
+    get_logger("repro.supervisor").warning(
+        "process backend degraded to %r for mode %d: %s", backend, mode, exc)
+    metrics.inc("supervisor.degradations")
+    trace.instant("supervisor.degrade", mode=mode, fallback=backend,
+                  reason=str(exc))
+    with trace.span("mttkrp.parallel", mode=mode, backend=backend,
+                    format=tensor.format_name, nthreads=nthreads,
+                    degraded=True) as sp:
+        run = _parallel_alto(tensor, factors, mode, nthreads, strategy,
+                             real_threads=(backend == "thread"))
         sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
     reg = metrics.get_registry()
     if reg.enabled:

@@ -53,6 +53,7 @@ __all__ = [
     "get_pool",
     "shutdown_pools",
     "mttkrp_process",
+    "mttkrp_process_alto",
     "release_shared",
     "run_generic_tasks",
     "default_start_method",
@@ -281,7 +282,7 @@ def _worker_main(conn, worker_id: int) -> None:
                     time.sleep(directive.seconds)
             if kind == "mttkrp":
                 (_, _, handle, factor_specs, mode, runs,
-                 out_spec, row_local, want_trace, reset) = msg
+                 out_spec, row_local, scatter, want_trace, reset) = msg
                 if want_trace:
                     trace.enable(clear=True)
                 t0 = time.perf_counter()
@@ -303,7 +304,8 @@ def _worker_main(conn, worker_id: int) -> None:
                         else:
                             out[...] = 0.0
                     backend = mttkrp_gather_chunk(tg, factors, mode, out,
-                                                  row_local=row_local)
+                                                  row_local=row_local,
+                                                  scatter=scatter)
                 elapsed = time.perf_counter() - t0
                 events = None
                 if want_trace:
@@ -654,7 +656,8 @@ class SharedMttkrpSession:
     # -- execution -----------------------------------------------------
     def run_mode(self, pool: ProcPool, factors: Sequence[np.ndarray],
                  mode: int, thread_runs, strategy: str,
-                 timeout: Optional[float] = None, fault_config=None):
+                 timeout: Optional[float] = None, fault_config=None,
+                 scatter: str = "auto"):
         """One parallel MTTKRP over pre-partitioned block runs.
 
         Returns ``(output, report, backends)`` where ``output`` is an owned
@@ -697,7 +700,7 @@ class SharedMttkrpSession:
             def build(reset: bool) -> tuple:
                 return ("mttkrp", t, self.handle, self.factor_specs, mode,
                         tuple(tuple(r) for r in runs), target_spec,
-                        row_local, want_trace, reset)
+                        row_local, scatter, want_trace, reset)
             return build
 
         builders = {t: msg_builder(t, runs, targets[t][0])
@@ -788,11 +791,18 @@ def _session_for(tensor, nworkers: int) -> SharedMttkrpSession:
 
 
 def release_shared(tensor) -> None:
-    """Close and unlink every shared-memory session of ``tensor``."""
+    """Close and unlink every shared-memory session of ``tensor``.
+
+    ALTO tensors hold their sessions on per-mode proxy views
+    (:meth:`repro.formats.alto.AltoTensor.proc_view`); those are released
+    here too, so one call covers every format.
+    """
     sessions = tensor.__dict__.get("_proc_sessions") or {}
     for session in sessions.values():
         session.close()
     sessions.clear()
+    for view in (tensor.__dict__.get("_proc_views") or {}).values():
+        release_shared(view)
 
 
 # ----------------------------------------------------------------------
@@ -867,6 +877,78 @@ def mttkrp_process(tensor, factors: Sequence[np.ndarray], mode: int,
                       schedule=mp_.schedule, report=report,
                       scatter_backends=backends,
                       reduction_flops=reduction_flops)
+
+
+def mttkrp_process_alto(tensor, factors: Sequence[np.ndarray], mode: int,
+                        nworkers: int, strategy: str = "auto",
+                        start_method: Optional[str] = None,
+                        timeout: Optional[float] = None,
+                        fault_policy=None) -> ProcessRun:
+    """Parallel ALTO MTTKRP on real cores via the shared-memory pool.
+
+    The mode's output-space view rides the **unchanged** HiCOO worker path
+    through a duck-typed proxy (one ``bptr`` "block" per output-row
+    segment, all-zero ``binds``, ``block_bits=0`` — the worker's
+    ``(binds << b) + einds`` reconstruction returns the mode-sorted global
+    coordinates exactly).  Tasks are the same equal-nnz row-disjoint
+    segment ranges as the in-process schedule, so the shared-output region
+    is lock-free, reset-and-retry stays idempotent (a retried task zeroes
+    exactly the rows its ``ginds`` name), and the result is bit-identical
+    to the sim backend.
+
+    ``strategy="privatize"`` runs the same segment ranges into per-worker
+    slabs plus one parent reduction (ULP-equivalent, not bitwise).
+    """
+    from ..formats.alto import AltoTensor
+    from .supervisor import FaultConfig
+
+    if not isinstance(tensor, AltoTensor):
+        raise TypeError(
+            "mttkrp_process_alto needs an AltoTensor; got "
+            f"{type(tensor).__name__}")
+    if strategy == "auto":
+        strategy = "schedule"
+    if strategy not in ("schedule", "privatize"):
+        raise ValueError(
+            f"ALTO supports 'schedule' or 'privatize', got {strategy!r}")
+    fault_config = FaultConfig.resolve(fault_policy)
+    rank = factors[0].shape[1]
+    view = tensor.proc_view(mode)
+    bounds = view.bptr
+    seg_ranges = balanced_ranges_segments(bounds, nworkers)
+    thread_runs = [[(slo, shi)] for slo, shi in seg_ranges]
+    thread_nnz = np.array(
+        [int(bounds[shi] - bounds[slo]) for slo, shi in seg_ranges],
+        dtype=np.int64)
+
+    with trace.span("mttkrp.process", mode=mode, nworkers=nworkers,
+                    strategy=strategy, format="alto",
+                    fault_policy=fault_config.policy):
+        pool = get_pool(nworkers, start_method=start_method)
+        session = _session_for(view, nworkers)
+        output, report, backends = session.run_mode(
+            pool, factors, mode, thread_runs, strategy,
+            timeout=timeout, fault_config=fault_config, scatter="seq")
+    metrics.inc("procpool.calls")
+
+    reduction_flops = 0
+    if strategy != "schedule":
+        reduction_flops = (nworkers - 1) * tensor.shape[mode] * rank
+    return ProcessRun(output=output, strategy=strategy, nworkers=nworkers,
+                      thread_nnz=thread_nnz, schedule=None, report=report,
+                      scatter_backends=backends,
+                      reduction_flops=reduction_flops)
+
+
+def balanced_ranges_segments(bounds: np.ndarray, nparts: int):
+    """Equal-nnz contiguous split of segment space (``bounds`` = segment
+    boundary offsets, length nsegments+1) — the partition shared by the
+    in-process ALTO schedule and the process backend, so both cut tasks at
+    identical places."""
+    from .partition import balanced_ranges
+
+    weights = np.diff(bounds)
+    return balanced_ranges(weights, nparts)
 
 
 def run_generic_tasks(tasks, nworkers: Optional[int] = None,

@@ -106,11 +106,21 @@ def cmd_storage(args) -> int:
 
 def cmd_mttkrp(args) -> int:
     coo = _read_tensor(args.tensor)
-    # construct only the requested format (CSF/HiCOO builds cost a sort)
-    if args.format == "coo":
+    fmt = args.format
+    if fmt == "auto":
+        from ..core.tuner import choose_format
+
+        fmt = choose_format(coo)
+        print(f"auto format: {fmt}")
+    # construct only the requested format (CSF/HiCOO/ALTO builds cost a sort)
+    if fmt == "coo":
         tensor = coo
-    elif args.format == "csf":
+    elif fmt == "csf":
         tensor = CsfTensor(coo)
+    elif fmt == "alto":
+        from ..formats.alto import AltoTensor
+
+        tensor = AltoTensor(coo)
     else:
         bits = args.block_bits or best_block_bits(coo)
         tensor = HicooTensor(coo, block_bits=bits)
@@ -142,7 +152,7 @@ def cmd_mttkrp(args) -> int:
     else:
         out = result
         extra = ""
-    print(f"{args.format} MTTKRP mode={args.mode} R={args.rank}: "
+    print(f"{fmt} MTTKRP mode={args.mode} R={args.rank}: "
           f"{dt * 1e3:.2f} ms (warm x{args.warmup}), output {out.shape},"
           f" |out|_F={np.linalg.norm(out):.6g}{extra}")
     return 0
@@ -150,8 +160,12 @@ def cmd_mttkrp(args) -> int:
 
 def cmd_cpd(args) -> int:
     coo = _read_tensor(args.tensor)
-    bits = args.block_bits or best_block_bits(coo)
-    hic = HicooTensor(coo, block_bits=bits)
+    fmt = getattr(args, "format", "hicoo")
+    if fmt == "hicoo":
+        bits = args.block_bits or best_block_bits(coo)
+        hic = HicooTensor(coo, block_bits=bits)
+    else:
+        hic = coo  # cp_als converts via its format= kwarg
     if args.method == "apr":
         from ..cpd.cp_apr import cp_apr
 
@@ -165,7 +179,8 @@ def cmd_cpd(args) -> int:
     res = cp_als(hic, args.rank, maxiters=args.maxiters, tol=args.tol,
                  seed=args.seed, nthreads=args.threads,
                  backend=getattr(args, "backend", None),
-                 fault_policy=getattr(args, "fault_policy", None))
+                 fault_policy=getattr(args, "fault_policy", None),
+                 format=None if fmt == "hicoo" else fmt)
     for it, fit in enumerate(res.fits):
         print(f"iter {it + 1:3d}: fit = {fit:.6f}")
     print(f"converged={res.converged} "
@@ -242,10 +257,16 @@ def cmd_reorder(args) -> int:
 
 
 def cmd_info(args) -> int:
-    """Report versions, kernel-tier availability, and execution backends."""
+    """Report versions, kernel tiers, backends, and available formats.
+
+    With a tensor argument, also reports the format the tuner's
+    data-driven :func:`~repro.core.tuner.choose_format` would pick for it
+    (and the nnz-distribution stats the pick is made from).
+    """
     import platform
 
     from .. import __version__ as repro_version
+    from ..formats import FORMAT_NAMES
     from ..kernels.backends import KERNEL_TIERS, detect_tiers
     from ..parallel.executor import BACKENDS
 
@@ -263,6 +284,18 @@ def cmd_info(args) -> int:
         else:
             print(f"  {name:<6s}: unavailable — {info.reason}")
     print(f"execution backends: {', '.join(BACKENDS)}")
+    print(f"storage formats: {', '.join(FORMAT_NAMES)}")
+    if getattr(args, "tensor", None):
+        from ..analysis.model import format_stats
+        from ..core.tuner import choose_format
+
+        coo = _read_tensor(args.tensor)
+        stats = format_stats(coo)
+        print(f"tensor    : {args.tensor} "
+              f"({'x'.join(str(s) for s in coo.shape)}, nnz={coo.nnz})")
+        print(f"  alpha_b={stats.alpha_b:.3f} mode_skew={stats.mode_skew:.2f} "
+              f"fiber_reuse={stats.fiber_reuse:.2f}")
+        print(f"  tuner would pick: {choose_format(stats=stats)}")
     return 0
 
 
@@ -342,8 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-r", "--rank", type=int, default=16)
     p.add_argument("-m", "--mode", type=int, default=0)
     p.add_argument("-t", "--threads", type=int, default=1)
-    p.add_argument("-f", "--format", choices=["coo", "csf", "hicoo"],
-                   default="hicoo")
+    p.add_argument("-f", "--format",
+                   choices=["coo", "csf", "hicoo", "alto", "auto"],
+                   default="hicoo",
+                   help="storage format ('auto': pick from nnz stats via "
+                        "the tuner's choose_format)")
     p.add_argument("--warmup", type=int, default=1,
                    help="unrecorded warmup passes before the timed run")
     add_backend(p)
@@ -356,6 +392,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tol", type=float, default=1e-4)
     p.add_argument("-t", "--threads", type=int, default=1)
     p.add_argument("--method", choices=["als", "apr"], default="als")
+    p.add_argument("-f", "--format",
+                   choices=["coo", "csf", "hicoo", "alto", "auto"],
+                   default="hicoo",
+                   help="storage format for ALS ('auto': data-driven pick)")
     add_backend(p)
     p.set_defaults(func=cmd_cpd)
 
@@ -386,7 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lexi-order rounds")
     p.set_defaults(func=cmd_reorder)
 
-    p = sub.add_parser("info", help="versions and kernel-tier availability")
+    p = sub.add_parser("info", help="versions, kernel tiers, and formats")
+    p.add_argument("tensor", nargs="?", default=None,
+                   help="optional .tns/.hicoo file: also report which "
+                        "format the tuner would pick for it")
     add_obs(p)
     p.set_defaults(func=cmd_info)
 

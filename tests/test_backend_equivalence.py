@@ -25,6 +25,7 @@ import numpy as np
 import pytest
 
 from repro.core.hicoo import HicooTensor
+from repro.formats.alto import AltoTensor
 from repro.formats.coo import CooTensor
 from repro.kernels.backends import tier_available, tier_reason
 from repro.kernels.mttkrp import mttkrp, mttkrp_parallel
@@ -280,6 +281,123 @@ def test_compiled_request_always_matches_oracle(tier, seed):
                               f"seed={seed} mode={mode} request={tier}")
         expected = tier if tier_available(tier) else "sim"
         assert run.report.backend == expected
+
+
+# ----------------------------------------------------------------------
+# ALTO: every backend bit-identical to the sequential COO oracle
+# ----------------------------------------------------------------------
+def _coo_oracle(coo: CooTensor, factors, mode: int) -> np.ndarray:
+    """The sequential COO oracle: ``np.add.at`` in original input order.
+
+    This is the definitional MTTKRP semantics (each output row accumulates
+    its contributions one at a time, left to right in COO order).  ALTO
+    pins its scatters to the same order (``scatter_add_sequential``), so
+    its output must match *bitwise* on every backend and thread count —
+    not just within the ULP budget the reassociating HiCOO paths get.
+    """
+    from repro.formats.coo import _row_products
+
+    rank = factors[0].shape[1]
+    out = np.zeros((coo.shape[mode], rank))
+    if coo.nnz:
+        acc = coo.values[:, None] * _row_products(factors, coo.indices, mode)
+        np.add.at(out, coo.indices[:, mode], acc)
+    return out
+
+
+@pytest.mark.parametrize("seed", range(16))
+def test_alto_sim_and_thread_bitwise(seed):
+    coo = _random_coo(600 + seed)
+    alto = AltoTensor(coo)
+    rng = np.random.default_rng(6000 + seed)
+    rank = int(rng.integers(2, 9))
+    factors = [rng.random((s, rank)) + 0.1 for s in coo.shape]
+    nthreads = (2, 3, 5)[seed % 3]
+    for mode in range(coo.nmodes):
+        oracle = _coo_oracle(coo, factors, mode)
+        assert np.array_equal(alto.mttkrp(factors, mode), oracle), (
+            f"seed={seed} mode={mode}: sequential ALTO diverged bitwise")
+        CASES["count"] += 1
+        for backend in ("sim", "thread"):
+            run = mttkrp_parallel(alto, factors, mode, nthreads,
+                                  strategy="schedule", backend=backend)
+            assert np.array_equal(run.output, oracle), (
+                f"seed={seed} mode={mode} alto {backend}/schedule "
+                "diverged bitwise from the COO oracle")
+            CASES["count"] += 1
+        priv = mttkrp_parallel(alto, factors, mode, nthreads,
+                               strategy="privatize")
+        _check_against_oracle(priv.output, oracle,
+                              f"seed={seed} mode={mode} alto privatize")
+        # the format's own reduceat-based oracle stays ULP-close too
+        _check_against_oracle(coo.mttkrp(factors, mode), oracle,
+                              f"seed={seed} mode={mode} coo.mttkrp")
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_alto_process_backend_bitwise(seed):
+    coo = _random_coo(700 + seed)
+    alto = AltoTensor(coo)
+    rng = np.random.default_rng(7000 + seed)
+    rank = int(rng.integers(2, 7))
+    factors = [rng.random((s, rank)) + 0.1 for s in coo.shape]
+    nworkers = 2 + seed % 2
+    try:
+        for mode in range(coo.nmodes):
+            oracle = _coo_oracle(coo, factors, mode)
+            for repeat in range(2):  # second call exercises warm sessions
+                run = mttkrp_parallel(alto, factors, mode, nworkers,
+                                      strategy="schedule", backend="process")
+                assert run.report.backend == "process"
+                assert np.array_equal(run.output, oracle), (
+                    f"seed={seed} mode={mode} repeat={repeat}: alto process "
+                    "backend diverged bitwise from the COO oracle")
+                CASES["count"] += 1
+            priv = mttkrp_parallel(alto, factors, mode, nworkers,
+                                   strategy="privatize", backend="process")
+            _check_against_oracle(priv.output, oracle,
+                                  f"seed={seed} mode={mode} alto "
+                                  "process/privatize")
+    finally:
+        procpool.release_shared(alto)
+
+
+@pytest.mark.parametrize("tier", ["numba", "cupy"])
+@pytest.mark.parametrize("seed", range(6))
+def test_alto_compiled_request_bitwise(tier, seed):
+    """Compiled-tier requests stay bitwise: the numba scatter is a
+    sequential in-order loop (same summation order as the oracle) and an
+    unavailable tier — or cupy, which has no ALTO kernels yet — silently
+    runs the NumPy chunks."""
+    coo = _random_coo(800 + seed)
+    alto = AltoTensor(coo)
+    rng = np.random.default_rng(8000 + seed)
+    factors = [rng.random((s, 5)) + 0.1 for s in coo.shape]
+    for mode in range(coo.nmodes):
+        oracle = _coo_oracle(coo, factors, mode)
+        run = mttkrp_parallel(alto, factors, mode, 2, strategy="schedule",
+                              backend=tier)
+        assert np.array_equal(run.output, oracle), (
+            f"seed={seed} mode={mode} alto request={tier} diverged bitwise")
+        CASES["count"] += 1
+        expected = "numba" if tier == "numba" and tier_available("numba") \
+            else "sim"
+        assert run.report.backend == expected
+
+
+def test_alto_empty_tensor_all_backends():
+    coo = CooTensor((8, 8, 8), np.empty((0, 3), dtype=np.int64),
+                    np.empty(0), sum_duplicates=False)
+    alto = AltoTensor(coo)
+    factors = [np.ones((8, 3)) for _ in range(3)]
+    try:
+        assert np.array_equal(alto.mttkrp(factors, 0), np.zeros((8, 3)))
+        for backend in ("sim", "thread", "process"):
+            run = mttkrp_parallel(alto, factors, 0, 2, backend=backend)
+            assert np.array_equal(run.output, np.zeros((8, 3)))
+            CASES["count"] += 1
+    finally:
+        procpool.release_shared(alto)
 
 
 # ----------------------------------------------------------------------

@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.core.hicoo import HicooTensor
+from repro.formats.alto import AltoTensor
 from repro.formats.csf import CsfTensor
 from repro.formats.dense import DenseTensor
 from repro.kernels.mttkrp import mttkrp_parallel
@@ -22,6 +23,7 @@ STRATEGIES = {
     "coo": ["auto", "privatize", "atomic"],
     "hicoo": ["auto", "schedule", "privatize"],
     "csf": ["auto", "subtree", "privatize"],
+    "alto": ["auto", "schedule", "privatize"],
 }
 
 
@@ -31,6 +33,7 @@ def _suite(shape, nnz, block_bits, seed):
         "coo": coo,
         "hicoo": HicooTensor(coo, block_bits=block_bits),
         "csf": CsfTensor(coo),
+        "alto": AltoTensor(coo),
     }
 
 

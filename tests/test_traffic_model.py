@@ -135,7 +135,7 @@ class TestPredictions:
 
     def test_build_format_suite(self, small3d):
         suite = build_format_suite(small3d, block_bits=3)
-        assert set(suite) == {"coo", "csf", "hicoo"}
+        assert set(suite) == {"coo", "csf", "hicoo", "alto"}
         assert suite["hicoo"].block_bits == 3
 
     def test_predict_mttkrp_positive(self, small3d):
