@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI guard for the observability layer (see docs/observability.md).
 
-Three checks, any failure exits nonzero:
+Six checks, any failure exits nonzero:
 
 1. **Traced smoke** — runs a small CP-ALS through the real CLI with
    ``--trace``, then validates the emitted file against the Chrome
@@ -16,6 +16,17 @@ Three checks, any failure exits nonzero:
    emits, and fails if that overhead exceeds 3% of the measured MTTKRP
    median (the instrumentation must be effectively free when tracing is
    off).
+4. **Exporter scrape** — starts the OpenMetrics HTTP server, runs CP-ALS
+   under two formats and two backends (one of them the process backend),
+   scrapes ``/metrics`` mid-run, and requires the exposition to validate
+   against the bundled OpenMetrics parser with labeled series for >= 2
+   formats, >= 2 backends, and merged ``worker="proc-N"`` series shipped
+   up from the worker processes.
+5. **Profiler overhead** — the sampling profiler must cost < 5% wall
+   clock on a warm planned MTTKRP loop.
+6. **Ledger detector** — a synthetic perf history with stable timings
+   must pass the rolling-baseline regression detector, and the same
+   history with a 2x slowdown appended must be flagged.
 
 Run from the repo root::
 
@@ -28,6 +39,7 @@ import sys
 import tempfile
 import time
 from pathlib import Path
+from urllib.request import urlopen
 
 import numpy as np
 
@@ -36,7 +48,9 @@ from repro.data import load
 from repro.data.frostt import write_tns
 from repro.kernels.mttkrp import mttkrp_parallel
 from repro.kernels.plan import plan_mttkrp
-from repro.obs import metrics, trace
+from repro.obs import ledger, metrics, trace
+from repro.obs.export import MetricsServer, validate_openmetrics
+from repro.obs.sampler import SamplingProfiler
 from repro.obs.trace import validate_chrome_trace
 from repro.tools.cli import main as cli_main
 
@@ -141,18 +155,175 @@ def check_disabled_overhead() -> bool:
     return True
 
 
+def _series_label_values(text: str, prefix: str, label: str) -> set:
+    """All values of ``label`` across sample lines starting ``prefix``."""
+    import re
+
+    out = set()
+    for line in text.splitlines():
+        if not line.startswith(prefix) or line.startswith("#"):
+            continue
+        for k, v in re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"', line):
+            if k == label:
+                out.add(v)
+    return out
+
+
+def check_exporter() -> bool:
+    """Scrape ``/metrics`` during process-backend CP-ALS runs.
+
+    The exposition must validate against the bundled OpenMetrics parser
+    and carry labeled series spanning >= 2 formats and >= 2 backends,
+    including ``worker="proc-N"`` series merged up from the worker
+    processes over the reply pipe.
+    """
+    from repro.cpd.cp_als import cp_als
+    from repro.parallel import procpool
+
+    metrics.reset()
+    metrics.enable()
+    coo = load(DATASET)
+    ok = True
+    with MetricsServer() as srv:
+        health = json.loads(
+            urlopen(srv.url + "/healthz", timeout=10).read().decode())
+        if health.get("status") != "ok":
+            print(f"FAIL: /healthz returned {health!r}")
+            ok = False
+        # two formats x two backends: hicoo over the process pool (worker
+        # metrics merge up) and alto on the in-process sim backend
+        cp_als(coo, RANK, maxiters=2, nthreads=NTHREADS,
+               backend="process", format="hicoo", seed=0)
+        cp_als(coo, RANK, maxiters=2, format="alto", seed=0)
+        text = urlopen(srv.url + "/metrics", timeout=10).read().decode()
+    procpool.shutdown_pools()
+    metrics.disable()
+
+    problems = validate_openmetrics(text)
+    for p in problems[:10]:
+        print(f"FAIL: openmetrics: {p}")
+    ok = ok and not problems
+
+    formats = _series_label_values(text, "cpals_iterations_total", "format")
+    backends = _series_label_values(text, "cpals_iterations_total", "backend")
+    workers = _series_label_values(text, "mttkrp_nnz_processed_total",
+                                   "worker")
+    nlines = len(text.splitlines())
+    print(f"  scrape: {nlines} lines, formats={sorted(formats)} "
+          f"backends={sorted(backends)} workers={sorted(workers)}")
+    if len(formats) < 2:
+        print(f"FAIL: scrape shows {len(formats)} format label(s), need >= 2")
+        ok = False
+    if len(backends) < 2:
+        print(f"FAIL: scrape shows {len(backends)} backend label(s), "
+              "need >= 2")
+        ok = False
+    if not any(w.startswith("proc-") for w in workers):
+        print("FAIL: no merged worker=\"proc-N\" series in the scrape — "
+              "worker metric deltas did not reach the parent registry")
+        ok = False
+    return ok
+
+
+MAX_PROFILER_OVERHEAD = 0.05
+PROFILE_REPEAT = 20
+
+
+def check_profiler_overhead() -> bool:
+    """The sampling profiler must cost < 5% on a warm MTTKRP loop."""
+    coo = load(DATASET)
+    hic = HicooTensor(coo, block_bits=BLOCK_BITS)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((s, RANK)) for s in coo.shape]
+    plan = plan_mttkrp(hic, RANK, NTHREADS, strategy="schedule")
+    plan.ensure_gathers(hic)
+
+    def loop():
+        t0 = time.perf_counter()
+        for _ in range(PROFILE_REPEAT):
+            mttkrp_parallel(hic, factors, 0, NTHREADS, plan=plan)
+        return time.perf_counter() - t0
+
+    loop()  # warm
+    base = min(loop() for _ in range(3))
+    prof = SamplingProfiler(interval=0.005, scope="overhead-check")
+    prof.start()
+    timed = min(loop() for _ in range(3))
+    prof.stop()
+    frac = timed / base - 1.0
+    print(f"  warm loop: {base * 1e3:.1f} ms bare, {timed * 1e3:.1f} ms "
+          f"profiled ({prof.nsamples} samples, {frac * 100:+.2f}%)")
+    if prof.nsamples < 1:
+        print("FAIL: profiler collected zero samples over the timed loop")
+        return False
+    if frac > MAX_PROFILER_OVERHEAD:
+        print(f"FAIL: profiler overhead {frac * 100:.1f}% > "
+              f"{MAX_PROFILER_OVERHEAD * 100:.0f}%")
+        return False
+    return True
+
+
+def check_ledger(tmp: Path) -> bool:
+    """Rolling-baseline detector: clean history passes, 2x slowdown flags."""
+    path = tmp / "history.jsonl"
+    # six stable records with mild noise — a clean trajectory
+    for i in range(6):
+        ledger.append_record(path, {"mttkrp/planned": 0.010 + 0.0002 * (i % 3),
+                                    "convert/cold": 0.050},
+                             source="synthetic", sha=f"aaa{i}")
+    clean = ledger.detect_regressions(ledger.read_history(path))
+    if clean:
+        for r in clean:
+            print(f"FAIL: clean history flagged: {r}")
+        return False
+    print("  clean 6-record history: no regressions flagged")
+
+    # inject a 2x slowdown on one series
+    ledger.append_record(path, {"mttkrp/planned": 0.021,
+                                "convert/cold": 0.050},
+                         source="synthetic", sha="bad0")
+    flagged = ledger.detect_regressions(ledger.read_history(path))
+    names = {r.series for r in flagged}
+    if "mttkrp/planned" not in names:
+        print("FAIL: injected 2x slowdown on mttkrp/planned not flagged "
+              f"(flagged: {sorted(names)})")
+        return False
+    if "convert/cold" in names:
+        print("FAIL: stable series convert/cold falsely flagged")
+        return False
+    for r in flagged:
+        print(f"  detector: {r}")
+    print(ledger.delta_table(ledger.read_history(path)))
+    return True
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         print("traced CP-ALS smoke:")
         smoke_ok = check_traced_cpd(Path(tmp))
-    if smoke_ok:
-        print("OK: trace is schema-valid, covering, and cache counters "
-              "are live")
-    print("disabled-mode overhead:")
-    overhead_ok = check_disabled_overhead()
-    if overhead_ok:
-        print("OK: instrumentation is free when tracing is disabled")
-    return 0 if smoke_ok and overhead_ok else 1
+        if smoke_ok:
+            print("OK: trace is schema-valid, covering, and cache counters "
+                  "are live")
+        print("disabled-mode overhead:")
+        overhead_ok = check_disabled_overhead()
+        if overhead_ok:
+            print("OK: instrumentation is free when tracing is disabled")
+        print("openmetrics exporter (process-backend scrape):")
+        export_ok = check_exporter()
+        if export_ok:
+            print("OK: /metrics validates with >= 2 formats, >= 2 backends, "
+                  "and merged worker series")
+        print("sampling-profiler overhead:")
+        prof_ok = check_profiler_overhead()
+        if prof_ok:
+            print("OK: profiler costs < 5% on the warm MTTKRP loop")
+        print("perf-ledger regression detector:")
+        ledger_ok = check_ledger(Path(tmp))
+        if ledger_ok:
+            print("OK: detector passes clean history and flags the "
+                  "synthetic 2x slowdown")
+    return (0 if smoke_ok and overhead_ok and export_ok and prof_ok
+            and ledger_ok else 1)
 
 
 if __name__ == "__main__":

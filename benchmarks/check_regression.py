@@ -411,6 +411,15 @@ def summarize() -> int:
     for name in missing:
         print(f"| {name} | — | — | 0 | "
               f"SKIP ({EXPECTED_BENCH_FILES[name]}) |")
+
+    # perf-ledger trajectory: rolling-baseline deltas over history.jsonl
+    # (appended by write_bench_json on every bench contribution)
+    from repro.obs import ledger
+
+    history = ledger.read_history(results_dir / "history.jsonl")
+    if history:
+        print()
+        print(ledger.delta_table(history))
     return 0
 
 

@@ -131,4 +131,14 @@ def write_bench_json(records, filename: str = "BENCH_mttkrp.json") -> Path:
                  key=lambda r: tuple(str(k) for k in key(r)))
     path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
     print(f"[{len(records)} records merged into {path}]")
+
+    # every bench contribution also lands in the perf ledger: one JSONL
+    # record of per-(op/variant) geomeans, so the regression detector has
+    # a rolling history even between committed BENCH_*.json snapshots
+    from repro.obs import ledger
+
+    series = ledger.series_from_bench(records)
+    if series:
+        ledger.append_record(RESULTS_DIR / "history.jsonl", series,
+                             source=filename)
     return path

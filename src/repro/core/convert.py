@@ -144,12 +144,12 @@ class MortonContext:
         b = self._check_bits(block_bits, MAX_BLOCK_BITS)
         dec = self._decompositions.get(b)
         if dec is None:
-            metrics.inc("convert.decompose_builds")
+            metrics.inc("convert.decompose_builds", labels={"b": b})
             with trace.span("convert.decompose", b=b, nnz=self.nnz):
                 dec = self._build_decomposition(b)
             self._decompositions[b] = dec
         else:
-            metrics.inc("convert.decompose_hits")
+            metrics.inc("convert.decompose_hits", labels={"b": b})
         return dec
 
     def _build_decomposition(self, b: int) -> BlockDecomposition:

@@ -214,7 +214,9 @@ def cp_als(tensor: SparseTensorFormat, rank: int, *,
                 sp.note(fit=fit)
             result.fits.append(fit)
             result.iterations = it + 1
-            metrics.inc("cpals.iterations")
+            metrics.inc("cpals.iterations",
+                        labels={"format": tensor.format_name,
+                                "backend": backend or "sim"})
             if callback is not None:
                 callback(it, fit)
             if it > 0 and abs(fit - prev_fit) < tol:

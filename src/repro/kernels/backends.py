@@ -142,5 +142,5 @@ def resolve_kernel_backend(name: Optional[str]) -> str:
         get_logger("repro.kernels").warning(
             "kernel tier %r unavailable (%s); falling back to numpy",
             name, tier_reason(name))
-    metrics.inc("kernel.fallbacks")
+    metrics.inc("kernel.fallbacks", labels={"tier": name})
     return "numpy"

@@ -172,7 +172,8 @@ def warmup_numba() -> float:
         _scatter_add_1d_jit(np.zeros(2), idx, np.zeros(1))
     dt = time.perf_counter() - t0
     _WARMED["numba"] = True
-    metrics.observe("compiled.compile_seconds", dt)
+    metrics.observe("compiled.compile_seconds", dt,
+                    labels={"tier": "numba"})
     return dt
 
 
@@ -283,7 +284,8 @@ def run_fused_mttkrp(fused: FusedTasks, factors: Sequence[np.ndarray],
             _fused_serial_jit(fused.ginds, fused.values, fstack, offsets,
                               mode, out, 0, fused.nnz)
             flavor = "numba_seq"
-    metrics.inc("mttkrp.nnz_processed", fused.nnz)
+    metrics.inc("mttkrp.nnz_processed", fused.nnz,
+                labels={"backend": "numba" if HAVE_NUMBA else "python"})
     return flavor if HAVE_NUMBA else "python"
 
 
@@ -395,7 +397,8 @@ class DeviceArena:
                              order=state["order"],
                              seg_starts=state["seg_starts"],
                              seg_rows=state["seg_rows"])
-        metrics.inc("mttkrp.nnz_processed", fused.nnz)
+        metrics.inc("mttkrp.nnz_processed", fused.nnz,
+                    labels={"backend": "cupy"})
         if xp is np:  # the numpy twin used by the unit tests
             return out
         return xp.asnumpy(out)  # pragma: no cover - requires cupy
@@ -457,7 +460,8 @@ def mttkrp_compiled(tensor, factors: Sequence[np.ndarray], mode: int,
         flavor = run_fused_mttkrp(fused, factors, mode, output)
     elapsed = time.perf_counter() - t0
     if flavor != "noop":
-        metrics.inc("scatter.calls")
+        backend = "numba" if tier == "numba" else tier
+        metrics.inc("scatter.calls", labels={"backend": backend})
         metrics.inc("scatter.updates", fused.nnz)
-        metrics.inc("scatter." + ("numba" if tier == "numba" else tier))
+        metrics.inc("scatter." + backend)
     return output, flavor, [elapsed]

@@ -98,7 +98,7 @@ def scatter_add(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
     backend = _scatter_add(out, idx, acc, presorted, row_local, backend)
     reg = metrics.get_registry()
     if reg.enabled:
-        reg.inc("scatter.calls")
+        reg.inc("scatter.calls", labels={"backend": backend})
         reg.inc("scatter.updates", len(idx))
         reg.inc("scatter." + backend)
     return backend
@@ -231,7 +231,7 @@ def scatter_add_sequential(out: np.ndarray, idx: np.ndarray, acc: np.ndarray,
         np.add.at(out, idx, acc)
     reg = metrics.get_registry()
     if reg.enabled:
-        reg.inc("scatter.calls")
+        reg.inc("scatter.calls", labels={"backend": choice})
         reg.inc("scatter.updates", n)
         reg.inc("scatter." + choice)
     return choice

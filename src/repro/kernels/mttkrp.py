@@ -76,7 +76,8 @@ def mttkrp(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
     """Sequential MTTKRP on any supported format."""
     with trace.span("mttkrp.seq", mode=mode, format=tensor.format_name):
         out = tensor.mttkrp(factors, mode)
-    metrics.inc("mttkrp.calls")
+    metrics.inc("mttkrp.calls",
+                labels={"format": tensor.format_name, "mode": mode})
     return out
 
 
@@ -141,7 +142,7 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
         else:
             # the GPU tier consumes HiCOO device plans; other combinations
             # take the NumPy path (same silent-degrade contract)
-            metrics.inc("kernel.fallbacks")
+            metrics.inc("kernel.fallbacks", labels={"tier": backend})
             backend = "sim"
     real_threads = backend == "thread"
 
@@ -186,11 +187,21 @@ def mttkrp_parallel(tensor: SparseTensorFormat, factors: Sequence[np.ndarray],
             raise TypeError(
                 f"no parallel MTTKRP for format {type(tensor).__name__}")
         sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
+    _note_parallel(run, tensor, mode, backend)
+    return run
+
+
+def _note_parallel(run: "MttkrpRun", tensor, mode: int,
+                   backend: str) -> None:
+    """Count one parallel MTTKRP under its format/backend/mode labels, so
+    the telemetry slices regressions along the configuration space."""
     reg = metrics.get_registry()
     if reg.enabled:
-        reg.inc("mttkrp.parallel_calls")
-        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
-    return run
+        fmt = tensor.format_name
+        reg.inc("mttkrp.parallel_calls",
+                labels={"format": fmt, "backend": backend, "mode": mode})
+        reg.observe("mttkrp.load_imbalance", run.load_imbalance(),
+                    labels={"format": fmt, "backend": backend})
 
 
 def _backends_of(report: ExecutionReport) -> tuple:
@@ -449,10 +460,7 @@ def _parallel_hicoo_compiled(tensor, factors, mode, nthreads, strategy,
                     thread_nnz=mp.thread_nnz.copy(),
                     schedule=mp.schedule, report=report,
                     scatter_backends=(flavor,) if flavor != "noop" else ())
-    reg = metrics.get_registry()
-    if reg.enabled:
-        reg.inc("mttkrp.parallel_calls")
-        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    _note_parallel(run, tensor, mode, tier)
     return run
 
 
@@ -486,10 +494,7 @@ def _parallel_hicoo_process(tensor, factors, mode, nthreads, strategy,
     except DegradedExecution as exc:
         return _degrade_hicoo(tensor, factors, mode, nthreads, strategy,
                               superblock_bits, plan, exc)
-    reg = metrics.get_registry()
-    if reg.enabled:
-        reg.inc("mttkrp.parallel_calls")
-        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    _note_parallel(run, tensor, mode, "process")
     return run
 
 
@@ -519,10 +524,7 @@ def _degrade_hicoo(tensor, factors, mode, nthreads, strategy,
             run = _parallel_hicoo(tensor, factors, mode, nthreads, strategy,
                                   superblock_bits, real_threads)
         sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
-    reg = metrics.get_registry()
-    if reg.enabled:
-        reg.inc("mttkrp.parallel_calls")
-        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    _note_parallel(run, tensor, mode, backend)
     return run
 
 
@@ -642,10 +644,7 @@ def _parallel_alto_process(tensor, factors, mode, nthreads, strategy,
             sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
     except DegradedExecution as exc:
         return _degrade_alto(tensor, factors, mode, nthreads, strategy, exc)
-    reg = metrics.get_registry()
-    if reg.enabled:
-        reg.inc("mttkrp.parallel_calls")
-        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    _note_parallel(run, tensor, mode, "process")
     return run
 
 
@@ -668,10 +667,7 @@ def _degrade_alto(tensor, factors, mode, nthreads, strategy, exc) -> MttkrpRun:
         run = _parallel_alto(tensor, factors, mode, nthreads, strategy,
                              real_threads=(backend == "thread"))
         sp.note(strategy=run.strategy, imbalance=run.load_imbalance())
-    reg = metrics.get_registry()
-    if reg.enabled:
-        reg.inc("mttkrp.parallel_calls")
-        reg.observe("mttkrp.load_imbalance", run.load_imbalance())
+    _note_parallel(run, tensor, mode, backend)
     return run
 
 

@@ -1,22 +1,47 @@
-"""repro.obs — unified observability: span tracing and a metrics registry.
+"""repro.obs — unified observability: tracing, metrics, export, profiling.
 
-Two complementary views of a run, both process-wide singletons:
+Complementary views of a run, all process-wide singletons / stdlib-only:
 
 * :mod:`repro.obs.trace` — a thread-aware hierarchical span tracer.  Opt-in
   (``trace.enable()``), near-zero overhead when disabled, exports Chrome
   trace-event JSON (open in Perfetto / ``chrome://tracing``), a flat text
   report, or a :class:`~repro.util.timing.Stopwatch` aggregate.
 * :mod:`repro.obs.metrics` — always-on counters/gauges/histograms at call
-  granularity: cache hits and byte footprints (MortonContext, gather
-  arrays), nonzeros processed, scatter-add backend usage, executor load
-  imbalance.
+  granularity, with first-class **labels** (format / backend / mode /
+  worker dimensions), quantile-capable histograms, and cross-process
+  delta merge for the shared-memory worker pool.
+* :mod:`repro.obs.export` — OpenMetrics text rendering plus a background
+  ``/metrics`` + ``/healthz`` HTTP endpoint (the first brick of the
+  ROADMAP's ``repro.serve`` daemon).
+* :mod:`repro.obs.sampler` — a py-spy-style sampling profiler emitting
+  flamegraph-ready collapsed stacks scoped to open trace spans.
+* :mod:`repro.obs.ledger` — a persistent perf ledger
+  (``benchmarks/results/history.jsonl``) with rolling-baseline regression
+  detection.
 
 Naming conventions (see ``docs/observability.md``): dotted lowercase,
 ``<subsystem>.<event>`` — e.g. spans ``convert.sort`` / ``mttkrp.parallel``
 / ``executor.task`` / ``cpals.iter``, metrics ``gather.cache_hits`` /
-``convert.context_builds`` / ``executor.load_imbalance``.
+``convert.context_builds`` / ``executor.load_imbalance``; labels
+``{"format": ..., "backend": ..., "mode": ..., "worker": "proc-N"}``.
 """
+
+import importlib
 
 from . import metrics, trace
 
-__all__ = ["metrics", "trace"]
+__all__ = ["export", "ledger", "metrics", "sampler", "trace"]
+
+#: loaded on first attribute access (PEP 562): keeps the hot import path
+#: (every kernel module pulls in ``repro.obs.metrics``) free of http.server
+#: etc., and lets ``python -m repro.obs.ledger`` run without runpy's
+#: already-imported-submodule warning
+_LAZY = ("export", "ledger", "sampler")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        mod = importlib.import_module(f".{name}", __name__)
+        globals()[name] = mod
+        return mod
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,328 @@
+"""OpenMetrics text exposition and a stdlib ``/metrics`` scrape endpoint.
+
+Three pieces, all dependency-free:
+
+* :func:`render_openmetrics` — the metrics registry as OpenMetrics text
+  (the Prometheus exposition format): counters as ``name_total``, gauges
+  verbatim, histograms as ``summary`` families with p50/p95/p99
+  ``quantile`` samples plus ``_count``/``_sum``.  Labels — including the
+  ``worker="proc-N"`` series merged from process-backend workers — render
+  as standard ``{k="v"}`` sets, so one scrape covers the whole
+  format x backend x mode x worker space.
+* :func:`validate_openmetrics` — a bundled structural parser (CI cannot
+  assume a Prometheus install); returns problem strings, empty = valid.
+* :class:`MetricsServer` — ``http.server.ThreadingHTTPServer`` on a
+  daemon thread serving ``GET /metrics`` and ``GET /healthz``; the first
+  brick of the ROADMAP's ``repro.serve`` daemon.  Wired to
+  ``--metrics-port`` on every CLI subcommand.
+
+Dotted metric names sanitize to Prometheus-legal ones (``mttkrp.calls`` ->
+``mttkrp_calls``); scrape with::
+
+    curl -s http://127.0.0.1:9109/metrics
+
+    # prometheus.yml
+    scrape_configs:
+      - job_name: repro
+        static_configs: [{targets: ["127.0.0.1:9109"]}]
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional
+
+from . import metrics
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "MetricsServer",
+]
+
+#: the OpenMetrics media type (what a Prometheus scraper negotiates)
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+#: histogram quantiles exposed as summary samples
+_QUANTILES = (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"))
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def sanitize_name(name: str) -> str:
+    """Dotted registry name -> Prometheus-legal metric name."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labelset(pairs) -> str:
+    """``[(k, v), ...]`` -> ``{k="v",...}`` (empty string when no pairs)."""
+    pairs = [(sanitize_name(k), _escape(str(v))) for k, v in pairs]
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def _num(value) -> str:
+    """Sample value formatting (int-like values render without exponent)."""
+    f = float(value)
+    if f != f:  # NaN
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_openmetrics(registry: Optional[metrics.MetricsRegistry] = None
+                       ) -> str:
+    """The registry as OpenMetrics text, terminated by ``# EOF``."""
+    reg = registry or metrics.get_registry()
+    lines: List[str] = []
+    for name, kind, series in reg.export_view():
+        mname = sanitize_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {mname} counter")
+            for key, val in series:
+                lines.append(f"{mname}_total{_labelset(key)} {_num(val)}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {mname} gauge")
+            for key, val in series:
+                lines.append(f"{mname}{_labelset(key)} {_num(val)}")
+        else:  # histogram -> summary family (pre-computed quantiles)
+            lines.append(f"# TYPE {mname} summary")
+            for key, summ in series:
+                for q, skey in _QUANTILES:
+                    labels = _labelset(list(key) + [("quantile", q)])
+                    lines.append(f"{mname}{labels} {_num(summ[skey])}")
+                ls = _labelset(key)
+                lines.append(f"{mname}_count{ls} {_num(summ['count'])}")
+                lines.append(f"{mname}_sum{ls} {_num(summ['total'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# bundled structural validator (CI has no promtool)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf)|NaN|\+Inf)"
+    r"(?: [0-9]+(?:\.[0-9]+)?)?$")
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"$')
+
+
+def _split_labels(body: str) -> Optional[List[str]]:
+    """Split a label-set body on unescaped/unquoted commas; None on a
+    structurally broken quote sequence."""
+    parts, cur, in_str, esc = [], [], False, False
+    for ch in body:
+        if esc:
+            cur.append(ch)
+            esc = False
+        elif ch == "\\":
+            cur.append(ch)
+            esc = True
+        elif ch == '"':
+            cur.append(ch)
+            in_str = not in_str
+        elif ch == "," and not in_str:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    if in_str or esc:
+        return None
+    if cur or parts:
+        parts.append("".join(cur))
+    return parts
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Structural check of OpenMetrics exposition text.
+
+    Verifies: ``# EOF`` termination, well-formed ``# TYPE`` metadata with
+    known types, every sample line parseable (legal metric name, quoted
+    and escaped label values, numeric sample value), counter samples using
+    the ``_total`` suffix of a declared counter family, no duplicate
+    series, and no samples preceding their family's TYPE line.  Returns
+    problem strings; an empty list means a scraper will accept the page.
+    """
+    problems: List[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        problems.append("missing '# EOF' terminator")
+    types: dict = {}
+    seen_series = set()
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        if line == "# EOF":
+            if i != len(lines) - 1:
+                problems.append(f"{where}: '# EOF' before end of exposition")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                problems.append(f"{where}: malformed TYPE line")
+                continue
+            _, _, mname, mtype = parts
+            if not _NAME_OK.match(mname):
+                problems.append(f"{where}: bad metric name {mname!r}")
+            if mtype not in ("counter", "gauge", "summary", "histogram",
+                            "unknown", "info", "stateset", "gaugehistogram"):
+                problems.append(f"{where}: unknown type {mtype!r}")
+            if mname in types:
+                problems.append(f"{where}: duplicate TYPE for {mname!r}")
+            types[mname] = mtype
+            continue
+        if line.startswith("#"):
+            if not (line.startswith("# HELP ") or line.startswith("# UNIT ")):
+                problems.append(f"{where}: unknown comment {line!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            problems.append(f"{where}: unparseable sample {line!r}")
+            continue
+        name = m.group("name")
+        family = name
+        for suffix in ("_total", "_count", "_sum", "_created", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        if family not in types:
+            problems.append(f"{where}: sample {name!r} has no TYPE metadata")
+        elif types[family] == "counter" and not name.endswith(
+                ("_total", "_created")):
+            problems.append(
+                f"{where}: counter sample {name!r} must use '_total'")
+        labels = m.group("labels")
+        canon = []
+        if labels is not None:
+            pairs = _split_labels(labels)
+            if pairs is None:
+                problems.append(f"{where}: unbalanced quotes in labels")
+                continue
+            for pair in pairs:
+                pm = _LABEL_PAIR_RE.match(pair)
+                if not pm:
+                    problems.append(f"{where}: bad label pair {pair!r}")
+                    continue
+                if not _LABEL_OK.match(pm.group("key")):
+                    problems.append(
+                        f"{where}: bad label name {pm.group('key')!r}")
+                canon.append((pm.group("key"), pm.group("val")))
+        series = (name, tuple(sorted(canon)))
+        if series in seen_series:
+            problems.append(f"{where}: duplicate series {line!r}")
+        seen_series.add(series)
+    return problems
+
+
+# ----------------------------------------------------------------------
+# scrape endpoint
+# ----------------------------------------------------------------------
+class MetricsServer:
+    """Background ``/metrics`` + ``/healthz`` endpoint over the registry.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` after
+    :meth:`start`).  The server thread is a daemon, so a crashed run never
+    hangs on it; :meth:`stop` shuts it down deterministically.  Usable as
+    a context manager::
+
+        with MetricsServer(port=0) as srv:
+            run_workload()
+            text = urllib.request.urlopen(srv.url + "/metrics").read()
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1",
+                 registry: Optional[metrics.MetricsRegistry] = None) -> None:
+        self.host = host
+        self.port = port
+        self.registry = registry or metrics.get_registry()
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = 0.0
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence request logs
+                pass
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = render_openmetrics(server.registry).encode()
+                    ctype = CONTENT_TYPE
+                elif path == "/healthz":
+                    body = json.dumps({
+                        "status": "ok",
+                        "uptime_s": time.monotonic() - server._started_at,
+                    }).encode()
+                    ctype = "application/json"
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-metrics-server",
+                                        daemon=True)
+        self._thread.start()
+        metrics.inc("export.servers_started")
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

@@ -1,0 +1,250 @@
+"""Persistent perf ledger: append-only history + rolling regression gate.
+
+Every bench / ``check_regression.py`` run appends one structured record to
+``benchmarks/results/history.jsonl``::
+
+    {"ts": 1754660000.0, "sha": "22b4694", "source": "bench_mttkrp_par",
+     "host": "ci-runner", "cores": 4, "labels": {"backend": "process"},
+     "series": {"mttkrp/planned": 0.0042, "mttkrp/legacy": 0.0161}}
+
+``series`` maps a labeled series name to a lower-is-better scalar
+(seconds; geomeans when a record covers several datasets).  Unlike the
+point-in-time ``BENCH_*.json`` artifacts the next run overwrites, the
+ledger only grows — giving the repo a perf *trajectory*.
+
+:func:`detect_regressions` compares the newest record against a rolling
+baseline (the median of each series' previous ``window`` values), flagging
+anything more than ``threshold`` slower.  The median absorbs single noisy
+entries; a fresh series with fewer than ``min_baseline`` prior points is
+reported as NEW, never flagged.  :func:`delta_table` renders the same
+comparison as a Markdown table for ``$GITHUB_STEP_SUMMARY``.
+
+CLI (used by the ``obs-smoke`` CI job)::
+
+    python -m repro.obs.ledger benchmarks/results/history.jsonl          # table
+    python -m repro.obs.ledger benchmarks/results/history.jsonl --check  # gate
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DEFAULT_THRESHOLD",
+    "Regression",
+    "git_sha",
+    "append_record",
+    "read_history",
+    "series_from_bench",
+    "detect_regressions",
+    "delta_table",
+]
+
+#: rolling-baseline width (records per series)
+DEFAULT_WINDOW = 5
+#: current/baseline ratio above 1 + this flags a regression
+DEFAULT_THRESHOLD = 0.10
+#: prior points a series needs before the detector will judge it
+MIN_BASELINE = 2
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One series of the newest record that breached the threshold."""
+
+    series: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else math.inf
+
+    @property
+    def pct(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+    def __str__(self) -> str:
+        return (f"{self.series}: {self.current:.6g}s vs rolling baseline "
+                f"{self.baseline:.6g}s (+{self.pct:.1f}%)")
+
+
+def git_sha(cwd=None) -> str:
+    """Short git SHA of the working tree (``"unknown"`` outside a repo)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10)
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_record(path, series: Dict[str, float],
+                  labels: Optional[dict] = None, source: str = "",
+                  sha: Optional[str] = None,
+                  extra: Optional[dict] = None) -> dict:
+    """Append one ledger record (creating the file and parents) and
+    return it.  ``series`` values must be lower-is-better scalars."""
+    path = Path(path)
+    record = {
+        "ts": time.time(),
+        "sha": sha if sha is not None else git_sha(cwd=path.parent),
+        "source": source,
+        "host": platform.node(),
+        "cores": os.cpu_count(),
+        "labels": {str(k): str(v) for k, v in (labels or {}).items()},
+        "series": {str(k): float(v) for k, v in series.items()},
+    }
+    if extra:
+        record.update(extra)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_history(path) -> List[dict]:
+    """Records oldest-first; malformed lines are skipped, not fatal (the
+    ledger is append-only across interrupted runs)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(rec, dict) and isinstance(rec.get("series"), dict):
+                records.append(rec)
+    return records
+
+
+def series_from_bench(records: List[dict]) -> Dict[str, float]:
+    """Collapse ``BENCH_*.json`` bench records into ledger series.
+
+    Groups by ``op/variant`` and geomeans ``time_s`` across datasets, so
+    one ledger entry summarizes a whole suite sweep."""
+    groups: Dict[str, List[float]] = {}
+    for rec in records:
+        t = rec.get("time_s")
+        if not isinstance(t, (int, float)) or t <= 0:
+            continue
+        key = f"{rec.get('op', 'op')}/{rec.get('variant', 'default')}"
+        groups.setdefault(key, []).append(float(t))
+    return {key: math.exp(sum(math.log(t) for t in ts) / len(ts))
+            for key, ts in sorted(groups.items())}
+
+
+def _baselines(history: List[dict], window: int) -> Dict[str, List[float]]:
+    """series -> prior values (newest-last), excluding the final record."""
+    out: Dict[str, List[float]] = {}
+    for rec in history[:-1]:
+        for name, val in rec["series"].items():
+            if isinstance(val, (int, float)) and val > 0:
+                out.setdefault(name, []).append(float(val))
+    return {name: vals[-window:] for name, vals in out.items()}
+
+
+def _median(vals: List[float]) -> float:
+    ordered = sorted(vals)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def detect_regressions(history: List[dict], window: int = DEFAULT_WINDOW,
+                       threshold: float = DEFAULT_THRESHOLD,
+                       min_baseline: int = MIN_BASELINE) -> List[Regression]:
+    """Newest record vs the rolling median of each series' prior values.
+
+    Returns the series that are more than ``threshold`` slower; series
+    with fewer than ``min_baseline`` prior points are never flagged."""
+    if len(history) < 2:
+        return []
+    priors = _baselines(history, window)
+    current = history[-1]["series"]
+    flagged = []
+    for name in sorted(current):
+        val = current[name]
+        if not isinstance(val, (int, float)) or val <= 0:
+            continue
+        base_vals = priors.get(name, [])
+        if len(base_vals) < min_baseline:
+            continue
+        baseline = _median(base_vals)
+        if baseline > 0 and val / baseline > 1.0 + threshold:
+            flagged.append(Regression(series=name, baseline=baseline,
+                                      current=float(val)))
+    return flagged
+
+
+def delta_table(history: List[dict], window: int = DEFAULT_WINDOW,
+                threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Markdown baseline-vs-current table of the newest ledger record."""
+    if not history:
+        return "_perf ledger is empty_\n"
+    current = history[-1]
+    priors = _baselines(history, window)
+    lines = [
+        f"### Perf ledger · {current.get('source') or 'latest'} @ "
+        f"{current.get('sha', '?')} "
+        f"(window={window}, threshold=+{threshold * 100:.0f}%)",
+        "",
+        "| series | baseline (median) | current | delta | status |",
+        "|---|---|---|---|---|",
+    ]
+    for name in sorted(current["series"]):
+        val = current["series"][name]
+        base_vals = priors.get(name, [])
+        if len(base_vals) < MIN_BASELINE:
+            lines.append(f"| `{name}` | — | {val:.6g}s | — | NEW |")
+            continue
+        baseline = _median(base_vals)
+        delta = (val / baseline - 1.0) * 100.0 if baseline else math.inf
+        status = "REGRESSION" if delta > threshold * 100.0 else "OK"
+        lines.append(f"| `{name}` | {baseline:.6g}s | {val:.6g}s | "
+                     f"{delta:+.1f}% | {status} |")
+    return "\n".join(lines) + "\n"
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        description="render / gate the perf ledger")
+    ap.add_argument("path", help="history.jsonl path")
+    ap.add_argument("--window", type=int, default=DEFAULT_WINDOW)
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 when the newest record regresses")
+    args = ap.parse_args(argv)
+    history = read_history(args.path)
+    print(delta_table(history, window=args.window,
+                      threshold=args.threshold), end="")
+    if args.check:
+        flagged = detect_regressions(history, window=args.window,
+                                     threshold=args.threshold)
+        for reg in flagged:
+            print(f"REGRESSION: {reg}")
+        return 1 if flagged else 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI job
+    raise SystemExit(_main())

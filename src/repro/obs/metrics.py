@@ -1,9 +1,28 @@
-"""Process-wide metrics registry: counters, gauges, histograms.
+"""Process-wide metrics registry: labeled counters, gauges, histograms.
 
 Complements the span tracer with *cumulative* quantities the paper's
 analysis needs but spans cannot express: cache hit/miss counts and byte
 footprints (MortonContext, gather arrays), nonzeros processed, scatter-add
 backend usage, executor task counts and load imbalance.
+
+Every metric name owns a **family** of series keyed by a label set, so one
+counter can be sliced along the format x backend x mode space the ALTO and
+compiled-tier work opened up::
+
+    from repro.obs import metrics
+
+    metrics.inc("mttkrp.calls", labels={"format": "alto", "mode": 2})
+    metrics.observe("executor.task_seconds", dt, labels={"backend": "thread"})
+
+``labels=None`` (the common case) addresses the family's single unlabeled
+series, exactly like the pre-label registry.  Reads stay backward
+compatible: :func:`value` with no labels aggregates across every series of
+the family (counters sum, gauges report the last write, histograms merge),
+and :func:`snapshot` emits the bare family name for the aggregate plus one
+``name{k="v",...}`` entry per labeled series.
+
+Histograms keep a deterministic reservoir sample alongside the streaming
+count/total/min/max, so :meth:`Histogram.summary` reports p50/p95/p99.
 
 Metrics are **always on** by default — every instrumented site fires at
 call granularity (per construction, per cache lookup, per task), never per
@@ -11,26 +30,25 @@ nonzero, so the cost is a dict lookup and an add under a lock.  Call
 :func:`disable` to turn every update into a no-op (used by the overhead
 microbenchmarks).
 
-All helpers create metrics on first use, so instrumented code never has to
-register anything::
-
-    from repro.obs import metrics
-
-    metrics.inc("gather.cache_hits")
-    metrics.set_gauge("gather.cache_bytes", nbytes)
-    metrics.observe("executor.task_seconds", dt)
+Worker processes ship their registry across the result pipe as compact
+deltas (:meth:`MetricsRegistry.collect_deltas`) which the parent merges
+under an extra ``worker="proc-N"`` label
+(:meth:`MetricsRegistry.merge_deltas`); see ``repro.parallel.procpool``.
 """
 
 from __future__ import annotations
 
+import random
 import threading
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "MetricFamily",
     "MetricsRegistry",
+    "format_series",
     "get_registry",
     "enable",
     "disable",
@@ -43,6 +61,25 @@ __all__ = [
     "report",
     "reset",
 ]
+
+#: canonical label identity: sorted ((key, str(value)), ...) tuples
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _labelkey(labels: Optional[dict]) -> LabelKey:
+    """Canonicalize a labels dict (values stringified, keys sorted)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labelkey: LabelKey) -> str:
+    """Render a series identity as ``name{k="v",...}`` (bare name if
+    unlabeled) — the key format :func:`snapshot` uses for labeled series."""
+    if not labelkey:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labelkey)
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
@@ -66,16 +103,30 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming count/total/min/max summary of observed samples."""
+    """Streaming count/total/min/max plus a deterministic reservoir sample.
+
+    The reservoir (algorithm R with a fixed-seed PRNG, so runs are
+    reproducible) supports p50/p95/p99 in :meth:`summary` without storing
+    every observation.  A small ``recent`` buffer keeps raw samples between
+    worker-delta collections so merged parent-side series stay
+    quantile-capable.
+    """
 
     kind = "histogram"
-    __slots__ = ("count", "total", "min", "max")
+    RESERVOIR_SIZE = 512
+    RECENT_CAP = 64
+    __slots__ = ("count", "total", "min", "max",
+                 "_samples", "_seen", "_recent", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._samples: List[float] = []
+        self._seen = 0
+        self._recent: List[float] = []
+        self._rng = random.Random(0x51CC)
 
     def observe(self, sample: float) -> None:
         self.count += 1
@@ -84,120 +135,333 @@ class Histogram:
             self.min = sample
         if sample > self.max:
             self.max = sample
+        self._put(sample)
+        if len(self._recent) < self.RECENT_CAP:
+            self._recent.append(sample)
+
+    def _put(self, sample: float) -> None:
+        """Feed one sample into the reservoir (algorithm R)."""
+        self._seen += 1
+        if len(self._samples) < self.RESERVOIR_SIZE:
+            self._samples.append(sample)
+        else:
+            j = self._rng.randrange(self._seen)
+            if j < self.RESERVOIR_SIZE:
+                self._samples[j] = sample
+
+    def merge(self, count: int, total: float, mn: float, mx: float,
+              samples=()) -> None:
+        """Fold a remote histogram delta (worker-shipped) into this one."""
+        self.count += count
+        self.total += total
+        if count:
+            if mn < self.min:
+                self.min = mn
+            if mx > self.max:
+                self.max = mx
+        for s in samples:
+            self._put(s)
+
+    def drain_recent(self) -> List[float]:
+        """Raw samples observed since the last drain (capped), for
+        shipping with a worker delta."""
+        out, self._recent = self._recent, []
+        return out
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Reservoir quantile with linear interpolation (0 when empty)."""
+        return _quantile(sorted(self._samples), q)
+
     def summary(self) -> dict:
+        ordered = sorted(self._samples)
         return {"count": self.count, "total": self.total, "mean": self.mean,
                 "min": self.min if self.count else 0.0,
-                "max": self.max if self.count else 0.0}
+                "max": self.max if self.count else 0.0,
+                "p50": _quantile(ordered, 0.50),
+                "p95": _quantile(ordered, 0.95),
+                "p99": _quantile(ordered, 0.99)}
+
+
+def _quantile(ordered: List[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 Metric = Union[Counter, Gauge, Histogram]
 
 
+class MetricFamily:
+    """Every series (one per label set) sharing a metric name and kind."""
+
+    __slots__ = ("name", "cls", "series", "last_gauge")
+
+    def __init__(self, name: str, cls) -> None:
+        self.name = name
+        self.cls = cls
+        self.series: Dict[LabelKey, Metric] = {}
+        #: most recently written gauge value (the family-level aggregate)
+        self.last_gauge = 0.0
+
+    @property
+    def kind(self) -> str:
+        return self.cls.kind
+
+    def labeled_only(self) -> bool:
+        return bool(self.series) and () not in self.series
+
+    def aggregate(self):
+        """Family-level scalar/summary across every series: counters sum,
+        gauges report the last write, histograms merge (reservoirs pooled
+        so quantiles survive aggregation)."""
+        if self.cls is Counter:
+            return sum(m.value for m in self.series.values())
+        if self.cls is Gauge:
+            return self.last_gauge
+        merged = Histogram()
+        for m in self.series.values():
+            merged.merge(m.count, m.total, m.min, m.max, m._samples)
+        return merged.summary()
+
+
 class MetricsRegistry:
-    """Named metrics, created on first use; thread-safe updates."""
+    """Named metric families, created on first use; thread-safe updates."""
 
     def __init__(self) -> None:
         self.enabled = True
         self._lock = threading.Lock()
-        self._metrics: Dict[str, Metric] = {}
+        self._families: Dict[str, MetricFamily] = {}
 
     # ------------------------------------------------------------------
     # creation / lookup
     # ------------------------------------------------------------------
-    def _get_or_create(self, name: str, cls) -> Metric:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls()
-        elif not isinstance(metric, cls):
+    def _series(self, name: str, cls, labels: Optional[dict]) -> Metric:
+        """Get-or-create one series (caller holds the lock)."""
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = MetricFamily(name, cls)
+        elif family.cls is not cls:
             raise TypeError(
-                f"metric {name!r} is a {metric.kind}, not a {cls.kind}")
+                f"metric {name!r} is a {family.kind}, not a {cls.kind}")
+        key = _labelkey(labels)
+        metric = family.series.get(key)
+        if metric is None:
+            metric = family.series[key] = cls()
         return metric
 
-    def counter(self, name: str) -> Counter:
+    def counter(self, name: str, labels: Optional[dict] = None) -> Counter:
         with self._lock:
-            return self._get_or_create(name, Counter)
+            return self._series(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: Optional[dict] = None) -> Gauge:
         with self._lock:
-            return self._get_or_create(name, Gauge)
+            return self._series(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  labels: Optional[dict] = None) -> Histogram:
         with self._lock:
-            return self._get_or_create(name, Histogram)
+            return self._series(name, Histogram, labels)
 
     # ------------------------------------------------------------------
     # updates (no-ops while disabled)
     # ------------------------------------------------------------------
-    def inc(self, name: str, n: int = 1) -> None:
+    def inc(self, name: str, n: int = 1,
+            labels: Optional[dict] = None) -> None:
         if not self.enabled:
             return
         with self._lock:
-            self._get_or_create(name, Counter).value += n
+            self._series(name, Counter, labels).value += n
 
-    def set_gauge(self, name: str, val: float) -> None:
+    def set_gauge(self, name: str, val: float,
+                  labels: Optional[dict] = None) -> None:
         if not self.enabled:
             return
         with self._lock:
-            self._get_or_create(name, Gauge).value = val
+            self._series(name, Gauge, labels).value = val
+            self._families[name].last_gauge = val
 
-    def observe(self, name: str, sample: float) -> None:
+    def observe(self, name: str, sample: float,
+                labels: Optional[dict] = None) -> None:
         if not self.enabled:
             return
         with self._lock:
-            self._get_or_create(name, Histogram).observe(float(sample))
+            self._series(name, Histogram, labels).observe(float(sample))
 
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
-    def value(self, name: str, default: float = 0):
-        """Scalar view of a metric: counter/gauge value, histogram count."""
+    def value(self, name: str, default: float = 0,
+              labels: Optional[dict] = None):
+        """Scalar view of a metric: counter/gauge value, histogram count.
+
+        Without ``labels`` the whole family aggregates (counters sum over
+        every labeled series — including merged ``worker="proc-N"`` ones —
+        gauges report the last write, histograms their pooled count); with
+        ``labels`` only that exact series is read.
+        """
         with self._lock:
-            metric = self._metrics.get(name)
-        if metric is None:
-            return default
-        if isinstance(metric, Histogram):
-            return metric.count
-        return metric.value
+            family = self._families.get(name)
+            if family is None or not family.series:
+                return default
+            if labels is not None:
+                metric = family.series.get(_labelkey(labels))
+                if metric is None:
+                    return default
+                if isinstance(metric, Histogram):
+                    return metric.count
+                return metric.value
+            if family.cls is Histogram:
+                return sum(m.count for m in family.series.values())
+            if family.cls is Gauge:
+                return family.last_gauge
+            return sum(m.value for m in family.series.values())
+
+    def series_labels(self, name: str) -> List[dict]:
+        """The label sets carried by ``name``'s series (``{}`` for the
+        unlabeled one) — lets tests enumerate the dimension space."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [dict(key) for key in family.series]
 
     def snapshot(self, prefix: Optional[str] = None) -> dict:
-        """``{name: value}`` (histograms expand to their summary dict).
+        """``{series: value}`` (histograms expand to their summary dict).
 
-        ``prefix`` restricts the view to one subsystem, e.g.
-        ``snapshot("supervisor.")`` returns only the fault-tolerance
-        recovery accounting."""
+        Unlabeled-only families appear exactly as before: one bare-name
+        entry.  Families with labeled series emit the bare name for the
+        family aggregate *plus* one ``name{k="v",...}`` entry per labeled
+        series, so both old bare-name consumers and new per-dimension
+        consumers read the same snapshot.  ``prefix`` restricts the view to
+        one subsystem, e.g. ``snapshot("supervisor.")`` returns only the
+        fault-tolerance recovery accounting.
+        """
         with self._lock:
-            items = list(self._metrics.items())
+            families = [
+                (name, fam.cls, fam.aggregate(),
+                 [(key, m.summary() if isinstance(m, Histogram) else m.value)
+                  for key, m in fam.series.items() if key])
+                for name, fam in self._families.items()
+                if fam.series and (prefix is None or name.startswith(prefix))
+            ]
         out = {}
-        for name, metric in sorted(items):
-            if prefix is not None and not name.startswith(prefix):
-                continue
-            out[name] = (metric.summary() if isinstance(metric, Histogram)
-                         else metric.value)
+        for name, _cls, aggregate, labeled in sorted(families):
+            out[name] = aggregate
+            for key, val in sorted(labeled):
+                out[format_series(name, key)] = val
         return out
 
     def report(self, prefix: Optional[str] = None) -> List[str]:
-        """Human-readable lines, sorted by name."""
+        """Human-readable lines, sorted by series name."""
         lines = []
         for name, val in self.snapshot(prefix).items():
             if isinstance(val, dict):
                 lines.append(
-                    f"{name:<32s} n={val['count']} total={val['total']:.6g} "
+                    f"{name:<40s} n={val['count']} total={val['total']:.6g} "
                     f"mean={val['mean']:.6g} min={val['min']:.6g} "
-                    f"max={val['max']:.6g}")
+                    f"max={val['max']:.6g} p50={val['p50']:.6g} "
+                    f"p95={val['p95']:.6g} p99={val['p99']:.6g}")
             elif isinstance(val, float):
-                lines.append(f"{name:<32s} {val:.6g}")
+                lines.append(f"{name:<40s} {val:.6g}")
             else:
-                lines.append(f"{name:<32s} {val}")
+                lines.append(f"{name:<40s} {val}")
         return lines
 
     def reset(self) -> None:
         with self._lock:
-            self._metrics.clear()
+            self._families.clear()
+
+    # ------------------------------------------------------------------
+    # cross-process shipping (worker -> parent over the result pipe)
+    # ------------------------------------------------------------------
+    def collect_deltas(self, state: dict) -> list:
+        """Changes since the last collection against ``state`` (a plain
+        dict the caller owns, keyed by (name, labelkey)).
+
+        Returns compact picklable tuples
+        ``(name, labelkey, kind_char, payload)`` — counters ship the
+        increment, gauges the new value, histograms
+        ``(dcount, dtotal, min, max, recent_samples)``.  Collecting marks
+        the shipped state, so a successful send is exactly-once: a worker
+        killed *before* the send never marks, and the retry re-ships the
+        recomputed delta on a fresh worker.
+        """
+        out = []
+        with self._lock:
+            for name, family in self._families.items():
+                for key, m in family.series.items():
+                    sk = (name, key)
+                    if family.cls is Counter:
+                        delta = m.value - state.get(sk, 0)
+                        if delta:
+                            out.append((name, key, "c", delta))
+                            state[sk] = m.value
+                    elif family.cls is Gauge:
+                        if state.get(sk) != m.value:
+                            out.append((name, key, "g", m.value))
+                            state[sk] = m.value
+                    else:
+                        prev_count, prev_total = state.get(sk, (0, 0.0))
+                        if m.count != prev_count:
+                            out.append((name, key, "h",
+                                        (m.count - prev_count,
+                                         m.total - prev_total,
+                                         m.min, m.max, m.drain_recent())))
+                            state[sk] = (m.count, m.total)
+        return out
+
+    def merge_deltas(self, deltas: list,
+                     extra_labels: Optional[dict] = None) -> None:
+        """Fold worker-shipped deltas in, adding ``extra_labels`` (the
+        parent passes ``{"worker": "proc-N"}``) to every series identity."""
+        if not self.enabled or not deltas:
+            return
+        extra = _labelkey(extra_labels)
+        with self._lock:
+            for name, key, kind, payload in deltas:
+                labels = dict(key)
+                labels.update(extra)
+                if kind == "c":
+                    self._series(name, Counter, labels).value += payload
+                elif kind == "g":
+                    self._series(name, Gauge, labels).value = payload
+                    self._families[name].last_gauge = payload
+                elif kind == "h":
+                    dcount, dtotal, mn, mx, samples = payload
+                    self._series(name, Histogram, labels).merge(
+                        dcount, dtotal, mn, mx, samples)
+
+    # ------------------------------------------------------------------
+    # exporter view
+    # ------------------------------------------------------------------
+    def export_view(self) -> list:
+        """Consistent read for :mod:`repro.obs.export`:
+        ``[(name, kind, [(labelkey, payload), ...]), ...]`` where payload
+        is a float for counters/gauges and a summary dict for histograms.
+        Taken under the lock, so a scrape during concurrent mutation sees
+        a coherent point-in-time view."""
+        with self._lock:
+            out = []
+            for name in sorted(self._families):
+                family = self._families[name]
+                if not family.series:
+                    continue
+                series = [
+                    (key,
+                     m.summary() if isinstance(m, Histogram) else m.value)
+                    for key, m in sorted(family.series.items())
+                ]
+                out.append((name, family.kind, series))
+            return out
 
 
 # ----------------------------------------------------------------------
@@ -222,20 +486,21 @@ def enabled() -> bool:
     return _GLOBAL.enabled
 
 
-def inc(name: str, n: int = 1) -> None:
-    _GLOBAL.inc(name, n)
+def inc(name: str, n: int = 1, labels: Optional[dict] = None) -> None:
+    _GLOBAL.inc(name, n, labels=labels)
 
 
-def set_gauge(name: str, val: float) -> None:
-    _GLOBAL.set_gauge(name, val)
+def set_gauge(name: str, val: float, labels: Optional[dict] = None) -> None:
+    _GLOBAL.set_gauge(name, val, labels=labels)
 
 
-def observe(name: str, sample: float) -> None:
-    _GLOBAL.observe(name, sample)
+def observe(name: str, sample: float,
+            labels: Optional[dict] = None) -> None:
+    _GLOBAL.observe(name, sample, labels=labels)
 
 
-def value(name: str, default: float = 0):
-    return _GLOBAL.value(name, default)
+def value(name: str, default: float = 0, labels: Optional[dict] = None):
+    return _GLOBAL.value(name, default, labels=labels)
 
 
 def snapshot(prefix: Optional[str] = None) -> dict:

@@ -50,6 +50,7 @@ __all__ = [
     "instant",
     "events",
     "ingest",
+    "open_spans",
     "to_chrome_trace",
     "save",
     "report",
@@ -121,12 +122,19 @@ class _LiveSpan:
         depth_var = self._tracer._depth
         self._depth = depth_var.get()
         self._token = depth_var.set(self._depth + 1)
+        # per-thread open-span stack: read cross-thread by the sampling
+        # profiler to scope collapsed stacks to the active span
+        self._tracer._open.setdefault(
+            threading.get_ident(), []).append(self._name)
         self._start_ns = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc) -> bool:
         dur_ns = time.perf_counter_ns() - self._start_ns
         self._tracer._depth.reset(self._token)
+        stack = self._tracer._open.get(threading.get_ident())
+        if stack:
+            stack.pop()
         self._tracer._record(SpanEvent(
             name=self._name, start_ns=self._start_ns, dur_ns=dur_ns,
             thread=threading.get_ident(), depth=self._depth,
@@ -143,6 +151,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._depth: ContextVar[int] = ContextVar("repro_obs_depth", default=0)
         self._main_thread = threading.get_ident()
+        #: thread ident -> names of the spans currently open on it
+        self._open: Dict[int, List[str]] = {}
 
     # ------------------------------------------------------------------
     # recording
@@ -196,6 +206,14 @@ class Tracer:
     def nevents(self) -> int:
         with self._lock:
             return len(self._events)
+
+    def open_spans(self, thread_ident: int) -> tuple:
+        """Names of the spans currently open on one thread, outermost
+        first (empty while disabled or between spans).  Read cross-thread
+        by :mod:`repro.obs.sampler` — a plain tuple() snapshot under the
+        GIL, so no lock is needed on the span hot path."""
+        stack = self._open.get(thread_ident)
+        return tuple(stack) if stack else ()
 
     # ------------------------------------------------------------------
     # exporters
@@ -390,6 +408,10 @@ def events() -> List[SpanEvent]:
 
 def ingest(evts: List[SpanEvent]) -> None:
     _GLOBAL.ingest(evts)
+
+
+def open_spans(thread_ident: int) -> tuple:
+    return _GLOBAL.open_spans(thread_ident)
 
 
 def to_chrome_trace() -> dict:

@@ -168,9 +168,11 @@ def run_tasks(tasks: Sequence[Callable[[], object]],
 
     reg = metrics.get_registry()
     if reg.enabled and tasks:
-        reg.inc("executor.regions")
-        reg.inc("executor.tasks", len(tasks))
-        reg.set_gauge("executor.load_imbalance", report.load_imbalance())
+        labels = {"backend": backend}
+        reg.inc("executor.regions", labels=labels)
+        reg.inc("executor.tasks", len(tasks), labels=labels)
+        reg.set_gauge("executor.load_imbalance", report.load_imbalance(),
+                      labels=labels)
         for r in report.results:
-            reg.observe("executor.task_seconds", r.elapsed)
+            reg.observe("executor.task_seconds", r.elapsed, labels=labels)
     return report

@@ -204,10 +204,13 @@ def _pack_events(events) -> list:
 def _worker_main(conn, worker_id: int) -> None:
     """Worker loop: attach shared arrays, run tasks, ship results back."""
     # a forked worker inherits the parent's tracer/registry state; start
-    # clean so shipped events/counters are strictly this worker's own
+    # clean so shipped events/counters are strictly this worker's own.
+    # Metrics stay on regardless of the parent's flag at fork time: the
+    # parent's merge is the single gate (it no-ops while disabled)
     trace.disable()
     trace.clear()
     metrics.reset()
+    metrics.enable()
 
     from ..kernels.gather import build_task_gather, mttkrp_gather_chunk
 
@@ -217,6 +220,10 @@ def _worker_main(conn, worker_id: int) -> None:
     gather_cache: Dict[tuple, object] = {}
     chaos_state = None  # ChaosState once a ("chaos", plan) message arrives
     task_seq = 0  # compute tasks executed by this worker slot (1-based)
+    # shipped-metrics watermark: deltas are computed at reply-send time, so
+    # a worker killed/hung/desynced before the send never marks its work as
+    # shipped — the retried task re-ships exactly once from a fresh worker
+    mstats_state: dict = {}
 
     def attach(spec: ShmArraySpec) -> np.ndarray:
         arr = array_cache.get(spec)
@@ -317,7 +324,9 @@ def _worker_main(conn, worker_id: int) -> None:
                 if directive is not None and directive.kind == "corrupt":
                     conn.send(("garbled",))
                     continue
-                conn.send(("ok", task_id, elapsed, backend, tg.nnz, events))
+                mstats = metrics.get_registry().collect_deltas(mstats_state)
+                conn.send(("ok", task_id, elapsed, backend, tg.nnz, events,
+                           mstats))
             elif kind == "generic":
                 _, _, fn = msg
                 t0 = time.perf_counter()
@@ -328,9 +337,10 @@ def _worker_main(conn, worker_id: int) -> None:
                 if directive is not None and directive.kind == "corrupt":
                     conn.send(("garbled",))
                     continue
-                conn.send(("ok", task_id, elapsed, value, 0, None))
+                mstats = metrics.get_registry().collect_deltas(mstats_state)
+                conn.send(("ok", task_id, elapsed, value, 0, None, mstats))
             elif kind == "ping":
-                conn.send(("ok", task_id, 0.0, "pong", 0, None))
+                conn.send(("ok", task_id, 0.0, "pong", 0, None, []))
             else:
                 raise ValueError(f"unknown worker message {kind!r}")
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
@@ -468,7 +478,9 @@ class ProcPool:
                 timeout: Optional[float] = None) -> Dict[int, tuple]:
         """Collect one response per (task_id -> worker_id) in ``expected``.
 
-        Returns ``{task_id: (elapsed, value, nnz, events)}``.  Every
+        Returns ``{task_id: (elapsed, value, nnz, events, mstats)}`` where
+        ``mstats`` is the worker's metric-delta list (see
+        :meth:`repro.obs.metrics.MetricsRegistry.collect_deltas`).  Every
         outstanding response is drained before raising (so the pool stays
         reusable), then the first failure in task order is re-raised with
         its remote traceback chained.
@@ -511,8 +523,14 @@ class ProcPool:
                 if not waiting:
                     del pending[conn]
                 if status == "ok":
-                    _, _, elapsed, value, nnz, events = msg
-                    results[task_id] = (elapsed, value, nnz, events)
+                    if len(msg) != 7:
+                        self._abandon()
+                        raise RuntimeError(
+                            "a procpool worker sent a malformed ok reply "
+                            f"(length {len(msg)}); the pool has been shut "
+                            "down")
+                    _, _, elapsed, value, nnz, events, mstats = msg
+                    results[task_id] = (elapsed, value, nnz, events, mstats)
                 else:
                     _, _, exc, tb = msg
                     errors[task_id] = (exc, tb)
@@ -723,18 +741,19 @@ class SharedMttkrpSession:
         backends = set()
         reg = metrics.get_registry()
         for t in sorted(results):
-            elapsed, backend, nnz, events = results[t]
+            elapsed, backend, nnz, events, mstats = results[t]
             report.results.append(TaskResult(tid=t, elapsed=elapsed,
                                              value=backend))
             if isinstance(backend, str) and backend not in ("noop", ""):
                 backends.add(backend)
             if reg.enabled:
                 reg.inc("procpool.tasks")
-                reg.observe("procpool.task_seconds", elapsed)
-                reg.inc("mttkrp.nnz_processed", int(nnz))
-                if isinstance(backend, str) and backend != "noop":
-                    reg.inc("scatter.calls")
-                    reg.inc("scatter." + backend)
+                reg.observe("procpool.task_seconds", elapsed,
+                            labels={"worker": f"proc-{t}"})
+                # nnz/scatter accounting arrives via the worker's own
+                # metric deltas (merged below as worker="proc-N" series);
+                # the parent adds nothing, so nothing double-counts
+                reg.merge_deltas(mstats, {"worker": f"proc-{t}"})
             if events:
                 _ingest_worker_events(events, t)
         if reg.enabled:
@@ -1025,16 +1044,21 @@ def run_generic_tasks(tasks, nworkers: Optional[int] = None,
                 tid=i, elapsed=time.perf_counter() - t0, value=value))
         report.backend = "sim"
         return report
-    for i in sorted(results):
-        elapsed, value, _, _ = results[i]
-        report.results.append(TaskResult(tid=i, elapsed=elapsed, value=value))
     reg = metrics.get_registry()
+    for i in sorted(results):
+        elapsed, value = results[i][0], results[i][1]
+        report.results.append(TaskResult(tid=i, elapsed=elapsed, value=value))
+        if reg.enabled and len(results[i]) > 4:
+            reg.merge_deltas(results[i][4],
+                             {"worker": f"proc-{i % nworkers}"})
     if reg.enabled:
-        reg.inc("executor.regions")
-        reg.inc("executor.tasks", len(tasks))
-        reg.set_gauge("executor.load_imbalance", report.load_imbalance())
+        reg.inc("executor.regions", labels={"backend": "process"})
+        reg.inc("executor.tasks", len(tasks), labels={"backend": "process"})
+        reg.set_gauge("executor.load_imbalance", report.load_imbalance(),
+                      labels={"backend": "process"})
         for r in report.results:
-            reg.observe("executor.task_seconds", r.elapsed)
+            reg.observe("executor.task_seconds", r.elapsed,
+                        labels={"backend": "process"})
     return report
 
 

@@ -162,7 +162,7 @@ class Supervisor:
     def run(self, tasks: Dict[int, Tuple[int, Callable[[bool], tuple]]]
             ) -> Dict[int, tuple]:
         """Execute ``{task_id: (worker_id, make_msg)}``; returns
-        ``{task_id: (elapsed, value, nnz, events)}``.
+        ``{task_id: (elapsed, value, nnz, events, mstats)}``.
 
         ``make_msg(reset)`` builds the submission message; ``reset=True``
         marks a retry, telling the worker to zero the task's owned output
@@ -242,7 +242,7 @@ class Supervisor:
         if not isinstance(payload, tuple) or len(payload) < 2:
             return None
         status, task_id = payload[0], payload[1]
-        if status == "ok" and len(payload) == 6:
+        if status == "ok" and len(payload) == 7:
             return status, task_id, tuple(payload[2:])
         if status == "err" and len(payload) == 4:
             return status, task_id, (payload[2], payload[3])

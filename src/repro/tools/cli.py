@@ -296,6 +296,14 @@ def cmd_info(args) -> int:
         print(f"  alpha_b={stats.alpha_b:.3f} mode_skew={stats.mode_skew:.2f} "
               f"fiber_reuse={stats.fiber_reuse:.2f}")
         print(f"  tuner would pick: {choose_format(stats=stats)}")
+    prefix = getattr(args, "prefix", None)
+    if prefix is not None:
+        print(f"metrics (prefix={prefix!r}):")
+        lines = obs_metrics.report(prefix=prefix)
+        if not lines:
+            print("  (no series recorded — run with --metrics or in-process)")
+        for line in lines:
+            print(f"  {line}")
     return 0
 
 
@@ -325,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(open in Perfetto / chrome://tracing)")
         p.add_argument("--metrics", action="store_true",
                        help="print the metrics-registry report on exit")
+        p.add_argument("--profile", metavar="OUT.txt", default=None,
+                       help="run the sampling profiler and write collapsed "
+                            "stacks (flamegraph.pl / speedscope input)")
+        p.add_argument("--metrics-port", type=int, metavar="N", default=None,
+                       help="serve OpenMetrics on http://127.0.0.1:N/metrics "
+                            "for the duration of the command (0: ephemeral "
+                            "port, printed on startup)")
 
     def add_common(p, output=False):
         p.add_argument("tensor", help=".tns or .hicoo input file")
@@ -430,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("tensor", nargs="?", default=None,
                    help="optional .tns/.hicoo file: also report which "
                         "format the tuner would pick for it")
+    p.add_argument("--prefix", metavar="NAME.", default=None,
+                   help="print the labeled metrics snapshot filtered to "
+                        "series whose name starts with this prefix "
+                        "(e.g. 'mttkrp.'); '' prints everything")
     add_obs(p)
     p.set_defaults(func=cmd_info)
 
@@ -449,18 +468,45 @@ def _run_with_obs(args) -> int:
 
     ``--trace`` enables the span tracer, wraps the command in a root
     ``cli.<command>`` span (so coverage is ~100%), and writes the Chrome
-    trace on exit; ``--metrics`` prints the registry report.
+    trace on exit; ``--metrics`` prints the registry report;
+    ``--profile`` runs the sampling profiler and writes collapsed stacks;
+    ``--metrics-port`` serves the registry as OpenMetrics for the
+    command's duration.
     """
     trace_path = getattr(args, "trace", None)
     show_metrics = getattr(args, "metrics", False)
+    profile_path = getattr(args, "profile", None)
+    metrics_port = getattr(args, "metrics_port", None)
     if trace_path:
         obs_trace.enable()
+    server = None
+    if metrics_port is not None:
+        from ..obs.export import MetricsServer
+
+        obs_metrics.enable()
+        server = MetricsServer(port=metrics_port)
+        server.start()
+        print(f"[metrics] serving {server.url}/metrics")
+    profiler = None
+    if profile_path:
+        from ..obs.sampler import SamplingProfiler
+
+        profiler = SamplingProfiler(scope=f"cli.{args.command}")
+        profiler.start()
     try:
         with obs_trace.span(f"cli.{args.command}"):
             rc = args.func(args)
     finally:
+        if profiler is not None:
+            profiler.stop()
+        if server is not None:
+            server.stop()
         if trace_path:
             obs_trace.disable()
+    if profiler is not None:
+        profiler.save(profile_path)
+        print(f"[profile] {profiler.nsamples} samples, "
+              f"{len(profiler.samples)} unique stacks -> {profile_path}")
     if trace_path:
         obs_trace.save(trace_path)
         tracer = obs_trace.get_tracer()

@@ -166,3 +166,42 @@ class TestCliExtensions:
         assert main(["tucker", tns_file, "-r", "2", "--maxiters", "2"]) == 0
         out = capsys.readouterr().out
         assert "core=" in out
+
+    def test_profile_flag_writes_collapsed_stacks(self, tns_file, tmp_path,
+                                                  capsys):
+        out_path = tmp_path / "prof.folded"
+        assert main(["mttkrp", tns_file, "-r", "4", "-t", "2",
+                     "--warmup", "3", "--profile", str(out_path)]) == 0
+        assert "[profile]" in capsys.readouterr().out
+        text = out_path.read_text()
+        # every line is "frame;frame;... count", scoped to the subcommand
+        for line in text.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert count.isdigit()
+            assert stack.startswith("cli.mttkrp")
+
+    def test_metrics_port_serves_during_command(self, tns_file, capsys):
+        import re
+        from urllib.request import urlopen
+
+        assert main(["cpd", tns_file, "-r", "2", "--maxiters", "2",
+                     "--metrics-port", "0"]) == 0
+        out = capsys.readouterr().out
+        url = re.search(r"serving (http://127\.0\.0\.1:\d+)/metrics", out)
+        assert url is not None, out
+        # the endpoint lived only for the command's duration
+        with pytest.raises(OSError):
+            urlopen(url.group(1) + "/metrics", timeout=2)
+
+    def test_info_prefix_prints_labeled_snapshot(self, tns_file, capsys):
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.reset()
+        # populate the registry in-process, then print a filtered view
+        assert main(["mttkrp", tns_file, "-r", "4", "-t", "2"]) == 0
+        assert main(["info", "--prefix", "mttkrp."]) == 0
+        out = capsys.readouterr().out
+        assert "metrics (prefix='mttkrp.'):" in out
+        assert "mttkrp.parallel_calls" in out
+        assert 'format="hicoo"' in out
+        assert "gather.cache_hits" not in out  # filtered out by the prefix

@@ -1,0 +1,539 @@
+"""Tests for telemetry v2: labeled metrics, OpenMetrics export, the
+sampling profiler, and the perf ledger.
+
+The label/quantile semantics of the registry itself, the exporter's
+bundled OpenMetrics validator (CI has no promtool), the ``/metrics``
+HTTP endpoint, profiler stack collection, ledger regression detection,
+and — the part most likely to rot silently — concurrent mutation during
+``snapshot()``/``reset()`` plus conservation of merged worker series
+under chaos faults.
+"""
+
+import json
+import threading
+import time
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import numpy as np
+import pytest
+
+from repro import testing
+from repro.core.hicoo import HicooTensor
+from repro.kernels.mttkrp import mttkrp_parallel
+from repro.obs import ledger, metrics, trace
+from repro.obs.export import (MetricsServer, render_openmetrics,
+                              sanitize_name, validate_openmetrics)
+from repro.obs.metrics import Histogram, MetricsRegistry, format_series
+from repro.obs.sampler import SamplingProfiler
+from repro.parallel import procpool
+from tests.conftest import make_random_coo
+
+NW = 2
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    trace.disable()
+    trace.clear()
+    testing.clear_chaos()
+    metrics.reset()
+    metrics.enable()
+    yield
+    trace.disable()
+    trace.clear()
+    testing.clear_chaos()
+    metrics.reset()
+    metrics.enable()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pools():
+    yield
+    procpool.shutdown_pools()
+
+
+# ----------------------------------------------------------------------
+# labeled registry semantics
+# ----------------------------------------------------------------------
+class TestLabels:
+    def test_labels_create_series_and_aggregate(self):
+        reg = MetricsRegistry()
+        reg.inc("k.calls", labels={"format": "alto", "mode": 2})
+        reg.inc("k.calls", 2, labels={"format": "hicoo", "mode": 2})
+        reg.inc("k.calls")  # unlabeled series of the same family
+        assert reg.value("k.calls") == 4  # bare name sums every series
+        assert reg.value("k.calls", labels={"format": "alto", "mode": 2}) == 1
+        assert reg.value("k.calls", labels={"format": "none"}) == 0
+        labelsets = reg.series_labels("k.calls")
+        assert {} in labelsets
+        assert {"format": "alto", "mode": "2"} in labelsets
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("x", labels={"b": 1, "a": 2})
+        reg.inc("x", labels={"a": 2, "b": 1})
+        assert reg.value("x", labels={"b": 1, "a": 2}) == 2
+        assert len(reg.series_labels("x")) == 1
+
+    def test_snapshot_emits_bare_aggregate_plus_labeled(self):
+        reg = MetricsRegistry()
+        reg.inc("k.calls", labels={"format": "alto"})
+        reg.inc("k.calls", labels={"format": "hicoo"})
+        reg.inc("plain")
+        snap = reg.snapshot()
+        assert snap["k.calls"] == 2
+        assert snap['k.calls{format="alto"}'] == 1
+        assert snap['k.calls{format="hicoo"}'] == 1
+        assert snap["plain"] == 1
+        assert 'plain{' not in "".join(snap)
+
+    def test_snapshot_prefix_filters_on_family_name(self):
+        reg = MetricsRegistry()
+        reg.inc("sup.a", labels={"w": 0})
+        reg.inc("other.b")
+        snap = reg.snapshot("sup.")
+        assert set(snap) == {"sup.a", 'sup.a{w="0"}'}
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("m")
+        with pytest.raises(TypeError, match="counter"):
+            reg.observe("m", 1.0)
+        with pytest.raises(TypeError, match="counter"):
+            reg.set_gauge("m", 1.0, labels={"x": 1})
+
+    def test_gauge_aggregate_is_last_write(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 5.0, labels={"w": 0})
+        reg.set_gauge("g", 7.0, labels={"w": 1})
+        assert reg.value("g") == 7.0
+        assert reg.value("g", labels={"w": 0}) == 5.0
+
+    def test_format_series(self):
+        assert format_series("n", ()) == "n"
+        assert format_series("n", (("a", "1"), ("b", "x"))) == 'n{a="1",b="x"}'
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry()
+        reg.enabled = False
+        reg.inc("a", labels={"x": 1})
+        reg.observe("h", 1.0)
+        reg.set_gauge("g", 2.0)
+        assert reg.snapshot() == {}
+
+
+class TestHistogramQuantiles:
+    def test_summary_quantiles(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100 and s["min"] == 1.0 and s["max"] == 100.0
+        assert s["p50"] == pytest.approx(50.5, abs=1.0)
+        assert s["p95"] == pytest.approx(95.0, abs=1.5)
+        assert s["p99"] == pytest.approx(99.0, abs=1.5)
+
+    def test_reservoir_bounds_memory_and_stays_representative(self):
+        h = Histogram()
+        for v in range(20_000):
+            h.observe(float(v))
+        assert len(h._samples) == Histogram.RESERVOIR_SIZE
+        assert h.count == 20_000
+        # uniform 0..20k: the sampled median must land near the middle
+        assert 5_000 < h.quantile(0.5) < 15_000
+
+    def test_merge_preserves_quantile_capability(self):
+        a, b = Histogram(), Histogram()
+        for v in range(100):
+            b.observe(float(v))
+        a.merge(b.count, b.total, b.min, b.max, b._samples)
+        assert a.count == 100
+        assert a.summary()["p50"] == pytest.approx(49.5, abs=2.0)
+
+    def test_report_renders_quantiles(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("h.t", v, labels={"backend": "sim"})
+        line = next(ln for ln in reg.report()
+                    if ln.startswith('h.t{backend="sim"}'))
+        assert "p50=" in line and "p95=" in line and "p99=" in line
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics rendering + bundled validator + HTTP endpoint
+# ----------------------------------------------------------------------
+class TestOpenMetrics:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.inc("mttkrp.calls", 3, labels={"format": "alto", "mode": 0})
+        reg.inc("mttkrp.calls", 1)
+        reg.set_gauge("cache.bytes", 1024.0)
+        for v in (0.1, 0.2, 0.3):
+            reg.observe("task.seconds", v, labels={"backend": "thread"})
+        return reg
+
+    def test_render_validates_and_has_expected_series(self):
+        text = render_openmetrics(self._registry())
+        assert validate_openmetrics(text) == []
+        assert text.endswith("# EOF\n")
+        assert "# TYPE mttkrp_calls counter" in text
+        assert 'mttkrp_calls_total{format="alto",mode="0"} 3' in text
+        assert "mttkrp_calls_total 1" in text  # unlabeled series
+        assert "cache_bytes 1024" in text
+        assert 'task_seconds{backend="thread",quantile="0.5"}' in text
+        assert 'task_seconds_count{backend="thread"} 3' in text
+        assert 'task_seconds_sum{backend="thread"}' in text
+
+    def test_sanitize_name(self):
+        assert sanitize_name("mttkrp.calls") == "mttkrp_calls"
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.inc("weird", labels={"path": 'a"b\\c', "nl": "x\ny"})
+        text = render_openmetrics(reg)
+        assert validate_openmetrics(text) == []
+
+    def test_validator_rejects_broken_pages(self):
+        assert validate_openmetrics("foo 1\n")  # no TYPE, no EOF
+        good = render_openmetrics(self._registry())
+        assert any("EOF" in p for p in
+                   validate_openmetrics(good.replace("# EOF\n", "")))
+        assert any("_total" in p for p in validate_openmetrics(
+            "# TYPE c counter\nc 1\n# EOF\n"))
+        assert any("duplicate series" in p for p in validate_openmetrics(
+            "# TYPE g gauge\ng 1\ng 2\n# EOF\n"))
+        assert any("unbalanced" in p for p in validate_openmetrics(
+            '# TYPE g gauge\ng{a="b} 1\n# EOF\n'))
+
+    def test_server_serves_metrics_healthz_and_404(self):
+        metrics.inc("srv.test_counter", 7, labels={"who": "test"})
+        with MetricsServer(port=0) as srv:
+            assert srv.port != 0
+            body = urlopen(srv.url + "/metrics", timeout=10).read().decode()
+            assert validate_openmetrics(body) == []
+            assert 'srv_test_counter_total{who="test"} 7' in body
+            health = json.loads(
+                urlopen(srv.url + "/healthz", timeout=10).read().decode())
+            assert health["status"] == "ok"
+            assert health["uptime_s"] >= 0
+            with pytest.raises(HTTPError):
+                urlopen(srv.url + "/nope", timeout=10)
+        # stopped server refuses connections
+        with pytest.raises(OSError):
+            urlopen(srv.url + "/metrics", timeout=2)
+        assert metrics.value("export.servers_started") == 1
+
+
+# ----------------------------------------------------------------------
+# sampling profiler
+# ----------------------------------------------------------------------
+def _spin(seconds: float) -> None:
+    end = time.perf_counter() + seconds
+    while time.perf_counter() < end:
+        sum(i * i for i in range(500))
+
+
+class TestSampler:
+    def test_collects_scoped_stacks(self, tmp_path):
+        prof = SamplingProfiler(interval=0.001, scope="unittest")
+        prof.start()
+        _spin(0.25)
+        prof.stop()
+        assert prof.nsamples > 10
+        lines = prof.collapsed()
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+        assert all(line.startswith("unittest;") for line in lines)
+        assert any("_spin" in line for line in lines)
+        out = tmp_path / "p.folded"
+        prof.save(out)
+        assert out.read_text().splitlines() == lines
+        leaf, frac = prof.top(1)[0]
+        assert 0 < frac <= 1.0
+        assert metrics.value("sampler.runs") == 1
+        assert metrics.value("sampler.samples") == prof.nsamples
+
+    def test_span_prefix_when_tracing(self):
+        trace.enable()
+        prof = SamplingProfiler(interval=0.001)
+        prof.start()
+        with trace.span("hot.phase"):
+            _spin(0.25)
+        prof.stop()
+        trace.disable()
+        assert any(key.startswith("hot.phase;") for key in prof.samples), \
+            list(prof.samples)[:3]
+
+    def test_default_targets_only_starting_thread(self):
+        stop = threading.Event()
+        t = threading.Thread(target=lambda: stop.wait(2.0), daemon=True)
+        t.start()
+        prof = SamplingProfiler(interval=0.001)
+        prof.start()
+        _spin(0.1)
+        prof.stop()
+        stop.set()
+        t.join()
+        assert not any("stop.wait" in k or "Event.wait" in k
+                       for k in prof.samples)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            SamplingProfiler(interval=0.0)
+
+    def test_open_spans_tracks_stack(self):
+        trace.enable()
+        ident = threading.get_ident()
+        assert trace.open_spans(ident) == ()
+        with trace.span("a"):
+            with trace.span("b"):
+                assert trace.open_spans(ident) == ("a", "b")
+            assert trace.open_spans(ident) == ("a",)
+        assert trace.open_spans(ident) == ()
+
+
+# ----------------------------------------------------------------------
+# perf ledger
+# ----------------------------------------------------------------------
+class TestLedger:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        rec = ledger.append_record(path, {"a/b": 1.5}, labels={"x": 1},
+                                   source="test", sha="abc")
+        assert rec["series"] == {"a/b": 1.5}
+        with open(path, "a") as fh:
+            fh.write("not json\n{\"no_series\": 1}\n")
+        history = ledger.read_history(path)
+        assert len(history) == 1  # malformed + schema-less lines skipped
+        assert history[0]["sha"] == "abc"
+        assert history[0]["labels"] == {"x": "1"}
+
+    def test_series_from_bench_geomeans(self):
+        records = [
+            {"op": "mttkrp", "variant": "cached", "time_s": 1.0},
+            {"op": "mttkrp", "variant": "cached", "time_s": 4.0},
+            {"op": "mttkrp", "variant": "cached", "time_s": "bad"},
+            {"op": "conv", "variant": "cold", "time_s": 2.0},
+            {"op": "conv", "time_s": 0.0},  # non-positive dropped
+        ]
+        series = ledger.series_from_bench(records)
+        assert series["mttkrp/cached"] == pytest.approx(2.0)  # sqrt(1*4)
+        assert series["conv/cold"] == pytest.approx(2.0)
+
+    def test_detector_flags_slowdown_not_noise_or_new(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        for i in range(5):
+            ledger.append_record(path, {"s/x": 1.0 + 0.02 * (i % 2)},
+                                 sha=f"c{i}")
+        assert ledger.detect_regressions(ledger.read_history(path)) == []
+        # a NEW series in the latest record is never flagged
+        ledger.append_record(path, {"s/x": 2.5, "s/new": 9.0}, sha="bad")
+        flagged = ledger.detect_regressions(ledger.read_history(path))
+        assert [r.series for r in flagged] == ["s/x"]
+        reg = flagged[0]
+        assert reg.ratio > 2.0 and reg.pct > 100.0
+        assert "s/x" in str(reg)
+
+    def test_rolling_window_forgets_old_baseline(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        # old fast era, then a slow era long enough to fill the window
+        for v in [1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]:
+            ledger.append_record(path, {"s/x": v})
+        ledger.append_record(path, {"s/x": 2.1})
+        assert ledger.detect_regressions(ledger.read_history(path),
+                                         window=5) == []
+
+    def test_delta_table_and_cli(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        for v in (1.0, 1.0, 1.0):
+            ledger.append_record(path, {"s/x": v})
+        ledger.append_record(path, {"s/x": 3.0, "s/new": 1.0})
+        table = ledger.delta_table(ledger.read_history(path))
+        assert "| `s/x` |" in table and "REGRESSION" in table
+        assert "NEW" in table
+        assert ledger._main([str(path)]) == 0  # table-only never gates
+        assert ledger._main([str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: s/x" in out
+        # empty/missing ledger renders gracefully and passes the gate
+        assert ledger._main([str(tmp_path / "none.jsonl"), "--check"]) == 0
+
+    def test_git_sha_in_repo(self):
+        sha = ledger.git_sha()
+        assert sha == "unknown" or (sha and len(sha) >= 7)
+
+
+# ----------------------------------------------------------------------
+# concurrency: mutation during snapshot()/reset(), worker-series
+# conservation under the process backend and chaos faults
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_thread_mutation_during_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        NTHREADS, PER = 8, 2_000
+        stop = threading.Event()
+
+        def mutate(i):
+            for k in range(PER):
+                reg.inc("conc.calls", labels={"t": i % 3})
+                if k % 50 == 0:
+                    reg.observe("conc.seconds", 0.001 * k,
+                                labels={"t": i % 3})
+
+        def reader():
+            while not stop.is_set():
+                reg.snapshot()
+                reg.report()
+                reg.export_view()
+                render_openmetrics(reg)
+
+        threads = [threading.Thread(target=mutate, args=(i,))
+                   for i in range(NTHREADS)]
+        rd = threading.Thread(target=reader)
+        rd.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        rd.join()
+        # nothing lost, nothing double-counted
+        assert reg.value("conc.calls") == NTHREADS * PER
+        snap = reg.snapshot()
+        assert sum(snap[f'conc.calls{{t="{i}"}}'] for i in range(3)) \
+            == NTHREADS * PER
+
+    def test_reset_during_mutation_is_safe(self):
+        reg = MetricsRegistry()
+        done = threading.Event()
+
+        def mutate():
+            while not done.is_set():
+                reg.inc("r.calls", labels={"x": 1})
+                reg.observe("r.h", 1.0)
+
+        threads = [threading.Thread(target=mutate) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for _ in range(200):
+            reg.reset()
+        done.set()
+        for t in threads:
+            t.join()
+        # post-quiescence the registry is coherent and usable
+        reg.reset()
+        reg.inc("r.calls", 5, labels={"x": 1})
+        assert reg.value("r.calls") == 5
+
+    def _problem(self):
+        coo = make_random_coo((30, 24, 20), nnz=600, seed=7)
+        hic = HicooTensor(coo, block_bits=2)
+        rng = np.random.default_rng(7)
+        factors = [rng.random((s, 6)) for s in hic.shape]
+        return hic, factors
+
+    def test_process_backend_worker_series_conserved(self):
+        """Merged worker series sum exactly to the work done: every
+        nonzero of every mode run appears once under some proc-N label."""
+        hic, factors = self._problem()
+        try:
+            for _ in range(2):
+                mttkrp_parallel(hic, factors, 0, NW, backend="process")
+            snap = metrics.snapshot()
+            assert snap["mttkrp.nnz_processed"] == 2 * hic.nnz
+            worker_series = [k for k in snap
+                            if k.startswith('mttkrp.nnz_processed{')]
+            assert worker_series, snap
+            assert all('worker="proc-' in k for k in worker_series)
+            assert sum(snap[k] for k in worker_series) == 2 * hic.nnz
+            # scatter backend choices made inside workers surface too
+            assert any(k.startswith("scatter.calls{") and 'worker=' in k
+                       for k in snap)
+        finally:
+            procpool.release_shared(hic)
+
+    @pytest.mark.parametrize("fault", ["kill", "hang"])
+    def test_chaos_fault_neither_loses_nor_double_counts(self, fault):
+        """A worker killed/hung mid-task ships no delta for that attempt;
+        the retry re-measures on a fresh worker — totals stay exact."""
+        hic, factors = self._problem()
+        try:
+            sim = mttkrp_parallel(hic, factors, 0, NW,
+                                  backend="sim").output
+            metrics.reset()
+            if fault == "kill":
+                testing.install_chaos(testing.chaos(testing.kill_at(0)))
+                policy = "retry"
+            else:
+                testing.install_chaos(
+                    testing.chaos(testing.hang_at(0, seconds=120.0)))
+                from repro.parallel.supervisor import FaultConfig
+
+                policy = FaultConfig(policy="retry", task_deadline=2.0,
+                                     backoff_base=0.01, backoff_cap=0.05)
+            run = mttkrp_parallel(hic, factors, 0, NW, backend="process",
+                                  fault_policy=policy)
+            assert np.array_equal(run.output, sim)
+            snap = metrics.snapshot()
+            assert snap.get("mttkrp.nnz_processed") == hic.nnz, snap
+            worker_series = [k for k in snap
+                            if k.startswith('mttkrp.nnz_processed{')]
+            assert sum(snap[k] for k in worker_series) == hic.nnz
+            assert metrics.value("supervisor.recoveries") >= 1
+            # the PR 5 recovery counters are scrapeable through the exporter
+            text = render_openmetrics()
+            assert validate_openmetrics(text) == []
+            assert "# TYPE supervisor_respawns counter" in text
+            assert "supervisor_respawns_total 1" in text
+            assert "supervisor_recoveries_total" in text
+        finally:
+            procpool.shutdown_pools()
+            procpool.release_shared(hic)
+
+    def test_compiled_tier_counters_scrapeable(self):
+        """JIT/GPU-tier health surfaces in the scrape whichever way the
+        host resolves the tier: compile cost when numba is present, the
+        labeled fallback counter when it is not."""
+        from repro.kernels.backends import (resolve_kernel_backend,
+                                            tier_available)
+        from repro.kernels.compiled import warmup_numba
+
+        resolve_kernel_backend("numba")
+        warmup_numba()
+        text = render_openmetrics()
+        assert validate_openmetrics(text) == []
+        if tier_available("numba"):
+            assert "# TYPE compiled_compile_seconds summary" in text
+            assert 'compiled_compile_seconds_count{tier="numba"}' in text
+        else:
+            assert 'kernel_fallbacks_total{tier="numba"} 1' in text
+
+    def test_scrape_during_process_backend_run(self):
+        """A live scrape racing the process backend returns a coherent,
+        valid page every time."""
+        hic, factors = self._problem()
+        stop = threading.Event()
+        pages = []
+        try:
+            with MetricsServer(port=0) as srv:
+                def scrape():
+                    while not stop.is_set():
+                        body = urlopen(srv.url + "/metrics",
+                                       timeout=10).read().decode()
+                        pages.append(body)
+
+                t = threading.Thread(target=scrape)
+                t.start()
+                for _ in range(3):
+                    mttkrp_parallel(hic, factors, 0, NW, backend="process")
+                stop.set()
+                t.join()
+            assert pages
+            for body in pages:
+                assert validate_openmetrics(body) == [], \
+                    validate_openmetrics(body)[:3]
+            assert 'worker="proc-' in pages[-1]
+        finally:
+            stop.set()
+            procpool.release_shared(hic)
