@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Serving-path benchmark: request throughput and latency percentiles.
+
+Stands up a real :class:`repro.serve.daemon.ReproDaemon` (sim backend —
+this measures the *serving* overhead: framing, validation, scheduling,
+batching, digesting — not kernel scaling, which has its own benches),
+replays a seeded closed-loop request stream with concurrent clients, and
+reports req/s plus p50/p95/p99 client-observed latency per op.
+
+Two variants land in ``BENCH_serve.json`` (and the perf ledger):
+
+* ``closed_loop_8c`` — 8 clients, mixed MTTKRP/CP-ALS/TTM stream;
+* ``batched_mttkrp`` — 8 clients, one hot (tensor, mode, rank) so the
+  scheduler's compatible-batch path dominates.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.traffic import RequestStream
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ReproDaemon
+
+from conftest import write_bench_json, write_result
+
+NCLIENTS = 8
+NREQUESTS = 160
+SPEC = {"kind": "random", "shape": [40, 36, 32], "nnz": 6000, "seed": 3,
+        "format": "hicoo"}
+
+
+def replay_timed(port, requests, nclients):
+    """Closed-loop replay measuring per-request client-observed latency."""
+    lat = [None] * len(requests)
+    assigned = [[] for _ in range(nclients)]
+    for i in range(len(requests)):
+        assigned[i % nclients].append(i)
+
+    def worker(indices):
+        with ServeClient(port=port) as cli:
+            for i in indices:
+                req = {k: v for k, v in requests[i].items()
+                       if k != "arrival_s"}
+                t0 = time.perf_counter()
+                reply = cli.submit(req)
+                lat[i] = (requests[i]["op"], time.perf_counter() - t0,
+                          reply.get("batch_size", 1))
+
+    threads = [threading.Thread(target=worker, args=(idx,))
+               for idx in assigned if idx]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return wall, lat
+
+
+def percentiles(samples):
+    arr = np.sort(np.array(samples))
+    return {f"p{q}_ms": float(np.percentile(arr, q) * 1e3)
+            for q in (50, 95, 99)}
+
+
+def run_variant(variant, requests, batch_limit=8):
+    daemon = ReproDaemon(backend="sim", nthreads=2, executors=2,
+                         batch_limit=batch_limit, max_queue=512)
+    daemon.start()
+    try:
+        with ServeClient(port=daemon.port) as cli:
+            cli.register("hot", SPEC)
+            # warm the symbolic state so the measurement is steady-state
+            cli.mttkrp("hot", mode=0, rank=4, seed=0)
+        wall, lat = replay_timed(daemon.port, requests, NCLIENTS)
+    finally:
+        daemon.stop()
+
+    rows, records = [], []
+    by_op = {}
+    for op, seconds, batch in lat:
+        by_op.setdefault(op, []).append(seconds)
+    for op, samples in sorted(by_op.items()):
+        pct = percentiles(samples)
+        rows.append({"variant": variant, "op": op, "n": len(samples),
+                     "req_s": len(samples) / wall, **pct})
+        records.append({"op": f"serve_{op}", "format": "hicoo",
+                        "strategy": "daemon", "dataset": "synthetic",
+                        "variant": variant, "nclients": NCLIENTS,
+                        "req_s": len(samples) / wall,
+                        "time_s": float(np.median(samples)), **pct})
+    total = {"variant": variant, "op": "ALL", "n": len(lat),
+             "req_s": len(lat) / wall, **percentiles(
+                 [s for _, s, _ in lat])}
+    rows.append(total)
+    records.append({"op": "serve_all", "format": "hicoo",
+                    "strategy": "daemon", "dataset": "synthetic",
+                    "variant": variant, "nclients": NCLIENTS,
+                    "req_s": total["req_s"],
+                    "time_s": float(np.median([s for _, s, _ in lat])),
+                    "batched_jobs": sum(1 for _, _, b in lat if b > 1),
+                    **{k: total[k] for k in ("p50_ms", "p95_ms",
+                                             "p99_ms")}})
+    return rows, records
+
+
+def main():
+    mixed = RequestStream({"hot": 3}, n=NREQUESTS, seed=17,
+                          ranks=(2, 4), iters=(1, 2)).generate()
+    hot = [{"op": "mttkrp", "tensor": "hot", "mode": 0, "rank": 4,
+            "seed": s} for s in range(NREQUESTS)]
+
+    all_rows, all_records = [], []
+    for variant, reqs, blim in (("closed_loop_8c", mixed, 8),
+                                ("batched_mttkrp", hot, 8),
+                                ("unbatched_mttkrp", hot, 1)):
+        rows, records = run_variant(variant, reqs, batch_limit=blim)
+        all_rows.extend(rows)
+        all_records.extend(records)
+
+    table = render_table(
+        all_rows, ["variant", "op", "n", "req_s", "p50_ms", "p95_ms",
+                   "p99_ms"],
+        title=f"serve daemon: {NREQUESTS} requests, {NCLIENTS} clients "
+              f"(closed loop, sim backend)")
+    print(table)
+    write_result("BENCH_serve.txt", table)
+    write_bench_json(all_records, "BENCH_serve.json")
+
+
+if __name__ == "__main__":
+    main()

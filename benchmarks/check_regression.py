@@ -80,6 +80,7 @@ EXPECTED_BENCH_FILES = {
     "BENCH_convert.json": "run bench_convert.py",
     "BENCH_gather.json": "run bench_gather.py",
     "BENCH_alto.json": "run bench_mttkrp_par.py --alto",
+    "BENCH_serve.json": "run bench_serve.py",
 }
 
 
@@ -375,6 +376,66 @@ def check_alto() -> bool:
     return ok
 
 
+#: conservative serving-throughput floor (req/s, closed loop, sim backend)
+#: — we measure ~500 req/s on a laptop-class host; 25 only catches a
+#: serving path that collapsed (per-request pool respawn, lost batching,
+#: lock convoy), not host noise
+SERVE_REQS_FLOOR = 25.0
+
+
+def check_serve() -> bool:
+    """Guard the serving path: differential equality + a throughput floor.
+
+    A short closed-loop replay (8 clients) against a live daemon must (a)
+    answer every request with a digest bitwise-equal to the sequential
+    oracle's, and (b) clear a very conservative req/s floor — the serving
+    overhead (framing, validation, scheduling, digesting) must stay
+    amortizable, or the resident-daemon economics argument dies.
+    """
+    from bench_serve import NCLIENTS, SPEC, replay_timed
+    from repro.analysis.traffic import RequestStream
+    from repro.serve.client import ServeClient
+    from repro.serve.daemon import ReproDaemon, build_tensor
+    from repro.serve.jobs import run_job
+
+    requests = RequestStream({"hot": 3}, n=64, seed=23,
+                             ranks=(2, 4), iters=(1, 2)).generate()
+    daemon = ReproDaemon(backend="sim", nthreads=2, executors=2,
+                         max_queue=256)
+    daemon.start()
+    try:
+        with ServeClient(port=daemon.port) as cli:
+            cli.register("hot", SPEC)
+            replies = [cli.submit({k: v for k, v in r.items()
+                                   if k != "arrival_s"})
+                       for r in requests[:8]]  # warm + correctness sample
+        wall, lat = replay_timed(daemon.port, requests, NCLIENTS)
+    finally:
+        daemon.stop()
+
+    ok = True
+    oracle_tensor = build_tensor(dict(SPEC))
+    for req, rep in zip(requests[:8], replies):
+        expect = run_job(req["op"], oracle_tensor, mode=req.get("mode", 0),
+                         rank=req["rank"], seed=req.get("seed", 0),
+                         iters=req.get("iters", 3), backend="sim",
+                         nthreads=2)
+        if rep["digest"] != expect["digest"]:
+            print(f"FAIL: daemon reply diverges from the sequential "
+                  f"oracle on {req}")
+            ok = False
+    if ok:
+        print("  daemon == sequential oracle (bitwise) on the sampled jobs")
+    reqs_per_s = len(lat) / wall
+    print(f"  closed-loop throughput: {reqs_per_s:.0f} req/s "
+          f"({NCLIENTS} clients, {len(lat)} requests)")
+    if reqs_per_s < SERVE_REQS_FLOOR:
+        print(f"FAIL: serving throughput {reqs_per_s:.0f} req/s < "
+              f"{SERVE_REQS_FLOOR} req/s floor")
+        ok = False
+    return ok
+
+
 def summarize() -> int:
     """Markdown geomean table over the recorded bench JSON (no timing runs).
 
@@ -490,8 +551,14 @@ def main() -> int:
     if alto_ok:
         print("OK: alto is bit-identical to the COO oracle and meets "
               "both suite floors")
+
+    print("serving path (daemon differential + throughput floor):")
+    serve_ok = check_serve()
+    if serve_ok:
+        print("OK: daemon matches the oracle bitwise and clears the "
+              "throughput floor")
     return (0 if ok and conv_ok and cache_ok and proc_ok and jit_ok
-            and alto_ok else 1)
+            and alto_ok and serve_ok else 1)
 
 
 if __name__ == "__main__":

@@ -38,7 +38,8 @@ from ..formats.coo import CooTensor
 from ..formats.csf import CsfTensor
 from ..util.validation import check_mode
 
-__all__ = ["KernelWork", "mttkrp_work", "cp_als_iteration_work"]
+__all__ = ["KernelWork", "mttkrp_work", "cp_als_iteration_work",
+           "RequestStream"]
 
 FLOAT_BYTES = 8  # computation uses doubles
 VALUE_BYTES = 4  # stored values are single precision (paper accounting)
@@ -221,3 +222,76 @@ def cp_als_iteration_work(tensor: SparseTensorFormat, rank: int,
         total = total + KernelWork(flops=3.0 * dim * rank * rank,
                                    bytes_moved=2.0 * dim * rank * FLOAT_BYTES)
     return total
+
+
+# ----------------------------------------------------------------------
+# request-stream generation (the serve daemon's workload model)
+# ----------------------------------------------------------------------
+@dataclass
+class RequestStream:
+    """Seeded generator of a realistic request stream for the serve daemon.
+
+    Models the three load characteristics the serve tests need to be
+    deterministic about:
+
+    * **popularity skew** — tensors are chosen Zipf-distributed
+      (exponent ``zipf_s`` over the registration order), so a hot tensor
+      dominates and its warm plans/sessions actually get exercised;
+    * **op/rank mix** — ``op_mix`` weights over MTTKRP / CP-ALS / TTM,
+      ranks drawn uniformly from ``ranks`` (a repeated (tensor, mode,
+      rank) pair is what makes batching reachable);
+    * **poisson arrivals** — exponential inter-arrival gaps at
+      ``rate_hz``, carried as an ``arrival_s`` offset the replay runner
+      may honour or ignore.
+
+    Everything derives from ``seed`` via one ``default_rng``, so the same
+    constructor arguments always yield the identical request list — the
+    replay harness and its sequential oracle iterate the same stream.
+
+    ``tensors`` maps tensor name -> number of modes (for drawing a valid
+    ``mode``).
+    """
+
+    tensors: Dict[str, int]
+    n: int = 200
+    seed: int = 0
+    zipf_s: float = 1.1
+    rate_hz: float = 200.0
+    op_mix: Dict[str, float] = field(default_factory=lambda: {
+        "mttkrp": 0.70, "cp_als": 0.15, "ttm": 0.15})
+    ranks: tuple = (2, 4, 8)
+    iters: tuple = (1, 2, 3)
+    priorities: tuple = (0, 1, 2)
+
+    def generate(self) -> list:
+        """The request list: ``n`` protocol-ready dicts, arrival-ordered."""
+        if not self.tensors:
+            raise ValueError("RequestStream needs at least one tensor")
+        rng = np.random.default_rng(self.seed)
+        names = list(self.tensors)
+        weights = np.array([1.0 / (i + 1) ** self.zipf_s
+                            for i in range(len(names))])
+        weights /= weights.sum()
+        ops = list(self.op_mix)
+        op_w = np.array([self.op_mix[o] for o in ops], dtype=float)
+        op_w /= op_w.sum()
+        gaps = rng.exponential(1.0 / self.rate_hz, size=self.n)
+        arrivals = np.cumsum(gaps)
+        out = []
+        for i in range(self.n):
+            name = names[int(rng.choice(len(names), p=weights))]
+            op = ops[int(rng.choice(len(ops), p=op_w))]
+            req = {
+                "op": op,
+                "tensor": name,
+                "rank": int(rng.choice(self.ranks)),
+                "seed": int(rng.integers(0, 2**31)),
+                "priority": int(rng.choice(self.priorities)),
+                "arrival_s": float(arrivals[i]),
+            }
+            if op in ("mttkrp", "ttm"):
+                req["mode"] = int(rng.integers(0, self.tensors[name]))
+            if op == "cp_als":
+                req["iters"] = int(rng.choice(self.iters))
+            out.append(req)
+        return out

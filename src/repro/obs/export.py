@@ -251,13 +251,23 @@ class MetricsServer:
         with MetricsServer(port=0) as srv:
             run_workload()
             text = urllib.request.urlopen(srv.url + "/metrics").read()
+
+    ``resolve`` mounts extra GET routes: a callable taking the request path
+    and returning ``(status, content_type, body_bytes)``, or ``None`` to
+    fall through to 404.  The serve daemon mounts ``/jobs``, ``/tensors``
+    and per-job trace download this way, so one HTTP port covers scraping
+    and introspection.  ``health`` (zero-arg, returning a JSON-able dict)
+    augments the ``/healthz`` payload.
     """
 
     def __init__(self, port: int = 0, host: str = "127.0.0.1",
-                 registry: Optional[metrics.MetricsRegistry] = None) -> None:
+                 registry: Optional[metrics.MetricsRegistry] = None,
+                 resolve=None, health=None) -> None:
         self.host = host
         self.port = port
         self.registry = registry or metrics.get_registry()
+        self.resolve = resolve
+        self.health = health
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         self._started_at = 0.0
@@ -277,23 +287,35 @@ class MetricsServer:
 
             def do_GET(self) -> None:
                 path = self.path.split("?", 1)[0]
+                status = 200
                 if path == "/metrics":
                     body = render_openmetrics(server.registry).encode()
                     ctype = CONTENT_TYPE
                 elif path == "/healthz":
-                    body = json.dumps({
+                    payload = {
                         "status": "ok",
                         "uptime_s": time.monotonic() - server._started_at,
-                    }).encode()
+                    }
+                    if server.health is not None:
+                        try:
+                            payload.update(server.health())
+                        except Exception as exc:  # health must never 500
+                            payload["health_error"] = str(exc)
+                    body = json.dumps(payload).encode()
                     ctype = "application/json"
                 else:
-                    body = b"not found\n"
-                    self.send_response(404)
-                    self.send_header("Content-Length", str(len(body)))
-                    self.end_headers()
-                    self.wfile.write(body)
-                    return
-                self.send_response(200)
+                    extra = None
+                    if server.resolve is not None:
+                        try:
+                            extra = server.resolve(path)
+                        except Exception as exc:
+                            extra = (500, "text/plain",
+                                     f"route error: {exc}\n".encode())
+                    if extra is None:
+                        status, ctype, body = 404, "text/plain", b"not found\n"
+                    else:
+                        status, ctype, body = extra
+                self.send_response(status)
                 self.send_header("Content-Type", ctype)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()

@@ -55,6 +55,7 @@ __all__ = [
     "enabled",
     "inc",
     "set_gauge",
+    "add_gauge",
     "observe",
     "value",
     "snapshot",
@@ -289,6 +290,22 @@ class MetricsRegistry:
             self._series(name, Gauge, labels).value = val
             self._families[name].last_gauge = val
 
+    def add_gauge(self, name: str, delta: float,
+                  labels: Optional[dict] = None) -> float:
+        """Atomically add ``delta`` to a gauge and return the new value.
+
+        Level-style gauges (queue depth, active connections) are maintained
+        by concurrent increments and decrements; read-modify-write through
+        :meth:`value`/:meth:`set_gauge` would race, this doesn't.
+        """
+        if not self.enabled:
+            return 0.0
+        with self._lock:
+            gauge = self._series(name, Gauge, labels)
+            gauge.value += delta
+            self._families[name].last_gauge = gauge.value
+            return gauge.value
+
     def observe(self, name: str, sample: float,
                 labels: Optional[dict] = None) -> None:
         if not self.enabled:
@@ -492,6 +509,11 @@ def inc(name: str, n: int = 1, labels: Optional[dict] = None) -> None:
 
 def set_gauge(name: str, val: float, labels: Optional[dict] = None) -> None:
     _GLOBAL.set_gauge(name, val, labels=labels)
+
+
+def add_gauge(name: str, delta: float,
+              labels: Optional[dict] = None) -> float:
+    return _GLOBAL.add_gauge(name, delta, labels=labels)
 
 
 def observe(name: str, sample: float,

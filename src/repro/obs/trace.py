@@ -49,6 +49,7 @@ __all__ = [
     "span",
     "instant",
     "events",
+    "events_between",
     "ingest",
     "open_spans",
     "to_chrome_trace",
@@ -193,6 +194,17 @@ class Tracer:
         with self._lock:
             return list(self._events)
 
+    def events_between(self, start_ns: int, end_ns: int) -> List[SpanEvent]:
+        """Events whose lifetime overlaps ``[start_ns, end_ns]``.
+
+        The serve daemon uses this to carve one job's spans (including the
+        ``proc-N`` lanes merged from workers) out of the shared tracer for
+        per-job trace download.
+        """
+        with self._lock:
+            return [e for e in self._events
+                    if e.start_ns <= end_ns and e.end_ns >= start_ns]
+
     def ingest(self, events: List[SpanEvent]) -> None:
         """Merge externally-recorded spans (e.g. shipped from a worker
         process).  Negative ``thread`` idents are reserved for process
@@ -227,9 +239,14 @@ class Tracer:
             tids.setdefault(e.thread, len(tids))
         return tids
 
-    def to_chrome_trace(self) -> dict:
-        """The trace as a Chrome trace-event JSON object (dict)."""
-        evts = self.events()
+    def to_chrome_trace(self,
+                        events: Optional[List[SpanEvent]] = None) -> dict:
+        """The trace as a Chrome trace-event JSON object (dict).
+
+        ``events`` restricts the export to a precomputed subset (e.g. one
+        job's window from :meth:`events_between`); default is everything.
+        """
+        evts = self.events() if events is None else list(events)
         pid = os.getpid()
         tids = self._tid_map(evts)
         out = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
@@ -406,6 +423,10 @@ def events() -> List[SpanEvent]:
     return _GLOBAL.events()
 
 
+def events_between(start_ns: int, end_ns: int) -> List[SpanEvent]:
+    return _GLOBAL.events_between(start_ns, end_ns)
+
+
 def ingest(evts: List[SpanEvent]) -> None:
     _GLOBAL.ingest(evts)
 
@@ -414,8 +435,8 @@ def open_spans(thread_ident: int) -> tuple:
     return _GLOBAL.open_spans(thread_ident)
 
 
-def to_chrome_trace() -> dict:
-    return _GLOBAL.to_chrome_trace()
+def to_chrome_trace(events: Optional[List[SpanEvent]] = None) -> dict:
+    return _GLOBAL.to_chrome_trace(events)
 
 
 def save(path) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 import time
 import traceback
 import uuid
@@ -396,6 +397,12 @@ class ProcPool:
         if nworkers < 1:
             raise ValueError(f"nworkers must be positive, got {nworkers}")
         self.nworkers = nworkers
+        # one submit->collect region at a time: task ids are region-local,
+        # so two threads interleaving on the same pool would cross-attribute
+        # replies.  Region callers (SharedMttkrpSession.run_mode,
+        # run_generic_tasks) hold this for their whole region; the serve
+        # daemon's concurrent executors therefore share warm pools safely.
+        self.region_lock = threading.RLock()
         self.start_method = start_method or default_start_method()
         self._ctx = mp.get_context(self.start_method)
         self._procs: List[mp.Process] = []
@@ -544,7 +551,9 @@ class ProcPool:
     def _abandon(self) -> None:
         """Hard-kill the pool (worker death / timeout); drop it from the
         warm cache so the next call builds a fresh one."""
-        _POOLS.pop((self.nworkers, self.start_method), None)
+        with _POOLS_LOCK:
+            if _POOLS.get((self.nworkers, self.start_method)) is self:
+                _POOLS.pop((self.nworkers, self.start_method), None)
         self.shutdown(grace=0.2)
 
     def shutdown(self, grace: float = 2.0) -> None:
@@ -569,6 +578,7 @@ class ProcPool:
 
 
 _POOLS: Dict[Tuple[int, str], ProcPool] = {}
+_POOLS_LOCK = threading.Lock()
 
 
 def get_pool(nworkers: int, start_method: Optional[str] = None) -> ProcPool:
@@ -576,25 +586,30 @@ def get_pool(nworkers: int, start_method: Optional[str] = None) -> ProcPool:
 
     Reuse is what amortizes process start-up across CP-ALS iterations; the
     ``procpool.pool_reuses`` counter proves it in the metrics report.
+    Thread-safe: concurrent serve-daemon executors get the same warm pool
+    (and serialize their regions on its ``region_lock``).
     """
     start_method = start_method or default_start_method()
     key = (nworkers, start_method)
-    pool = _POOLS.get(key)
-    if pool is not None and pool.alive:
-        metrics.inc("procpool.pool_reuses")
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and pool.alive:
+            metrics.inc("procpool.pool_reuses")
+            return pool
+        if pool is not None:
+            pool.shutdown(grace=0.2)
+        pool = ProcPool(nworkers, start_method=start_method)
+        _POOLS[key] = pool
         return pool
-    if pool is not None:
-        pool.shutdown(grace=0.2)
-    pool = ProcPool(nworkers, start_method=start_method)
-    _POOLS[key] = pool
-    return pool
 
 
 def shutdown_pools() -> None:
     """Stop every warm pool (tests and interpreter exit)."""
-    for pool in list(_POOLS.values()):
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
         pool.shutdown()
-    _POOLS.clear()
 
 
 # ----------------------------------------------------------------------
@@ -610,6 +625,15 @@ class SharedMttkrpSession:
     structure arrays are copied into shared segments a single time, factor
     slots are rewritten in place every call (a memcpy, no pickling), and the
     output/privatized slabs are recycled across modes and iterations.
+
+    **Ownership.** The factor slots and output/privatized slabs are
+    single-occupancy, so concurrent callers (the serve daemon's executor
+    threads) serialize each call on the session's execution lock, and the
+    session is *refcounted*: :meth:`acquire`/:meth:`release` bracket every
+    use, and :meth:`close` while references are held only *marks* the
+    session for teardown — the arena is unlinked by the last
+    :meth:`release`.  Unregistering a tensor mid-job therefore never pulls
+    shared segments out from under a running kernel.
     """
 
     def __init__(self, tensor, nworkers: int) -> None:
@@ -631,6 +655,10 @@ class SharedMttkrpSession:
         self._out_spec: Optional[ShmArraySpec] = None
         self._priv_spec: Optional[ShmArraySpec] = None
         self._closed = False
+        self._refs = 0
+        self._pending_close = False
+        self._state_lock = threading.Lock()
+        self._exec_lock = threading.RLock()
         _LIVE_SESSIONS.add(self)
         metrics.inc("procpool.sessions")
         metrics.set_gauge("procpool.shared_bytes", self.arena.total_bytes())
@@ -688,9 +716,28 @@ class SharedMttkrpSession:
         ``degrade`` policy the region runs under a
         :class:`~repro.parallel.supervisor.Supervisor` instead of the
         fail-fast :meth:`ProcPool.collect`.
+
+        Safe to call from multiple threads: the call holds a reference on
+        the session (deferring any concurrent teardown), the session's
+        execution lock (the factor/output slots are single-occupancy), and
+        the pool's region lock (task ids are region-local) for its whole
+        duration.
         """
-        if self._closed:
-            raise RuntimeError("session used after release_shared()")
+        self.acquire()
+        try:
+            with self._exec_lock, pool.region_lock:
+                return self._run_mode_locked(
+                    pool, factors, mode, thread_runs, strategy,
+                    timeout=timeout, fault_config=fault_config,
+                    scatter=scatter)
+        finally:
+            self.release()
+
+    def _run_mode_locked(self, pool: ProcPool,
+                         factors: Sequence[np.ndarray],
+                         mode: int, thread_runs, strategy: str,
+                         timeout: Optional[float] = None, fault_config=None,
+                         scatter: str = "auto"):
         rank = factors[0].shape[1]
         self.ensure_rank(rank)
         rows = self.shape[mode]
@@ -773,10 +820,40 @@ class SharedMttkrpSession:
         h = self.handle
         return (h.bptr, h.binds, h.einds, h.values)
 
+    def acquire(self) -> "SharedMttkrpSession":
+        """Take a reference; the arena stays mapped until :meth:`release`."""
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("session used after release_shared()")
+            self._refs += 1
+            return self
+
+    def release(self) -> None:
+        """Drop a reference; the last release of a close-marked session
+        unlinks the arena."""
+        with self._state_lock:
+            self._refs = max(0, self._refs - 1)
+            do_close = self._refs == 0 and self._pending_close
+        if do_close:
+            self.close()
+
+    @property
+    def refcount(self) -> int:
+        with self._state_lock:
+            return self._refs
+
     def close(self) -> None:
-        if not self._closed:
+        """Tear the arena down — deferred to the last :meth:`release` while
+        references are held (never blocks the caller)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            if self._refs > 0:
+                self._pending_close = True
+                metrics.inc("procpool.session_close_deferred")
+                return
             self._closed = True
-            self.arena.close()
+        self.arena.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC order dependent
         try:
@@ -799,28 +876,40 @@ def _ingest_worker_events(packed: list, worker_id: int) -> None:
     trace.ingest(events)
 
 
+_SESSIONS_LOCK = threading.Lock()
+
+
 def _session_for(tensor, nworkers: int) -> SharedMttkrpSession:
-    sessions = tensor.__dict__.setdefault("_proc_sessions", {})
-    session = sessions.get(nworkers)
-    if session is None or session._closed:
-        session = sessions[nworkers] = SharedMttkrpSession(tensor, nworkers)
-    else:
-        metrics.inc("procpool.session_reuses")
-    return session
+    with _SESSIONS_LOCK:
+        sessions = tensor.__dict__.setdefault("_proc_sessions", {})
+        session = sessions.get(nworkers)
+        if session is None or session._closed or session._pending_close:
+            session = sessions[nworkers] = SharedMttkrpSession(tensor,
+                                                               nworkers)
+        else:
+            metrics.inc("procpool.session_reuses")
+        return session
 
 
 def release_shared(tensor) -> None:
     """Close and unlink every shared-memory session of ``tensor``.
 
+    Sessions still referenced by an in-flight call (the serve daemon's
+    concurrent jobs) are marked for teardown and unlinked by the job's
+    closing :meth:`SharedMttkrpSession.release` instead — the call never
+    blocks and never breaks a running kernel.
+
     ALTO tensors hold their sessions on per-mode proxy views
     (:meth:`repro.formats.alto.AltoTensor.proc_view`); those are released
     here too, so one call covers every format.
     """
-    sessions = tensor.__dict__.get("_proc_sessions") or {}
+    with _SESSIONS_LOCK:
+        sessions = dict(tensor.__dict__.get("_proc_sessions") or {})
+        (tensor.__dict__.get("_proc_sessions") or {}).clear()
+        views = list((tensor.__dict__.get("_proc_views") or {}).values())
     for session in sessions.values():
         session.close()
-    sessions.clear()
-    for view in (tensor.__dict__.get("_proc_views") or {}).values():
+    for view in views:
         release_shared(view)
 
 
@@ -1016,18 +1105,19 @@ def run_generic_tasks(tasks, nworkers: Optional[int] = None,
 
     supervised = fault_config.policy != "fail-fast"
     try:
-        if supervised:
-            sup = Supervisor(pool, fault_config, deadline=timeout,
-                             submit=submit)
-            results = sup.run({i: (i % nworkers, msg_builder(i, task))
-                               for i, task in enumerate(tasks)})
-        else:
-            expected: Dict[int, int] = {}
-            for i, task in enumerate(tasks):
-                wid = i % nworkers
-                submit(wid, ("generic", i, task))
-                expected[i] = wid
-            results = pool.collect(expected, timeout=timeout)
+        with pool.region_lock:
+            if supervised:
+                sup = Supervisor(pool, fault_config, deadline=timeout,
+                                 submit=submit)
+                results = sup.run({i: (i % nworkers, msg_builder(i, task))
+                                   for i, task in enumerate(tasks)})
+            else:
+                expected: Dict[int, int] = {}
+                for i, task in enumerate(tasks):
+                    wid = i % nworkers
+                    submit(wid, ("generic", i, task))
+                    expected[i] = wid
+                results = pool.collect(expected, timeout=timeout)
     except DegradedExecution as exc:
         # recovery budget exhausted: run the whole region inline — generic
         # tasks have no shared output, so a clean sequential pass is exact

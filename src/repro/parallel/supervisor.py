@@ -36,9 +36,10 @@ guarantee write-up.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import metrics, trace
 from ..util.log import get_logger
@@ -50,6 +51,8 @@ __all__ = [
     "FaultToleranceExhausted",
     "DegradedExecution",
     "Supervisor",
+    "add_retry_listener",
+    "remove_retry_listener",
 ]
 
 #: the selectable fault policies, least to most forgiving
@@ -108,6 +111,41 @@ class FaultConfig:
         """Seconds to wait before retry number ``attempt`` (1-based)."""
         return min(self.backoff_cap,
                    self.backoff_base * (2.0 ** max(0, attempt - 1)))
+
+
+# -- retry listeners ---------------------------------------------------
+# Callbacks fired on every supervised task retry, in the thread running the
+# supervised region.  The serve daemon registers one to attribute retries
+# to the job that owns the region (its ``serve.retries`` counter must stay
+# conserved with ``supervisor.task_retries`` under chaos).
+_LISTENER_LOCK = threading.Lock()
+_RETRY_LISTENERS: List[Callable[[int, int, int], None]] = []
+
+
+def add_retry_listener(cb: Callable[[int, int, int], None]) -> None:
+    """Register ``cb(task_id, worker_id, attempt)`` to run on every
+    supervised task retry (any region, the region's own thread)."""
+    with _LISTENER_LOCK:
+        _RETRY_LISTENERS.append(cb)
+
+
+def remove_retry_listener(cb: Callable[[int, int, int], None]) -> None:
+    """Unregister a listener added by :func:`add_retry_listener`."""
+    with _LISTENER_LOCK:
+        try:
+            _RETRY_LISTENERS.remove(cb)
+        except ValueError:
+            pass
+
+
+def _notify_retry(task_id: int, worker_id: int, attempt: int) -> None:
+    with _LISTENER_LOCK:
+        listeners = list(_RETRY_LISTENERS)
+    for cb in listeners:
+        try:
+            cb(task_id, worker_id, attempt)
+        except Exception:  # listeners must never break recovery
+            pass
 
 
 class FaultToleranceExhausted(RuntimeError):
@@ -286,6 +324,7 @@ class Supervisor:
         st.retries += 1
         pause = self.config.backoff(st.retries)
         metrics.inc("supervisor.task_retries")
+        _notify_retry(st.task_id, st.worker, st.retries)
         trace.instant("supervisor.retry", task=st.task_id, worker=st.worker,
                       attempt=st.retries, backoff_s=pause)
         self.log.warning("retrying task %d on worker %d (attempt %d, "

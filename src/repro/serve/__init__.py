@@ -1,0 +1,45 @@
+"""``repro.serve`` — a long-lived tensor-decomposition daemon.
+
+The HiCOO paper's economics are one-time symbolic cost (blocking, gather
+plans, shared-memory placement) amortized over many numeric executions.
+This package is that economics as a service: a :class:`~repro.serve.daemon.ReproDaemon`
+keeps registered tensors resident (any first-class format via
+``as_format``, gather plans and ``ShmArena`` sessions warm across
+requests) and serves MTTKRP / CP-ALS / TTM jobs over a line-delimited-JSON
+socket protocol, with the ``obs.export`` HTTP endpoint extended to
+``/jobs``, ``/tensors`` and per-job trace download.
+
+Entry points:
+
+* :class:`~repro.serve.daemon.ReproDaemon` — the server (also
+  ``hicoo-repro serve``);
+* :class:`~repro.serve.client.ServeClient` — the client library (also
+  ``hicoo-repro submit``), used by the test and bench harnesses;
+* :mod:`repro.serve.protocol` — framing, request validation, error codes;
+* :mod:`repro.serve.scheduler` — priority/fairness queueing, admission
+  control, compatible-request batching;
+* :mod:`repro.serve.jobs` — the single job-execution function shared by
+  the daemon and the differential-test oracle.
+
+See ``docs/serving.md`` for the protocol reference and the correctness
+argument, and ``tests/test_serve.py`` for the differential harness.
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient
+from .daemon import ReproDaemon
+from .jobs import Job, digest_array, run_job
+from .protocol import ProtocolError
+from .scheduler import AdmissionError, JobScheduler
+
+__all__ = [
+    "ReproDaemon",
+    "ServeClient",
+    "Job",
+    "JobScheduler",
+    "AdmissionError",
+    "ProtocolError",
+    "run_job",
+    "digest_array",
+]

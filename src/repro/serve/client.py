@@ -1,0 +1,152 @@
+"""Client library for the serve daemon's line-delimited-JSON protocol.
+
+One :class:`ServeClient` owns one TCP connection; requests are answered
+in order, so the client is a simple synchronous request/reply loop.  It
+is deliberately thin — framing via :mod:`repro.serve.protocol`, no
+retries, no hidden state — because the test harness drives many of these
+concurrently and wants every byte's provenance obvious.
+
+Error convention: a reply with ``ok: false`` raises
+:class:`ServeError` carrying the structured error (``.code``,
+``.status``); transport-level failures raise ``ConnectionError``.  Pass
+``check=False`` to :meth:`request` to receive error replies as values
+(the fuzz suite does).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from . import protocol
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A structured ``ok: false`` reply from the daemon."""
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(error.get("message", "request failed"))
+        self.code = error.get("code", "internal")
+        self.status = error.get("status", 500)
+        self.error = error
+
+
+class ServeClient:
+    """Synchronous client for one daemon connection (context manager)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 300.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._req_seq = 0
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def send_raw(self, payload: bytes) -> None:
+        """Ship raw bytes (the fuzzer's entry point — no client-side
+        validation, by design)."""
+        self.connect()
+        self._sock.sendall(payload)
+
+    def read_reply(self) -> dict:
+        """Read one reply line; raises ``ConnectionError`` on EOF."""
+        line = self._rfile.readline(protocol.MAX_FRAME_BYTES + 2)
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return protocol.decode_frame(line.rstrip(b"\r\n"))
+
+    def request(self, obj: dict, check: bool = True) -> dict:
+        """One request/reply round trip.
+
+        With ``check`` (default) an ``ok: false`` reply raises
+        :class:`ServeError`; with ``check=False`` it is returned as-is.
+        """
+        self.connect()
+        self._req_seq += 1
+        obj = dict(obj)
+        obj.setdefault("id", self._req_seq)
+        self._sock.sendall(protocol.encode_frame(obj))
+        reply = self.read_reply()
+        if check and not reply.get("ok", False):
+            raise ServeError(reply.get("error", {}))
+        return reply
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def register(self, name: str, spec: dict) -> dict:
+        return self.request({"op": "register", "name": name, "spec": spec})
+
+    def unregister(self, name: str) -> dict:
+        return self.request({"op": "unregister", "name": name})
+
+    def tensors(self) -> list:
+        return self.request({"op": "tensors"})["tensors"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def job_status(self, job_id: str) -> dict:
+        return self.request({"op": "job_status", "job": job_id})["job"]
+
+    def mttkrp(self, tensor: str, *, mode: int = 0, rank: int = 4,
+               seed: int = 0, priority: int = 1,
+               return_data: bool = False, check: bool = True) -> dict:
+        return self.request({"op": "mttkrp", "tensor": tensor,
+                             "mode": mode, "rank": rank, "seed": seed,
+                             "priority": priority,
+                             "return_data": return_data}, check=check)
+
+    def cp_als(self, tensor: str, *, rank: int = 4, seed: int = 0,
+               iters: int = 3, priority: int = 1,
+               check: bool = True) -> dict:
+        return self.request({"op": "cp_als", "tensor": tensor,
+                             "rank": rank, "seed": seed, "iters": iters,
+                             "priority": priority}, check=check)
+
+    def ttm(self, tensor: str, *, mode: int = 0, rank: int = 4,
+            seed: int = 0, priority: int = 1, check: bool = True) -> dict:
+        return self.request({"op": "ttm", "tensor": tensor, "mode": mode,
+                             "rank": rank, "seed": seed,
+                             "priority": priority}, check=check)
+
+    def submit(self, req: dict, check: bool = True) -> dict:
+        """Submit a generated request dict (the replay runner's verb)."""
+        return self.request(dict(req), check=check)

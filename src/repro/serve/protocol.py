@@ -1,0 +1,241 @@
+"""Line-delimited-JSON wire protocol of the serve daemon.
+
+One request per line, one reply per line, UTF-8 JSON, ``\\n`` terminated.
+The framing rules are deliberately strict so the fuzz suite can pin them:
+
+* a frame longer than :data:`MAX_FRAME_BYTES` is rejected with
+  ``frame_too_large`` and the connection is closed (the stream can no
+  longer be trusted to be line-synchronized);
+* a frame that is not valid JSON is rejected with ``bad_json``;
+* a JSON frame that is not an object, names no ``op``, names an unknown
+  ``op``, or carries ill-typed fields is rejected with ``invalid_request``
+  / ``unknown_op``;
+* every rejection is a *structured reply* — ``{"ok": false, "error":
+  {"code", "status", "message"}}`` — never a traceback, and never daemon
+  death.
+
+Replies echo the request's ``id`` field when present, so clients may
+correlate without relying on ordering (the bundled client relies on the
+per-connection request/reply ordering instead).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ERROR_CODES",
+    "JOB_OPS",
+    "ADMIN_OPS",
+    "OPS",
+    "ProtocolError",
+    "error_reply",
+    "encode_frame",
+    "decode_frame",
+    "validate_request",
+]
+
+#: hard cap on one request/reply line (admission control for memory)
+MAX_FRAME_BYTES = 1 << 20
+
+PROTOCOL_VERSION = 1
+
+#: error code -> HTTP-style status (429 is the overload-shedding reply the
+#: soak test asserts on: rejection is always explicit, never a silent drop)
+ERROR_CODES = {
+    "bad_json": 400,
+    "invalid_request": 400,
+    "unknown_op": 400,
+    "frame_too_large": 413,
+    "not_found": 404,
+    "overloaded": 429,
+    "shutting_down": 503,
+    "job_failed": 500,
+    "internal": 500,
+}
+
+#: ops that enqueue work on the scheduler
+JOB_OPS = ("mttkrp", "cp_als", "ttm")
+
+#: ops answered inline by the connection handler
+ADMIN_OPS = ("ping", "register", "unregister", "tensors", "stats",
+             "job_status")
+
+OPS = JOB_OPS + ADMIN_OPS
+
+#: bounds on job parameters (validated before anything touches a kernel)
+MAX_RANK = 256
+MAX_ITERS = 64
+MAX_PRIORITY = 2
+
+#: bounds on registered synthetic tensors
+MAX_NDIM = 8
+MAX_NNZ = 2_000_000
+MAX_DIM = 1 << 24
+
+
+class ProtocolError(Exception):
+    """A malformed or inadmissible request; always answered structurally.
+
+    ``fatal`` marks the connection as desynchronized (oversized frame):
+    the daemon replies, then closes.
+    """
+
+    def __init__(self, code: str, message: str, *,
+                 fatal: bool = False) -> None:
+        if code not in ERROR_CODES:
+            code = "internal"
+        super().__init__(message)
+        self.code = code
+        self.status = ERROR_CODES[code]
+        self.fatal = fatal
+
+    def reply(self, req_id=None) -> dict:
+        return error_reply(self.code, str(self), req_id=req_id)
+
+
+def error_reply(code: str, message: str, req_id=None, **extra) -> dict:
+    """The structured error reply for ``code`` (see :data:`ERROR_CODES`)."""
+    err = {"code": code, "status": ERROR_CODES.get(code, 500),
+           "message": message}
+    err.update(extra)
+    out = {"ok": False, "error": err}
+    if req_id is not None:
+        out["id"] = req_id
+    return out
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One reply/request as a compact JSON line (raises on oversize)."""
+    data = json.dumps(obj, separators=(",", ":"),
+                      allow_nan=False).encode("utf-8") + b"\n"
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame_too_large",
+                            f"frame of {len(data)} bytes exceeds "
+                            f"{MAX_FRAME_BYTES}", fatal=True)
+    return data
+
+
+def decode_frame(line: bytes) -> dict:
+    """Parse one received line into a request object.
+
+    Raises :class:`ProtocolError` (never json's own exceptions) on
+    oversized, non-UTF-8, non-JSON, or non-object frames.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError("frame_too_large",
+                            f"frame of {len(line)} bytes exceeds "
+                            f"{MAX_FRAME_BYTES}", fatal=True)
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_json", f"unparseable frame: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("invalid_request",
+                            f"request must be a JSON object, got "
+                            f"{type(obj).__name__}")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# request validation
+# ----------------------------------------------------------------------
+def _need(obj: dict, key: str, types, what: str):
+    if key not in obj:
+        raise ProtocolError("invalid_request", f"missing field {key!r}")
+    val = obj[key]
+    if types is int and isinstance(val, bool):
+        raise ProtocolError("invalid_request",
+                            f"field {key!r} must be {what}, got a bool")
+    if not isinstance(val, types):
+        raise ProtocolError("invalid_request",
+                            f"field {key!r} must be {what}, got "
+                            f"{type(val).__name__}")
+    return val
+
+
+def _int_field(obj: dict, key: str, lo: int, hi: int,
+               default: Optional[int] = None) -> int:
+    if default is not None and key not in obj:
+        return default
+    val = _need(obj, key, int, "an integer")
+    if not lo <= val <= hi:
+        raise ProtocolError("invalid_request",
+                            f"field {key!r} must be in [{lo}, {hi}], "
+                            f"got {val}")
+    return int(val)
+
+
+def validate_request(obj: dict) -> Tuple[str, dict]:
+    """Check an already-decoded request object; returns ``(op, obj)``.
+
+    Job ops additionally get their numeric fields bounds-checked here, so
+    the scheduler and executor only ever see admissible parameters.
+    """
+    if "op" not in obj:
+        raise ProtocolError("invalid_request", "missing field 'op'")
+    op = obj["op"]
+    if not isinstance(op, str):
+        raise ProtocolError("invalid_request",
+                            f"field 'op' must be a string, got "
+                            f"{type(op).__name__}")
+    if op not in OPS:
+        raise ProtocolError("unknown_op",
+                            f"unknown op {op!r}; expected one of {OPS}")
+    req_id = obj.get("id")
+    if req_id is not None and not isinstance(req_id, (str, int)):
+        raise ProtocolError("invalid_request",
+                            "field 'id' must be a string or integer")
+    if op in JOB_OPS:
+        _need(obj, "tensor", str, "a string")
+        _int_field(obj, "rank", 1, MAX_RANK)
+        _int_field(obj, "seed", 0, 2**63 - 1, default=0)
+        _int_field(obj, "priority", 0, MAX_PRIORITY, default=1)
+        if op in ("mttkrp", "ttm"):
+            _int_field(obj, "mode", 0, MAX_NDIM - 1)
+        if op == "cp_als":
+            _int_field(obj, "iters", 1, MAX_ITERS, default=3)
+    elif op == "register":
+        _need(obj, "name", str, "a string")
+        spec = _need(obj, "spec", dict, "an object")
+        validate_tensor_spec(spec)
+    elif op in ("unregister", "job_status"):
+        _need(obj, "name" if op == "unregister" else "job", str, "a string")
+    return op, obj
+
+
+#: synthetic generators a register spec may name (repro.data.synthetic)
+SPEC_KINDS = ("random", "clustered", "power_law", "banded", "lowrank")
+
+
+def validate_tensor_spec(spec: dict) -> dict:
+    """Bounds-check a synthetic-tensor registration spec."""
+    kind = spec.get("kind", "random")
+    if kind not in SPEC_KINDS:
+        raise ProtocolError("invalid_request",
+                            f"unknown tensor kind {kind!r}; expected one "
+                            f"of {SPEC_KINDS}")
+    shape = _need(spec, "shape", list, "a list of mode sizes")
+    if not 1 <= len(shape) <= MAX_NDIM:
+        raise ProtocolError("invalid_request",
+                            f"shape must have 1..{MAX_NDIM} modes, got "
+                            f"{len(shape)}")
+    for s in shape:
+        if not isinstance(s, int) or isinstance(s, bool) \
+                or not 1 <= s <= MAX_DIM:
+            raise ProtocolError("invalid_request",
+                                f"mode sizes must be integers in "
+                                f"[1, {MAX_DIM}], got {s!r}")
+    _int_field(spec, "nnz", 1, MAX_NNZ)
+    _int_field(spec, "seed", 0, 2**63 - 1, default=0)
+    fmt = spec.get("format", "hicoo")
+    from ..formats import FORMAT_NAMES
+
+    if fmt not in FORMAT_NAMES:
+        raise ProtocolError("invalid_request",
+                            f"unknown format {fmt!r}; expected one of "
+                            f"{FORMAT_NAMES}")
+    return spec

@@ -1,0 +1,186 @@
+"""Priority/fairness scheduling, admission control, and request batching.
+
+The daemon multiplexes many client connections onto a small set of
+executor threads (and, below them, one warm supervised ``ProcPool``).
+This module is the multiplexer:
+
+* **admission control** — the queue is *bounded* (``max_queue``); a submit
+  against a full queue raises :class:`AdmissionError`, which the
+  connection handler answers with an explicit 429-style ``overloaded``
+  reply.  Overload sheds load at the door instead of growing latency
+  without bound or dying — the soak test asserts both the bound and the
+  explicitness.
+* **priority + fairness** — three priority levels (0 highest); within a
+  level, clients are served round-robin (one job per turn), so a client
+  flooding the daemon cannot starve its peers at the same level.
+* **batching** — when the executor asks for work it receives a *batch*:
+  the fairness-chosen job plus up to ``batch_limit - 1`` queued jobs with
+  the same ``(op, tensor, mode, rank)`` compatibility key (MTTKRP only —
+  same plan, same shared-memory session, different factor seeds).  The
+  batch executes as one region: the symbolic cost (gather plan, arena
+  placement, pool warm-up) is paid once — exactly the HiCOO economics,
+  applied to the request stream.
+
+Determinism note: batching changes *scheduling*, never *numerics* — each
+job in a batch runs the unchanged kernel on its own factors, so batched
+results are bit-identical to unbatched ones (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import metrics
+from .jobs import Job
+
+__all__ = ["AdmissionError", "JobScheduler", "PRIORITY_LEVELS"]
+
+#: priority levels (0 = highest); requests outside clamp into range
+PRIORITY_LEVELS = 3
+
+
+class AdmissionError(Exception):
+    """The bounded queue is full; the caller sheds this request with an
+    explicit ``overloaded`` reply (never a silent drop)."""
+
+    def __init__(self, depth: int, max_queue: int) -> None:
+        super().__init__(
+            f"queue full ({depth}/{max_queue} jobs pending); retry later")
+        self.depth = depth
+        self.max_queue = max_queue
+
+
+class JobScheduler:
+    """Bounded, priority-aware, client-fair job queue with batch dequeue."""
+
+    def __init__(self, max_queue: int = 64, batch_limit: int = 8) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be positive, got {max_queue}")
+        if batch_limit < 1:
+            raise ValueError(
+                f"batch_limit must be positive, got {batch_limit}")
+        self.max_queue = max_queue
+        self.batch_limit = batch_limit
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        # per (priority, client) FIFO; OrderedDict per level preserves
+        # client arrival order for the round-robin rotation
+        self._queues: List["OrderedDict[str, deque]"] = [
+            OrderedDict() for _ in range(PRIORITY_LEVELS)]
+        self._depth = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def submit(self, job: Job) -> None:
+        """Enqueue or shed: raises :class:`AdmissionError` when full."""
+        level = min(max(int(job.priority), 0), PRIORITY_LEVELS - 1)
+        with self._lock:
+            if self._closed:
+                raise AdmissionError(self._depth, self.max_queue)
+            if self._depth >= self.max_queue:
+                metrics.inc("serve.rejected", labels={"reason": "overloaded"})
+                raise AdmissionError(self._depth, self.max_queue)
+            per_client = self._queues[level].setdefault(job.client, deque())
+            per_client.append(job)
+            self._depth += 1
+            metrics.set_gauge("serve.queue_depth", self._depth)
+            self._work.notify()
+
+    def next_batch(self, timeout: Optional[float] = None
+                   ) -> Optional[List[Job]]:
+        """Block for work; returns a compatible batch, or None when closed
+        (or on timeout with an empty queue)."""
+        with self._lock:
+            while self._depth == 0 and not self._closed:
+                if not self._work.wait(timeout=timeout):
+                    return None
+            if self._depth == 0:
+                return None  # closed and drained
+            head = self._pop_fair()
+            batch = [head]
+            if head.op == "mttkrp" and self.batch_limit > 1:
+                key = head.batch_key
+                batch.extend(self._pop_matching(key,
+                                                self.batch_limit - 1))
+            metrics.set_gauge("serve.queue_depth", self._depth)
+            if len(batch) > 1:
+                metrics.inc("serve.batches")
+                metrics.inc("serve.batched_jobs", len(batch))
+            return batch
+
+    def close(self) -> None:
+        """Stop accepting work and wake every waiting executor."""
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+
+    def drain(self) -> List[Job]:
+        """Remove and return every queued job (shutdown: the daemon fails
+        them with ``shutting_down`` so no client blocks forever)."""
+        with self._lock:
+            jobs: List[Job] = []
+            for level in self._queues:
+                for q in level.values():
+                    jobs.extend(q)
+                level.clear()
+            self._depth = 0
+            metrics.set_gauge("serve.queue_depth", 0)
+            return jobs
+
+    # ------------------------------------------------------------------
+    # internals (call with the lock held)
+    # ------------------------------------------------------------------
+    def _pop_fair(self) -> Job:
+        """Highest non-empty priority level; round-robin over its clients
+        (the served client rotates to the back of the level)."""
+        for level in self._queues:
+            while level:
+                client, q = next(iter(level.items()))
+                if not q:
+                    del level[client]
+                    continue
+                job = q.popleft()
+                # rotate: this client goes to the back of the level
+                del level[client]
+                if q:
+                    level[client] = q
+                self._depth -= 1
+                return job
+        raise RuntimeError("scheduler invariant violated: depth > 0 "
+                           "with empty queues")
+
+    def _pop_matching(self, key: Tuple, limit: int) -> List[Job]:
+        """Steal up to ``limit`` queued jobs sharing ``key``, scanning
+        priorities high to low and clients in rotation order."""
+        out: List[Job] = []
+        for level in self._queues:
+            if len(out) >= limit:
+                break
+            emptied = []
+            for client, q in level.items():
+                if len(out) >= limit:
+                    break
+                kept: Dict[int, Job] = {}
+                taken = 0
+                for i, job in enumerate(q):
+                    if len(out) < limit and job.batch_key == key:
+                        out.append(job)
+                        taken += 1
+                    else:
+                        kept[i] = job
+                if taken:
+                    q.clear()
+                    q.extend(kept[i] for i in sorted(kept))
+                    self._depth -= taken
+                if not q:
+                    emptied.append(client)
+            for client in emptied:
+                del level[client]
+        return out

@@ -54,6 +54,8 @@ __all__ = [
     "install_chaos",
     "take_chaos_plan",
     "clear_chaos",
+    "replay_requests",
+    "fuzz_frames",
 ]
 
 #: format constructor: CooTensor -> SparseTensorFormat
@@ -280,3 +282,134 @@ def take_chaos_plan() -> Optional[ChaosPlan]:
 def clear_chaos() -> None:
     """Disarm any pending plan (test teardown)."""
     take_chaos_plan()
+
+
+# ----------------------------------------------------------------------
+# serve-daemon harness: traffic replay and protocol fuzzing
+# ----------------------------------------------------------------------
+def replay_requests(port, requests, nclients=1, host="127.0.0.1",
+                    honor_arrivals=False, timeout=300.0):
+    """Drive a request stream against a live daemon with ``nclients``
+    concurrent connections; returns replies aligned with ``requests``.
+
+    Requests are dealt round-robin to the clients, each client preserving
+    its own submission order (the per-connection request/reply ordering
+    the protocol guarantees).  Replies — including structured error
+    replies, which are returned rather than raised — land at the index of
+    the request that caused them, so the caller can compare each against
+    its oracle regardless of interleaving.  A transport failure yields a
+    synthetic ``{"ok": False, "error": {"code": "disconnected"}}`` entry.
+
+    With ``honor_arrivals`` each client sleeps out the ``arrival_s``
+    offsets of its own requests (open-loop-ish replay); without it the
+    replay is closed-loop: every client fires as fast as replies return,
+    which is the harsher concurrency test.
+    """
+    from .serve.client import ServeClient
+
+    results: List[Optional[dict]] = [None] * len(requests)
+    assigned: List[List[int]] = [[] for _ in range(max(1, int(nclients)))]
+    for i in range(len(requests)):
+        assigned[i % len(assigned)].append(i)
+
+    def worker(indices: List[int]) -> None:
+        import time as _time
+
+        with ServeClient(host=host, port=port, timeout=timeout) as cli:
+            t0 = _time.monotonic()
+            for i in indices:
+                req = {k: v for k, v in requests[i].items()
+                       if k != "arrival_s"}
+                if honor_arrivals and "arrival_s" in requests[i]:
+                    lag = requests[i]["arrival_s"] - (_time.monotonic() - t0)
+                    if lag > 0:
+                        _time.sleep(lag)
+                try:
+                    results[i] = cli.submit(req, check=False)
+                except (ConnectionError, OSError) as exc:
+                    results[i] = {"ok": False,
+                                  "error": {"code": "disconnected",
+                                            "message": str(exc)}}
+
+    threads = [threading.Thread(target=worker, args=(idx,), daemon=True)
+               for idx in assigned if idx]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+def fuzz_frames(seed: int = 0, n: int = 64) -> List[Tuple[str, bytes]]:
+    """A deterministic battery of hostile wire frames for the serve
+    protocol: random binary garbage, truncated/unterminated JSON,
+    non-object payloads, unknown and ill-typed ops, out-of-bounds
+    numeric fields, oversized frames.  Returns ``(label, payload)``
+    pairs; every payload must elicit a structured error reply (or a
+    clean connection close for desynchronizing frames) — never a
+    traceback and never daemon death.
+    """
+    import json as _json
+
+    rng = np.random.default_rng(seed)
+    frames: List[Tuple[str, bytes]] = [
+        ("empty", b"\n"),
+        ("whitespace", b"   \t  \n"),
+        ("not_json", b"{not json}\n"),
+        ("bare_word", b"hello\n"),
+        ("json_array", b"[1,2,3]\n"),
+        ("json_scalar", b"42\n"),
+        ("json_null", b"null\n"),
+        ("missing_op", b'{"tensor": "t0"}\n'),
+        ("unknown_op", b'{"op": "explode"}\n'),
+        ("op_wrong_type", b'{"op": 7}\n'),
+        ("missing_tensor", b'{"op": "mttkrp", "rank": 4}\n'),
+        ("tensor_wrong_type", b'{"op": "mttkrp", "tensor": 3, "rank": 4}\n'),
+        ("rank_zero", b'{"op": "mttkrp", "tensor": "t0", "rank": 0}\n'),
+        ("rank_huge", b'{"op": "mttkrp", "tensor": "t0", "rank": 99999}\n'),
+        ("rank_bool", b'{"op": "mttkrp", "tensor": "t0", "rank": true}\n'),
+        ("rank_float",
+         b'{"op": "mttkrp", "tensor": "t0", "rank": 4.5}\n'),
+        ("negative_mode",
+         b'{"op": "mttkrp", "tensor": "t0", "rank": 4, "mode": -1}\n'),
+        ("unregistered_tensor",
+         b'{"op": "mttkrp", "tensor": "no-such", "rank": 4, "mode": 0}\n'),
+        ("bad_register_kind",
+         b'{"op": "register", "name": "x", "spec": {"kind": "evil", '
+         b'"shape": [4], "nnz": 2}}\n'),
+        ("bad_register_shape",
+         b'{"op": "register", "name": "x", "spec": {"kind": "random", '
+         b'"shape": "big", "nnz": 2}}\n'),
+        ("register_nnz_overflow",
+         b'{"op": "register", "name": "x", "spec": {"kind": "random", '
+         b'"shape": [4, 4], "nnz": 999999999999}}\n'),
+        ("truncated_json", b'{"op": "mttkrp", "tensor": "t0"'),
+        ("oversized",
+         b'{"op": "ping", "pad": "' + b"A" * (1 << 20) + b'"}\n'),
+        ("utf8_garbage", b"\xff\xfe{\xba\xad\n"),
+        ("nested_bomb", b'[' * 600 + b']' * 600 + b"\n"),
+    ]
+    while len(frames) < n:
+        kind = int(rng.integers(0, 3))
+        if kind == 0:  # random bytes
+            blob = rng.integers(0, 256, size=int(rng.integers(1, 200)),
+                                dtype=np.uint8).tobytes()
+            frames.append((f"random_bytes_{len(frames)}",
+                           blob.replace(b"\n", b"x") + b"\n"))
+        elif kind == 1:  # random JSON object with junk fields
+            obj = {"op": ["mttkrp", "ping", "zzz", 12][
+                int(rng.integers(0, 4))]}
+            for j in range(int(rng.integers(0, 4))):
+                obj[f"k{j}"] = [None, True, -1, "x", [1], {"a": 1}][
+                    int(rng.integers(0, 6))]
+            frames.append((f"random_obj_{len(frames)}",
+                           _json.dumps(obj).encode() + b"\n"))
+        else:  # valid-ish job with one corrupted field
+            obj = {"op": "mttkrp", "tensor": "t0", "rank": 4, "mode": 0}
+            field = ["rank", "mode", "seed", "priority"][
+                int(rng.integers(0, 4))]
+            obj[field] = [-(2**40), 2**40, "NaN", None][
+                int(rng.integers(0, 4))]
+            frames.append((f"corrupt_{field}_{len(frames)}",
+                           _json.dumps(obj).encode() + b"\n"))
+    return frames[:n]

@@ -307,6 +307,90 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-lived serving daemon until interrupted."""
+    import json
+
+    from ..formats import as_format
+    from ..serve.daemon import ReproDaemon
+
+    daemon = ReproDaemon(host=args.host, port=args.port,
+                         http_port=args.http_port, backend=args.backend,
+                         nthreads=args.threads,
+                         fault_policy=args.fault_policy,
+                         max_queue=args.max_queue,
+                         batch_limit=args.batch_limit,
+                         executors=args.executors)
+    daemon.start()
+    try:
+        for item in args.load or []:
+            name, _, path = item.partition("=")
+            if not path:
+                raise SystemExit(f"error: --load wants NAME=FILE, "
+                                 f"got {item!r}")
+            coo = _read_tensor(path)
+            daemon.register_tensor(name, as_format(coo, args.format))
+            print(f"[serve] loaded {name} <- {path} ({coo!r})")
+        for item in args.register or []:
+            name, _, spec = item.partition("=")
+            if not spec:
+                raise SystemExit(f"error: --register wants NAME=SPEC_JSON, "
+                                 f"got {item!r}")
+            daemon.register_tensor(name, spec=json.loads(spec))
+            print(f"[serve] registered {name}: {spec}")
+        print(f"[serve] listening on {daemon.host}:{daemon.port} "
+              f"(backend={daemon.backend}, threads={daemon.nthreads}, "
+              f"executors={daemon.nexecutors})")
+        if daemon.http_port is not None:
+            print(f"[serve] http://{daemon.host}:{daemon.http_port}"
+                  f"/healthz /metrics /jobs /tensors")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\n[serve] shutting down")
+    finally:
+        daemon.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit one request to a running daemon and print the reply."""
+    import json
+
+    from ..serve.client import ServeClient
+
+    if args.request:
+        req = json.loads(args.request)
+    else:
+        req = {"op": args.op}
+        if args.op in ("mttkrp", "cp_als", "ttm"):
+            if not args.tensor_name:
+                raise SystemExit("error: job ops need --tensor-name")
+            req.update({"tensor": args.tensor_name, "rank": args.rank,
+                        "seed": args.seed, "priority": args.priority})
+            if args.op in ("mttkrp", "ttm"):
+                req["mode"] = args.mode
+            if args.op == "cp_als":
+                req["iters"] = args.iters
+        elif args.op == "register":
+            if not (args.tensor_name and args.spec):
+                raise SystemExit("error: register needs --tensor-name "
+                                 "and --spec")
+            req.update({"name": args.tensor_name,
+                        "spec": json.loads(args.spec)})
+        elif args.op in ("unregister", "job_status"):
+            key = "name" if args.op == "unregister" else "job"
+            if not args.tensor_name:
+                raise SystemExit(f"error: {args.op} needs --tensor-name")
+            req[key] = args.tensor_name
+    with ServeClient(host=args.host, port=args.port,
+                     timeout=args.timeout) as cli:
+        reply = cli.request(req, check=False)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0 if reply.get("ok") else 1
+
+
 def cmd_dataset(args) -> int:
     if args.name not in REGISTRY:
         raise SystemExit(
@@ -451,6 +535,59 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. 'mttkrp.'); '' prints everything")
     add_obs(p)
     p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser(
+        "serve", help="run the resident tensor-decomposition daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070,
+                   help="socket port (0: ephemeral, printed on startup)")
+    p.add_argument("--http-port", type=int, default=None, metavar="N",
+                   help="also serve /metrics /healthz /jobs /tensors over "
+                        "HTTP on port N (0: ephemeral)")
+    p.add_argument("-t", "--threads", type=int, default=1,
+                   help="worker threads/processes per kernel execution")
+    p.add_argument("--executors", type=int, default=1,
+                   help="concurrent executor threads draining the queue")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="bounded queue depth; beyond it requests are shed "
+                        "with an explicit 'overloaded' reply")
+    p.add_argument("--batch-limit", type=int, default=8,
+                   help="max compatible MTTKRP jobs fused into one batch")
+    p.add_argument("--load", action="append", metavar="NAME=FILE",
+                   help="register a .tns/.hicoo file at startup (repeat)")
+    p.add_argument("--register", action="append", metavar="NAME=SPEC_JSON",
+                   help="register a synthetic tensor at startup, e.g. "
+                        "t0='{\"kind\":\"random\",\"shape\":[64,64,64],"
+                        "\"nnz\":10000}' (repeat)")
+    p.add_argument("-f", "--format",
+                   choices=["coo", "csf", "hicoo", "alto"], default="hicoo",
+                   help="storage format for --load tensors")
+    add_backend(p)
+    add_obs(p)
+    p.set_defaults(func=cmd_serve, fault_policy="degrade")
+
+    p = sub.add_parser(
+        "submit", help="submit one request to a running daemon")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7070)
+    p.add_argument("--op", default="ping",
+                   choices=["ping", "stats", "tensors", "mttkrp", "cp_als",
+                            "ttm", "register", "unregister", "job_status"])
+    p.add_argument("--tensor-name", default=None,
+                   help="tensor name (job ops / register / unregister) or "
+                        "job id (job_status)")
+    p.add_argument("-r", "--rank", type=int, default=4)
+    p.add_argument("-m", "--mode", type=int, default=0)
+    p.add_argument("--iters", type=int, default=3)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--priority", type=int, default=1)
+    p.add_argument("--spec", default=None, metavar="SPEC_JSON",
+                   help="synthetic-tensor spec for --op register")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--request", default=None, metavar="JSON",
+                   help="raw request object (overrides every other flag)")
+    add_obs(p)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("dataset", help="emit a registry analog as .tns")
     p.add_argument("name", help="registry name (e.g. deli, uber)")

@@ -1,0 +1,52 @@
+"""Repository hygiene guards.
+
+Build artifacts (``__pycache__``, ``*.pyc``) were accidentally committed
+once and purged; this test makes the regression structural instead of
+relying on reviewer vigilance: the tracked file list must never contain
+interpreter or packaging artifacts, and ``.gitignore`` must keep covering
+the patterns that prevent them from being staged in the first place.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: path fragments / suffixes that must never be tracked
+FORBIDDEN_FRAGMENTS = ("__pycache__",)
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo", ".pyd", ".coverage")
+
+#: patterns .gitignore must carry so the artifacts can't be staged
+REQUIRED_IGNORES = ("__pycache__/", "*.py[cod]", ".pytest_cache/",
+                    "*.egg-info/")
+
+
+def tracked_files():
+    try:
+        out = subprocess.run(["git", "ls-files"], cwd=REPO, timeout=60,
+                             capture_output=True, text=True, check=True)
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("not a git checkout (or git unavailable)")
+    return out.stdout.splitlines()
+
+
+def test_no_build_artifacts_tracked():
+    offenders = [
+        f for f in tracked_files()
+        if any(frag in f.split("/") for frag in FORBIDDEN_FRAGMENTS)
+        or f.endswith(FORBIDDEN_SUFFIXES)
+    ]
+    assert not offenders, (
+        f"build artifacts are tracked again (git rm -r --cached them): "
+        f"{offenders[:10]}")
+
+
+def test_gitignore_covers_artifact_patterns():
+    gitignore = (REPO / ".gitignore").read_text().splitlines()
+    lines = {line.strip() for line in gitignore}
+    missing = [pat for pat in REQUIRED_IGNORES if pat not in lines]
+    assert not missing, f".gitignore lost required patterns: {missing}"
