@@ -13,10 +13,17 @@ replicas (``benchmarks/legacy.py``) and writes the machine-readable
 * cold HicooTensor construction (one-sort MortonContext pipeline) vs the
   old per-(tensor, b) lexsort path — outputs asserted bit-identical;
 * the block-size sweep ``best_block_bits`` (boundary counting on shared
-  codes) vs the old build-a-tensor-per-candidate sweep.
+  codes) vs the old build-a-tensor-per-candidate sweep;
+* the direct format-to-format converters (``repro.core.converters``) vs
+  the COO round-trip they replace, over every registered CSF/HiCOO/ALTO
+  pair — outputs asserted bit-identical, the speedup gate lives in
+  ``check_regression.check_direct_convert``.  ``python bench_convert.py
+  --direct`` runs just this family and writes ``BENCH_convert.json``.
 """
 
+import math
 import time
+from functools import partial
 
 import numpy as np
 import pytest
@@ -148,3 +155,113 @@ def test_bench_json_convert():
     assert all(s >= 1.0 for s in encode_speedups.values())
     assert all(s >= 1.0 for s in construct_speedups.values())
     assert all(s >= 1.0 for s in sweep_speedups.values())
+
+
+# ----------------------------------------------------------------------
+# direct format-to-format converters vs the COO round-trip
+# ----------------------------------------------------------------------
+#: every registered cross-format pair (src != dst)
+DIRECT_PAIRS = [(s, d) for s in ("csf", "hicoo", "alto")
+                for d in ("csf", "hicoo", "alto") if s != d]
+
+
+def _assert_same_structure(a, b):
+    """Bitwise structural identity — a fast-but-wrong path cannot pass."""
+    fields = {"hicoo": ("bptr", "binds", "einds", "values"),
+              "csf": ("values",),
+              "alto": ("keys", "values", "source_order")}
+    assert a.format_name == b.format_name
+    for f in fields[a.format_name]:
+        assert np.array_equal(getattr(a, f), getattr(b, f)), \
+            f"{a.format_name}.{f} differs between direct and round-trip"
+    if a.format_name == "csf":
+        assert a.mode_order == b.mode_order
+        for la, lb in zip(a.levels, b.levels):
+            assert np.array_equal(la.fids, lb.fids)
+            assert np.array_equal(la.parent, lb.parent)
+            if la.fptr is not None:
+                assert np.array_equal(la.fptr, lb.fptr)
+
+
+def bench_direct_convert(repeat=5, datasets=TIMED_DATASETS):
+    """Time every registered direct pair against its COO round-trip.
+
+    Returns ``(records, speedups)`` where ``speedups`` is keyed by
+    ``(dataset, "src->dst")``.  Identity of the two outputs is asserted
+    before timing.  Source read caches (HiCOO block-of, ALTO
+    delinearization) are warmed by the timing helper's warmup pass, which
+    both variants share — the comparison isolates the conversion itself,
+    matching the resident-tensor re-format scenario of the serve daemon.
+    """
+    from repro.core.converters import convert, convert_via_coo
+    from repro.formats import as_format
+
+    records, speedups = [], {}
+    for name in datasets:
+        coo = dataset(name)
+        sources = {
+            "csf": as_format(coo, "csf"),
+            "hicoo": as_format(coo, "hicoo", block_bits=BENCH_BLOCK_BITS),
+            "alto": as_format(coo, "alto"),
+        }
+        for src, dst in DIRECT_PAIRS:
+            tensor = sources[src]
+            kwargs = ({"block_bits": BENCH_BLOCK_BITS} if dst == "hicoo"
+                      else {})
+            _assert_same_structure(convert(tensor, dst, **kwargs),
+                                   convert_via_coo(tensor, dst, **kwargs))
+            t_direct = best_time(partial(convert, tensor, dst, **kwargs),
+                                 repeat=repeat)
+            t_round = best_time(partial(convert_via_coo, tensor, dst,
+                                        **kwargs), repeat=repeat)
+            common = {"dataset": name, "nnz": coo.nnz,
+                      "op": "direct_convert", "format": dst,
+                      "strategy": f"{src}->{dst}"}
+            records.append({**common, "variant": "direct",
+                            "time_s": t_direct})
+            records.append({**common, "variant": "roundtrip",
+                            "time_s": t_round})
+            speedups[(name, f"{src}->{dst}")] = t_round / t_direct
+    return records, speedups
+
+
+def direct_convert_geomean(speedups) -> float:
+    vals = list(speedups.values())
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def test_bench_json_direct_convert():
+    """Direct-converter timings -> BENCH_convert.json (merged by record
+    key, so the legacy-replica records above are preserved).
+
+    The hard >= 1.5x geomean gate lives in
+    ``check_regression.check_direct_convert`` (the convert-smoke job);
+    here a loose sanity floor catches a direct path that silently fell
+    back to round-tripping.
+    """
+    records, speedups = bench_direct_convert(repeat=3)
+    write_bench_json(records, "BENCH_convert.json")
+    for (name, pair), s in sorted(speedups.items()):
+        print(f"  {name:<6s} {pair:<14s}: {s:.2f}x")
+    geomean = direct_convert_geomean(speedups)
+    print(f"direct-convert geomean: {geomean:.2f}x")
+    assert geomean >= 1.1
+
+
+if __name__ == "__main__":
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--direct", action="store_true",
+                    help="time the direct converters vs the COO round-trip "
+                         "and write BENCH_convert.json")
+    ap.add_argument("--repeat", type=int, default=5)
+    args = ap.parse_args()
+    if not args.direct:
+        ap.error("nothing to do: pass --direct "
+                 "(the other benches run under pytest)")
+    recs, ups = bench_direct_convert(repeat=args.repeat)
+    write_bench_json(recs, "BENCH_convert.json")
+    for (nm, pair), s in sorted(ups.items()):
+        print(f"  {nm:<6s} {pair:<14s}: {s:.2f}x")
+    print(f"geomean: {direct_convert_geomean(ups):.2f}x")

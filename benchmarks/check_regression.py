@@ -70,6 +70,11 @@ JIT_SPEEDUP_FLOOR = 2.0
 ALTO_SPEEDUP_FLOOR = 1.3
 ALTO_PARITY_FLOOR = 0.95
 
+#: geomean wall-clock floor for the direct format-to-format converters
+#: over the COO round-trip they replace (all registered pairs, all timed
+#: datasets) — the ISSUE-10 acceptance gate
+DIRECT_SPEEDUP_FLOOR = 1.5
+
 #: every bench file a guard family can contribute; ``--summary`` renders a
 #: visible SKIP row (instead of silently omitting the file) when a guard's
 #: optional dependency or benchmark run is absent
@@ -145,6 +150,39 @@ def check_conversion(coo) -> bool:
         ok = False
     if t_sweep > t_sweep_legacy:
         print("FAIL: shared-context sweep is slower than the legacy sweep")
+        ok = False
+    return ok
+
+
+def check_direct_convert() -> bool:
+    """Guard the direct converter registry: bitwise identity + the geomean
+    speedup floor over the COO round-trip.
+
+    ``bench_direct_convert`` asserts every pair's output bit-identical to
+    the round-trip before timing it (a fast-but-wrong converter trips an
+    AssertionError, not a soft FAIL), then the geomean across all
+    (dataset, pair) cells must reach DIRECT_SPEEDUP_FLOOR and no single
+    pair may be slower than the round-trip it replaces.
+    """
+    from bench_convert import bench_direct_convert, direct_convert_geomean
+    from conftest import write_bench_json
+
+    records, speedups = bench_direct_convert(repeat=REPEAT)
+    write_bench_json(records, "BENCH_convert.json")
+    for (name, pair), s in sorted(speedups.items()):
+        print(f"  {name:<6s} {pair:<14s}: {s:.2f}x")
+    ok = True
+    geomean = direct_convert_geomean(speedups)
+    if geomean < DIRECT_SPEEDUP_FLOOR:
+        print(f"FAIL: direct-converter geomean {geomean:.2f}x < "
+              f"{DIRECT_SPEEDUP_FLOOR}x over the COO round-trip")
+        ok = False
+    else:
+        print(f"  geomean {geomean:.2f}x >= {DIRECT_SPEEDUP_FLOOR}x floor")
+    slower = {f"{n}:{p}": s for (n, p), s in speedups.items() if s < 0.9}
+    if slower:
+        print(f"FAIL: pairs slower than the round-trip they replace: "
+              f"{ {k: round(v, 2) for k, v in slower.items()} }")
         ok = False
     return ok
 
@@ -525,6 +563,12 @@ def main() -> int:
     if conv_ok:
         print("OK: conversion fast paths beat their legacy baselines")
 
+    print("direct format converters (vs COO round-trip):")
+    direct_ok = check_direct_convert()
+    if direct_ok:
+        print("OK: direct converters are bit-identical to the round-trip "
+              "and meet the geomean floor")
+
     print("cache efficiency (obs.metrics):")
     cache_ok = check_cache_efficiency()
     if cache_ok:
@@ -557,8 +601,31 @@ def main() -> int:
     if serve_ok:
         print("OK: daemon matches the oracle bitwise and clears the "
               "throughput floor")
-    return (0 if ok and conv_ok and cache_ok and proc_ok and jit_ok
-            and alto_ok and serve_ok else 1)
+    return (0 if ok and conv_ok and direct_ok and cache_ok and proc_ok
+            and jit_ok and alto_ok and serve_ok else 1)
+
+
+#: --only names -> (section header, check thunk)
+ONLY_CHECKS = {
+    "conversion": ("conversion pipeline:",
+                   lambda: check_conversion(load(DATASET))),
+    "direct-convert": ("direct format converters (vs COO round-trip):",
+                       check_direct_convert),
+    "cache": ("cache efficiency (obs.metrics):", check_cache_efficiency),
+    "process": ("process backend (true multicore):", check_process_backend),
+    "jit": ("compiled tier (numba JIT):", check_compiled_tier),
+    "alto": ("alto format (skewed + regular suites):", check_alto),
+    "serve": ("serving path (daemon differential + throughput floor):",
+              check_serve),
+}
+
+
+def run_only(name: str) -> int:
+    header, thunk = ONLY_CHECKS[name]
+    print(header)
+    ok = thunk()
+    print(("OK: " if ok else "FAILED: ") + name)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
@@ -566,5 +633,10 @@ if __name__ == "__main__":
     parser.add_argument("--summary", action="store_true",
                         help="print a Markdown geomean table of the recorded "
                              "BENCH_*.json results and exit (no benchmarks)")
+    parser.add_argument("--only", choices=sorted(ONLY_CHECKS), default=None,
+                        help="run a single guard family instead of the "
+                             "full suite")
     args = parser.parse_args()
-    sys.exit(summarize() if args.summary else main())
+    if args.summary:
+        sys.exit(summarize())
+    sys.exit(run_only(args.only) if args.only else main())

@@ -33,7 +33,32 @@ from ..util.bitops import (bits_for, morton_encode, pack_key64,
                            shift_right_words, stable_argsort_u64)
 from .blocking import MAX_BLOCK_BITS, BlockDecomposition
 
-__all__ = ["MortonContext", "hicoo_storage_bytes"]
+__all__ = ["MortonContext", "hicoo_storage_bytes", "within_block_order"]
+
+
+def within_block_order(run_id: np.ndarray, offsets: np.ndarray, b: int,
+                       nruns: int) -> np.ndarray:
+    """Stable permutation ordering each block's elements lexicographically
+    by offset (mode 0 most significant); blocks stay in place.
+
+    ``run_id`` is the non-decreasing block index of every nonzero,
+    ``offsets`` the (nnz, N) element offsets inside each block.  Shared by
+    :class:`MortonContext` and the direct converters of
+    :mod:`repro.core.converters` — both must restore the exact HiCOO
+    within-block element order from a block-grouped sequence.
+    """
+    nmodes = offsets.shape[1]
+    off_bits = b * nmodes
+    if off_bits <= 64:
+        off_key = pack_key64([offsets[:, m] for m in range(nmodes)],
+                             [b] * nmodes)
+        run_bits = bits_for(nruns - 1)
+        if run_bits + off_bits <= 64:
+            key = (run_id.view(np.uint64) << np.uint64(off_bits)) | off_key
+            return stable_argsort_u64(key)
+        return np.lexsort((off_key, run_id))
+    keys = tuple(offsets[:, m] for m in reversed(range(nmodes)))
+    return np.lexsort(keys + (run_id,))
 
 
 def hicoo_storage_bytes(nblocks: int, nnz: int, nmodes: int) -> Dict[str, int]:
@@ -184,20 +209,7 @@ class MortonContext:
 
     def _within_block_order(self, run_id: np.ndarray, offsets: np.ndarray,
                             b: int, nruns: int) -> np.ndarray:
-        """Stable permutation ordering each block's elements lexicographically
-        by offset (mode 0 most significant); blocks stay in place."""
-        nmodes = self.nmodes
-        off_bits = b * nmodes
-        if off_bits <= 64:
-            off_key = pack_key64([offsets[:, m] for m in range(nmodes)],
-                                 [b] * nmodes)
-            run_bits = bits_for(nruns - 1)
-            if run_bits + off_bits <= 64:
-                key = (run_id.view(np.uint64) << np.uint64(off_bits)) | off_key
-                return stable_argsort_u64(key)
-            return np.lexsort((off_key, run_id))
-        keys = tuple(offsets[:, m] for m in reversed(range(nmodes)))
-        return np.lexsort(keys + (run_id,))
+        return within_block_order(run_id, offsets, b, nruns)
 
     # ------------------------------------------------------------------
     # accounting

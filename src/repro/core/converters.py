@@ -1,0 +1,354 @@
+"""Direct format-to-format converters (taco conversion-routines paper).
+
+"Automatic Generation of Efficient Sparse Tensor Format Conversion
+Routines" (arXiv:2001.02609) decomposes any conversion into *coordinate
+remapping* (derive the target's sort order from the source's, reusing
+whatever order the source already maintains) and *assembly* (build the
+target's level structures from the remapped coordinates).  This module is
+that decomposition over the level descriptions of
+:mod:`repro.formats.levels`:
+
+* the **remapping half** expands the source through the generic
+  level-driven iterator (or reads its memoized delinearization) and reuses
+  source order wherever the proof allows — CSF's natural-mode lex order is
+  already HiCOO's within-block element order, and uniform-width ALTO keys
+  *are* zero-extended Morton codes, so ALTO→HiCOO needs a boundary scan
+  instead of a sort;
+* the **assembly half** is one shared routine per target format
+  (:func:`hicoo_parts_from_coords` / :func:`csf_parts_from_coords` /
+  :func:`alto_parts_from_coords`) feeding the formats' ``from_parts``
+  constructors — no COO tensor is ever materialized on a direct path.
+
+Because every stored format is a *deterministic* function of its
+coordinate/value set (blocks in Morton order + offset-lex elements; lex
+fiber tree; sorted keys), a direct conversion is bitwise-identical to the
+COO round-trip — the property suite in ``tests/test_converters.py`` pins
+this for every registered pair.
+
+Pairs with no registered routine fall back to the COO round-trip and tick
+the ``convert.fallbacks`` counter; all conversions are traced
+(``convert.direct`` / ``convert.fallback`` spans) and timed into the
+``convert.seconds`` histogram so conversion cost shows up in the ledger.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from ..formats import FORMAT_NAMES
+from ..formats.alto import AltoTensor
+from ..formats.coo import lex_sort_order_of
+from ..formats.csf import CsfTensor, _build_levels
+from ..formats.levels import iterate_coords
+from ..obs import metrics, trace
+from ..util.bitops import (bits_for, morton_encode, shift_right_words,
+                           stable_argsort_u64)
+from ..util.bitops import alto_encode, alto_widths
+from .blocking import MAX_BLOCK_BITS
+from .convert import within_block_order
+from .hicoo import DEFAULT_BLOCK_BITS, HicooTensor
+
+__all__ = [
+    "convert",
+    "convert_via_coo",
+    "converter_matrix",
+    "register_converter",
+    "hicoo_parts_from_coords",
+    "csf_parts_from_coords",
+    "alto_parts_from_coords",
+]
+
+#: (src_format, dst_format) -> direct conversion routine
+_REGISTRY: Dict[Tuple[str, str], Callable] = {}
+
+
+def register_converter(src: str, dst: str):
+    """Class decorator registering a direct ``src`` → ``dst`` routine.
+
+    Routines take ``(tensor, *, block_bits=None, mode_order=None)`` and
+    must produce a tensor bitwise-identical to the COO round-trip —
+    the contract the property suite enforces per registered pair.
+    """
+
+    def deco(fn):
+        _REGISTRY[(src, dst)] = fn
+        return fn
+
+    return deco
+
+
+def convert(tensor, name: str, *, block_bits=None, mode_order=None):
+    """Convert ``tensor`` to the format called ``name``.
+
+    Resolution order: identity (same format, no constructor arguments) →
+    registered direct routine → COO constructor (a COO source pays no
+    round-trip by definition) → COO round-trip fallback (ticks
+    ``convert.fallbacks``).  ``block_bits`` applies to ``"hicoo"``,
+    ``mode_order`` to ``"csf"``.
+    """
+    name = str(name).lower()
+    if name not in FORMAT_NAMES:
+        raise ValueError(
+            f"unknown format {name!r}; expected one of {FORMAT_NAMES}")
+    src = tensor.format_name
+    if src == name and block_bits is None and mode_order is None:
+        return tensor
+    t0 = time.perf_counter()
+    if name == "coo":
+        # every format iterates directly (levels.iterate_coords)
+        with trace.span("convert.direct", src=src, dst=name):
+            out = tensor.to_coo()
+        _account("direct", src, name, t0)
+        return out
+    fn = _REGISTRY.get((src, name))
+    if fn is not None:
+        with trace.span("convert.direct", src=src, dst=name):
+            out = fn(tensor, block_bits=block_bits, mode_order=mode_order)
+        _account("direct", src, name, t0)
+        return out
+    if src == "coo":
+        # the target constructors consume COO natively — still no round-trip
+        with trace.span("convert.direct", src=src, dst=name):
+            out = _from_coo(tensor, name, block_bits, mode_order)
+        _account("direct", src, name, t0)
+        return out
+    return convert_via_coo(tensor, name, block_bits=block_bits,
+                           mode_order=mode_order)
+
+
+def convert_via_coo(tensor, name: str, *, block_bits=None, mode_order=None):
+    """The COO round-trip everyone used to pay: materialize, re-sort,
+    rebuild.  Kept as the universal fallback; every use is counted."""
+    src = tensor.format_name
+    t0 = time.perf_counter()
+    metrics.inc("convert.fallbacks", labels={"src": src, "dst": name})
+    with trace.span("convert.fallback", src=src, dst=name):
+        out = _from_coo(tensor.to_coo(), name, block_bits, mode_order)
+    _account("fallback", src, name, t0)
+    return out
+
+
+def converter_matrix() -> Dict[Tuple[str, str], str]:
+    """``{(src, dst): "direct" | "fallback" | "identity"}`` over every
+    ordered format pair (the docs/CLI conversion matrix)."""
+    out = {}
+    for src in FORMAT_NAMES:
+        for dst in FORMAT_NAMES:
+            if (src, dst) in _REGISTRY or dst == "coo" or src == "coo":
+                out[(src, dst)] = "direct"
+            elif src == dst:
+                out[(src, dst)] = "identity"
+            else:
+                out[(src, dst)] = "fallback"
+    return out
+
+
+def _account(path: str, src: str, dst: str, t0: float) -> None:
+    labels = {"src": src, "dst": dst}
+    metrics.inc(f"convert.{path}", labels=labels)
+    metrics.observe("convert.seconds", time.perf_counter() - t0,
+                    labels={**labels, "path": path})
+
+
+def _from_coo(coo, name, block_bits, mode_order):
+    if name == "coo":
+        return coo
+    if name == "csf":
+        return CsfTensor(coo, mode_order=mode_order)
+    if name == "hicoo":
+        if block_bits is None:
+            return HicooTensor(coo)
+        return HicooTensor(coo, block_bits=block_bits)
+    return AltoTensor(coo)
+
+
+# ----------------------------------------------------------------------
+# assembly: coordinates -> target structure (shared by all direct routines)
+# ----------------------------------------------------------------------
+def _check_block_bits(block_bits) -> int:
+    b = DEFAULT_BLOCK_BITS if block_bits is None else int(block_bits)
+    if not 1 <= b <= MAX_BLOCK_BITS:
+        raise ValueError(
+            f"block_bits must be in [1, {MAX_BLOCK_BITS}] so that offsets "
+            f"fit in one byte, got {block_bits}")
+    return b
+
+
+def _sort_words(words: np.ndarray) -> np.ndarray:
+    """Stable argsort of an msb-first (W, nnz) uint64 key array."""
+    if len(words) == 1:
+        return stable_argsort_u64(words[0])
+    return np.lexsort(words[::-1])
+
+
+def _block_starts_of(words: np.ndarray, nnz: int) -> np.ndarray:
+    """First-row positions of every distinct key in a sorted key array."""
+    changed = np.zeros(nnz - 1, dtype=bool)
+    for word in words:
+        changed |= word[1:] != word[:-1]
+    return np.concatenate([[0], np.flatnonzero(changed) + 1]).astype(np.int64)
+
+
+def hicoo_parts_from_coords(shape, coords, values, block_bits, *,
+                            offsets_presorted: bool = False) -> HicooTensor:
+    """Assemble a HiCOO tensor from (nnz, N) global coordinates.
+
+    One stable sort by the *block* Morton code — ``(nbits - b) * N`` key
+    bits instead of the round-trip's full-width code, so the single-word
+    radix path applies far more often — then the shared within-block
+    offset ordering.  ``offsets_presorted`` skips that second sort when the
+    source sequence is already offset-lexicographic inside each block
+    (a natural-mode-order CSF walk restricted to one block is exactly
+    HiCOO's element order).
+    """
+    b = _check_block_bits(block_bits)
+    nnz, nmodes = coords.shape
+    values = np.asarray(values, dtype=np.float64)
+    if nnz == 0:
+        return HicooTensor.from_parts(
+            shape, b, np.zeros(1, dtype=np.int64),
+            np.empty((0, nmodes), dtype=np.uint32),
+            np.empty((0, nmodes), dtype=np.uint8), values)
+    blocks = coords >> b
+    nbits = bits_for(int(blocks.max()))
+    words = morton_encode(np.ascontiguousarray(blocks.T), nbits)
+    order = _sort_words(words)
+    sc = coords[order]
+    values = values[order]
+    starts = _block_starts_of(words[:, order], nnz)
+    mask = (1 << b) - 1
+    if not offsets_presorted:
+        run_id = np.zeros(nnz, dtype=np.int64)
+        run_id[starts[1:]] = 1
+        np.cumsum(run_id, out=run_id)
+        sub = within_block_order(run_id, sc & mask, b, len(starts))
+        sc = sc[sub]
+        values = values[sub]
+    bptr = np.concatenate([starts, [nnz]]).astype(np.int64)
+    return HicooTensor.from_parts(
+        shape, b, bptr, (sc >> b)[starts].astype(np.uint32),
+        (sc & mask).astype(np.uint8), values)
+
+
+def csf_parts_from_coords(shape, coords, values, mode_order) -> CsfTensor:
+    """Assemble a CSF tensor from (nnz, N) global coordinates: one stable
+    lex sort (single-word radix when the packed widths fit) + tree build."""
+    nmodes = coords.shape[1]
+    if mode_order is None:
+        mode_order = CsfTensor.default_mode_order(shape)
+    mode_order = tuple(int(m) for m in mode_order)
+    if sorted(mode_order) != list(range(nmodes)):
+        raise ValueError(
+            f"mode_order must be a permutation, got {list(mode_order)}")
+    order = lex_sort_order_of(coords, shape, mode_order)
+    return CsfTensor.from_parts(
+        shape, mode_order,
+        _build_levels(coords[order], list(mode_order)),
+        np.asarray(values, dtype=np.float64)[order])
+
+
+def alto_parts_from_coords(shape, coords, values) -> AltoTensor:
+    """Assemble an ALTO tensor from (nnz, N) global coordinates: adaptive
+    encode + one stable sort, mirroring ``AltoContext`` bit for bit."""
+    widths = alto_widths(tuple(shape))
+    values = np.asarray(values, dtype=np.float64)
+    if len(coords) == 0:
+        nwords = (int(sum(widths)) + 63) // 64
+        return AltoTensor.from_parts(
+            shape, np.zeros((nwords, 0), dtype=np.uint64), values,
+            np.empty(0, dtype=np.int64))
+    words = alto_encode(np.ascontiguousarray(coords.T), widths)
+    order = _sort_words(words)
+    return AltoTensor.from_parts(
+        shape, np.ascontiguousarray(words[:, order]), values[order], order)
+
+
+# ----------------------------------------------------------------------
+# direct routines
+# ----------------------------------------------------------------------
+@register_converter("csf", "hicoo")
+def _csf_to_hicoo(csf, *, block_bits=None, mode_order=None):
+    coords, values = iterate_coords(csf)
+    # natural tree order: the lex walk restricted to one block is already
+    # offset-lexicographic, so the within-block sort is free to skip
+    presorted = csf.mode_order == tuple(range(csf.nmodes))
+    return hicoo_parts_from_coords(csf.shape, coords, values, block_bits,
+                                   offsets_presorted=presorted)
+
+
+@register_converter("csf", "alto")
+def _csf_to_alto(csf, *, block_bits=None, mode_order=None):
+    coords, values = iterate_coords(csf)
+    return alto_parts_from_coords(csf.shape, coords, values)
+
+
+@register_converter("csf", "csf")
+def _csf_reroot(csf, *, block_bits=None, mode_order=None):
+    order = (CsfTensor.default_mode_order(csf.shape) if mode_order is None
+             else tuple(int(m) for m in mode_order))
+    if order == csf.mode_order:
+        return csf
+    coords, values = iterate_coords(csf)
+    return csf_parts_from_coords(csf.shape, coords, values, order)
+
+
+@register_converter("hicoo", "csf")
+def _hicoo_to_csf(hic, *, block_bits=None, mode_order=None):
+    coords, values = iterate_coords(hic)
+    return csf_parts_from_coords(hic.shape, coords, values, mode_order)
+
+
+@register_converter("hicoo", "alto")
+def _hicoo_to_alto(hic, *, block_bits=None, mode_order=None):
+    coords, values = iterate_coords(hic)
+    return alto_parts_from_coords(hic.shape, coords, values)
+
+
+@register_converter("hicoo", "hicoo")
+def _hicoo_reblock(hic, *, block_bits=None, mode_order=None):
+    b = _check_block_bits(block_bits)
+    if b == hic.block_bits:
+        return hic
+    coords, values = iterate_coords(hic)
+    return hicoo_parts_from_coords(hic.shape, coords, values, b)
+
+
+@register_converter("alto", "csf")
+def _alto_to_csf(alto, *, block_bits=None, mode_order=None):
+    # the memoized delinearization is read-only; csf_parts_from_coords only
+    # fancy-indexes it, so no copy is needed here
+    return csf_parts_from_coords(alto.shape, alto.delinearized(),
+                                 alto.values, mode_order)
+
+
+@register_converter("alto", "hicoo")
+def _alto_to_hicoo(alto, *, block_bits=None, mode_order=None):
+    b = _check_block_bits(block_bits)
+    nnz = alto.nnz
+    if nnz and len(set(alto.widths)) == 1:
+        # uniform widths: bit i of mode m sits at i*N + m in both the ALTO
+        # key and the Morton code, so the sorted keys ARE zero-extended
+        # Morton codes — block boundaries fall out of a shifted-key scan
+        # and only the within-block offset order needs restoring.  No sort
+        # over the full key width at all.
+        coords = alto.delinearized()
+        high = shift_right_words(alto.keys, b * alto.nmodes)
+        starts = _block_starts_of(high, nnz)
+        mask = (1 << b) - 1
+        run_id = np.zeros(nnz, dtype=np.int64)
+        run_id[starts[1:]] = 1
+        np.cumsum(run_id, out=run_id)
+        sub = within_block_order(run_id, coords & mask, b, len(starts))
+        sc = coords[sub]
+        values = np.asarray(alto.values, dtype=np.float64)[sub]
+        metrics.inc("convert.alto_block_scans")
+        return HicooTensor.from_parts(
+            alto.shape, b,
+            np.concatenate([starts, [nnz]]).astype(np.int64),
+            (sc >> b)[starts].astype(np.uint32),
+            (sc & mask).astype(np.uint8), values)
+    return hicoo_parts_from_coords(alto.shape, alto.delinearized(),
+                                   alto.values, b)

@@ -73,6 +73,36 @@ class HicooTensor(SparseTensorFormat):
         #: memoized TaskGather per block-run tuple (symbolic kernel cache)
         self._gather_cache: dict = {}
 
+    @classmethod
+    def from_parts(cls, shape, block_bits, bptr, binds, einds, values
+                   ) -> "HicooTensor":
+        """Assemble a HiCOO tensor from prebuilt block arrays (the
+        direct-converter entry point — no COO materialization, no Morton
+        context).
+
+        The caller owns the layout invariants: blocks in Morton order,
+        elements offset-lexicographic (mode 0 most significant) inside each
+        block, ``binds`` uint32 and ``einds`` uint8.
+        """
+        shape = tuple(shape)
+        b = int(block_bits)
+        for mode, dim in enumerate(shape):
+            nblocks_mode = (dim + (1 << b) - 1) >> b
+            if nblocks_mode > np.iinfo(np.uint32).max:
+                raise ValueError(
+                    f"mode {mode} needs {nblocks_mode} block coordinates, "
+                    "which does not fit the 32-bit binds array"
+                )
+        out = cls.__new__(cls)
+        out._shape = shape
+        out.block_bits = b
+        out.bptr = bptr
+        out.binds = binds
+        out.einds = einds
+        out.values = values
+        out._gather_cache = {}
+        return out
+
     # ------------------------------------------------------------------
     # properties
     # ------------------------------------------------------------------
@@ -154,8 +184,12 @@ class HicooTensor(SparseTensorFormat):
         return self.task_gather([(0, self.nblocks)]).ginds
 
     def to_coo(self) -> CooTensor:
-        return CooTensor(self._shape, self.global_indices().copy(),
-                         self.values, sum_duplicates=False)
+        # the generic level-driven iterator reconstructs (binds << b) + einds
+        # per mode into a fresh array (safe to hand to the CooTensor)
+        from ..formats.levels import iterate_coords
+
+        inds, values = iterate_coords(self)
+        return CooTensor(self._shape, inds, values, sum_duplicates=False)
 
     def storage_bytes(self) -> dict:
         """Canonical HiCOO storage accounting (paper notation):

@@ -22,7 +22,7 @@ from ..parallel.machine import Machine
 from .blocking import MAX_BLOCK_BITS
 from .hicoo import HicooTensor
 
-__all__ = ["TunedConfig", "choose_format", "tune"]
+__all__ = ["TunedConfig", "choose_format", "retarget", "tune"]
 
 # ----------------------------------------------------------------------
 # data-driven format selection (ISSUE 7 / ALTO paper section 6)
@@ -74,6 +74,23 @@ def choose_format(coo: Optional[CooTensor] = None, *,
             and stats.mode_skew <= CSF_SKEW_CEILING):
         return "csf"
     return "alto"
+
+
+def retarget(tensor, *, stats: Optional[FormatStats] = None):
+    """Re-format ``tensor`` (any format) to what :func:`choose_format`
+    picks for it, via the direct converter registry.
+
+    Measuring stats needs the coordinates once (skipped when recorded
+    ``stats`` are passed), but the conversion itself goes through
+    :func:`repro.core.converters.convert` — a registered direct pair never
+    materializes an intermediate ``CooTensor``.  A tensor already in the
+    chosen format is returned unchanged.
+    """
+    from .converters import convert
+
+    if stats is None:
+        stats = format_stats(tensor.to_coo())
+    return convert(tensor, choose_format(stats=stats))
 
 
 @dataclass

@@ -18,29 +18,13 @@ def as_format(tensor, name: str, *, block_bits: int = None,
     """Convert ``tensor`` (any format) to the format called ``name``.
 
     ``block_bits`` applies to ``"hicoo"`` (default: the constructor's own),
-    ``mode_order`` to ``"csf"``.  Conversion goes through COO; a tensor
-    already in the requested format is returned unchanged when no
-    constructor arguments are given.
+    ``mode_order`` to ``"csf"``.  Conversion is routed through the direct
+    converter registry of :mod:`repro.core.converters` — registered pairs
+    skip the COO round-trip entirely; unregistered pairs fall back to it
+    (and tick ``convert.fallbacks``).  A tensor already in the requested
+    format is returned unchanged when no constructor arguments are given.
     """
-    name = str(name).lower()
-    if name not in FORMAT_NAMES:
-        raise ValueError(
-            f"unknown format {name!r}; expected one of {FORMAT_NAMES}")
-    if tensor.format_name == name and block_bits is None and mode_order is None:
-        return tensor
-    coo = tensor.to_coo()
-    if name == "coo":
-        return coo
-    if name == "csf":
-        from .csf import CsfTensor
+    from ..core.converters import convert
 
-        return CsfTensor(coo, mode_order=mode_order)
-    if name == "hicoo":
-        from ..core.hicoo import HicooTensor
-
-        if block_bits is None:
-            return HicooTensor(coo)
-        return HicooTensor(coo, block_bits=block_bits)
-    from .alto import AltoTensor
-
-    return AltoTensor(coo)
+    return convert(tensor, name, block_bits=block_bits,
+                   mode_order=mode_order)

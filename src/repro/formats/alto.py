@@ -204,9 +204,38 @@ class AltoTensor(SparseTensorFormat):
     def nnz(self) -> int:
         return len(self.values)
 
+    @classmethod
+    def from_parts(cls, shape, keys, values, source_order) -> "AltoTensor":
+        """Assemble an ALTO tensor from prebuilt sorted keys (the
+        direct-converter entry point — no COO materialization, no
+        AltoContext).
+
+        The caller owns the layout invariants: ``keys`` is the (W, nnz)
+        uint64 msb-first key array in sorted order, ``source_order`` the
+        source-iteration position of each sorted nonzero (the row-tie
+        ordering contract of :meth:`mode_view`).
+        """
+        out = cls.__new__(cls)
+        out._shape = tuple(shape)
+        out.widths = alto_widths(out._shape)
+        out.total_bits = int(sum(out.widths))
+        out.keys = keys
+        out.values = values
+        out.source_order = source_order
+        out._mode_views = {}
+        out._segments = {}
+        out._partitions = {}
+        out._proc_views = {}
+        return out
+
     def to_coo(self) -> CooTensor:
-        return CooTensor(self._shape, self.delinearized(), self.values,
-                         sum_duplicates=False)
+        # the generic level-driven iterator copies the memoized
+        # delinearization into a fresh array — unlike handing the cached
+        # ginds to the CooTensor, the result is safe to mutate
+        from .levels import iterate_coords
+
+        inds, values = iterate_coords(self)
+        return CooTensor(self._shape, inds, values, sum_duplicates=False)
 
     def storage_bytes(self) -> dict:
         """ALTO storage: one ``ceil(sum(widths)/64)``-word key (8 bytes per

@@ -18,7 +18,29 @@ from ..util.bitops import (bits_for, morton_encode, morton_sort_order,
 from ..util.validation import check_factors, check_indices, check_mode, check_shape
 from .base import SparseTensorFormat
 
-__all__ = ["CooTensor"]
+__all__ = ["CooTensor", "lex_sort_order_of"]
+
+
+def lex_sort_order_of(indices: np.ndarray, shape, mode_order) -> np.ndarray:
+    """Stable permutation sorting ``indices`` lexicographically by
+    ``mode_order`` (``mode_order[0]`` most significant).
+
+    The single-word radix fast path applies whenever the packed coordinate
+    widths fit 64 bits.  Shared by :meth:`CooTensor.lex_sort_order` and the
+    direct converters (which sort level-expanded coordinates without ever
+    materializing a COO tensor).
+    """
+    if len(indices) == 0:
+        return np.empty(0, dtype=np.int64)
+    widths = [bits_for(shape[m] - 1) for m in mode_order]
+    if sum(widths) <= 64:
+        # all coordinates fit one packed word: a single stable radix
+        # argsort replaces the N-key lexsort.
+        key = pack_key64([indices[:, m] for m in mode_order], widths)
+        return stable_argsort_u64(key)
+    # np.lexsort: last key is primary, so feed least-significant first.
+    keys = tuple(indices[:, m] for m in reversed(list(mode_order)))
+    return np.lexsort(keys)
 
 
 class CooTensor(SparseTensorFormat):
@@ -125,17 +147,7 @@ class CooTensor(SparseTensorFormat):
         return order
 
     def _lex_sort_order(self, mode_order) -> np.ndarray:
-        if self.nnz == 0:
-            return np.empty(0, dtype=np.int64)
-        widths = [bits_for(self._shape[m] - 1) for m in mode_order]
-        if sum(widths) <= 64:
-            # all coordinates fit one packed word: a single stable radix
-            # argsort replaces the N-key lexsort.
-            key = pack_key64([self.indices[:, m] for m in mode_order], widths)
-            return stable_argsort_u64(key)
-        # np.lexsort: last key is primary, so feed least-significant first.
-        keys = tuple(self.indices[:, m] for m in reversed(mode_order))
-        return np.lexsort(keys)
+        return lex_sort_order_of(self.indices, self._shape, mode_order)
 
     def sort_lexicographic(self, mode_order: Optional[Sequence[int]] = None) -> "CooTensor":
         """Return a copy sorted lexicographically by ``mode_order``.

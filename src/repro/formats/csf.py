@@ -80,6 +80,28 @@ class CsfTensor(SparseTensorFormat):
         self.values = sorted_coo.values
         self.levels = _build_levels(sorted_coo.indices, mode_order)
 
+    @classmethod
+    def from_parts(cls, shape, mode_order, levels, values) -> "CsfTensor":
+        """Assemble a CSF tensor from prebuilt levels (the direct-converter
+        entry point — no COO materialization, no re-sort).
+
+        ``levels`` must be the output of :func:`_build_levels` on
+        coordinates lex-sorted by ``mode_order``; the caller owns that
+        invariant.
+        """
+        out = cls.__new__(cls)
+        out._shape = tuple(shape)
+        out.mode_order = tuple(int(m) for m in mode_order)
+        out.levels = levels
+        out.values = values
+        return out
+
+    @staticmethod
+    def default_mode_order(shape) -> tuple:
+        """The SPLATT default the constructor applies for ``None``: modes
+        by increasing dimension size (stable)."""
+        return tuple(int(m) for m in np.argsort(shape, kind="stable"))
+
     # ------------------------------------------------------------------
     # format interface
     # ------------------------------------------------------------------
@@ -92,18 +114,12 @@ class CsfTensor(SparseTensorFormat):
         return len(self.values)
 
     def to_coo(self) -> CooTensor:
-        nmodes = self.nmodes
-        if self.nnz == 0:
-            return CooTensor.empty(self._shape)
-        inds = np.empty((self.nnz, nmodes), dtype=np.int64)
-        # walk back up the tree: expand each level's fids down to the leaves
-        leaf_ids = np.arange(self.nnz)
-        node = leaf_ids
-        for depth in range(nmodes - 1, -1, -1):
-            level = self.levels[depth]
-            inds[:, self.mode_order[depth]] = level.fids[node]
-            node = level.parent[node] if depth > 0 else node
-        return CooTensor(self._shape, inds, self.values, sum_duplicates=False)
+        # the generic level-driven iterator walks the fiber tree bottom-up
+        # (leaf fids expanded per nonzero, parent-pointer ascent per level)
+        from .levels import iterate_coords
+
+        inds, values = iterate_coords(self)
+        return CooTensor(self._shape, inds, values, sum_duplicates=False)
 
     def storage_bytes(self, ntrees: int = 1) -> dict:
         """Canonical CSF storage (beta_long = 8-byte pointers, beta_int =

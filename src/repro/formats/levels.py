@@ -1,0 +1,260 @@
+"""Coordinate-hierarchy level descriptions (taco format abstraction).
+
+The taco papers "Format Abstraction for Sparse Tensor Algebra Compilers"
+(arXiv:1804.10112) and "Automatic Generation of Efficient Sparse Tensor
+Format Conversion Routines" (arXiv:2001.02609) describe a sparse format as
+a *hierarchy of per-mode level types* — dense, compressed, singleton, and
+friends — each carrying a small set of capability flags.  Iteration and
+conversion then become properties of the level composition instead of
+hand-written per-format code.
+
+This module is that description layer for the four first-class formats:
+
+========  ==========================================================
+format    level composition
+========  ==========================================================
+coo       ``compressed(m0)`` + ``singleton(m)`` for the other modes
+csf       ``compressed(m)`` per mode, in tree (``mode_order``) order
+hicoo     ``blocked(m, b)`` per mode — a block-grid coordinate split:
+          per-block 32-bit coordinates over Morton-ordered blocks plus
+          byte offsets inside each block
+alto      ``linearized(m, w)`` per mode — the mode's ``w`` bits
+          scattered round-robin through one adaptively packed key
+========  ==========================================================
+
+Capability flags follow the format-abstraction paper:
+
+* ``full``       — every coordinate in [0, dim) appears (dense levels);
+* ``ordered``    — coordinates appear in sorted order at this level;
+* ``unique``     — no coordinate repeats under one parent;
+* ``branchless`` — the level stores no child pointers (position-aligned
+  with its parent, like COO's singleton trail or HiCOO's offsets);
+* ``compact``    — no padding between stored coordinates.
+
+:func:`iterate_coords` is the generic level-driven iterator: it expands any
+described tensor back to ``(nnz, N)`` global coordinates plus values in the
+format's own storage order, replacing the hand-rolled ``to_coo`` walks that
+each format used to carry.  The direct converters of
+:mod:`repro.core.converters` are built on the same descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CAPABILITIES",
+    "LevelType",
+    "FormatLevels",
+    "describe",
+    "iterate_coords",
+    "level_signature",
+]
+
+#: flag names in presentation order (the paper's table-1 ordering)
+CAPABILITIES = ("full", "ordered", "unique", "branchless", "compact")
+
+
+@dataclass(frozen=True)
+class LevelType:
+    """One level of a format's coordinate hierarchy.
+
+    ``kind`` is the level-type name; ``mode`` the tensor mode whose
+    coordinates the level stores; ``meta`` carries per-level parameters
+    (HiCOO's ``block_bits``, ALTO's per-mode key width) as sorted
+    ``(key, value)`` pairs so instances stay hashable.
+    """
+
+    kind: str
+    mode: int
+    full: bool = False
+    ordered: bool = False
+    unique: bool = False
+    branchless: bool = False
+    compact: bool = True
+    meta: Tuple[Tuple[str, object], ...] = ()
+
+    def flags(self) -> str:
+        """Compact capability string, e.g. ``"-OU-C"`` for an ordered,
+        unique, compact level that is neither full nor branchless."""
+        return "".join(
+            letter.upper() if getattr(self, name) else "-"
+            for name, letter in zip(CAPABILITIES, "foubc"))
+
+    def describe(self) -> str:
+        extra = ",".join(f"{k}={v}" for k, v in self.meta)
+        return f"{self.kind}(m{self.mode}{',' + extra if extra else ''})"
+
+
+@dataclass(frozen=True)
+class FormatLevels:
+    """A format instance described as its per-mode level hierarchy."""
+
+    format_name: str
+    levels: Tuple[LevelType, ...]
+
+    def signature(self) -> str:
+        """Human/CI-readable level composition, root level first."""
+        return "·".join(lv.describe() for lv in self.levels)
+
+    def flags_table(self) -> str:
+        """One ``kind(mode)=FLAGS`` entry per level."""
+        return " ".join(f"{lv.describe()}={lv.flags()}" for lv in self.levels)
+
+
+def describe(tensor) -> FormatLevels:
+    """Level description of a concrete format instance (duck-typed on the
+    format's storage attributes, so no format module is imported here)."""
+    name = tensor.format_name
+    builder = _DESCRIBERS.get(name)
+    if builder is None:
+        raise ValueError(
+            f"no level description for format {name!r}; known: "
+            f"{sorted(_DESCRIBERS)}")
+    return FormatLevels(format_name=name, levels=tuple(builder(tensor)))
+
+
+def _describe_coo(tensor):
+    # COO in level terms: a compressed root holding the first mode's
+    # coordinates (duplicates allowed — one entry per nonzero), then a
+    # branchless singleton trail for the remaining modes.  Ordering is not
+    # part of the COO contract (permuted copies are legal), so `ordered`
+    # stays off.
+    yield LevelType("compressed", 0, unique=False, branchless=False)
+    for m in range(1, tensor.nmodes):
+        yield LevelType("singleton", m, branchless=True)
+
+
+def _describe_csf(tensor):
+    # CSF: every level is compressed, ordered and unique under its parent —
+    # the fiber tree of the SPLATT baseline.  Levels appear in tree order.
+    for m in tensor.mode_order:
+        yield LevelType("compressed", int(m), ordered=True, unique=True)
+
+
+def _describe_hicoo(tensor):
+    # HiCOO: each mode's coordinates are split at the block grid — a
+    # 32-bit per-block coordinate (Morton-ordered across blocks) plus a
+    # byte offset per nonzero.  The offset side is branchless: einds is
+    # position-aligned with the values, no pointer array.
+    b = int(tensor.block_bits)
+    for m in range(tensor.nmodes):
+        yield LevelType("blocked", m, ordered=True, branchless=True,
+                        meta=(("b", b),))
+
+
+def _describe_alto(tensor):
+    # ALTO: one linearized level per mode — the mode's adaptive bit width
+    # scattered through a single sorted key, so every level is ordered in
+    # key order and branchless (the key IS the position).
+    for m in range(tensor.nmodes):
+        yield LevelType("linearized", m, ordered=True, branchless=True,
+                        meta=(("w", int(tensor.widths[m])),))
+
+
+_DESCRIBERS: Dict[str, Callable] = {
+    "coo": _describe_coo,
+    "csf": _describe_csf,
+    "hicoo": _describe_hicoo,
+    "alto": _describe_alto,
+}
+
+
+def level_signature(tensor) -> str:
+    """Shorthand for ``describe(tensor).signature()``."""
+    return describe(tensor).signature()
+
+
+# ----------------------------------------------------------------------
+# generic level-driven iteration
+# ----------------------------------------------------------------------
+def iterate_coords(tensor):
+    """Expand a described tensor to ``(indices, values)``.
+
+    ``indices`` is a freshly allocated ``(nnz, N)`` int64 array of global
+    coordinates and ``values`` the nonzero values, both in the format's own
+    storage order (COO: as stored; CSF: lexicographic in ``mode_order``;
+    HiCOO: Morton blocks, offset-lex inside; ALTO: key order).  The walk is
+    driven by the level description: each level contributes its mode's
+    column via the expander for its level kind, deepest level first so
+    compressed levels can ascend their parent pointers.
+
+    This is the single iteration routine behind every format's ``to_coo``
+    and the assembly half of the direct converters.
+    """
+    desc = describe(tensor)
+    nnz = int(tensor.nnz)
+    indices = np.empty((nnz, tensor.nmodes), dtype=np.int64)
+    values = np.asarray(tensor.values, dtype=np.float64)
+    if nnz == 0:
+        return indices, values
+    state: dict = {"depth": len(desc.levels) - 1}
+    for level in reversed(desc.levels):
+        col = _EXPANDERS[level.kind](tensor, level, state)
+        indices[:, level.mode] = col
+        state["depth"] -= 1
+    return indices, values
+
+
+def _expand_singleton(tensor, level, state):
+    # branchless coordinate trail: one stored coordinate per nonzero
+    return tensor.indices[:, level.mode]
+
+
+def _expand_compressed(tensor, level, state):
+    levels = getattr(tensor, "levels", None)
+    if levels is None:
+        # COO's compressed root stores one coordinate per nonzero outright
+        return tensor.indices[:, level.mode]
+    # CSF: expand this depth's node ids down to the leaves, then ascend
+    # the parent pointers for the next (shallower) level.
+    depth = state["depth"]
+    node = state.get("node")
+    csf_level = levels[depth]
+    if node is None:
+        # leaf level: one node per nonzero, so the identity gather is free
+        state["node"] = csf_level.parent if depth > 0 else None
+        return csf_level.fids
+    col = csf_level.fids[node]
+    state["node"] = csf_level.parent[node] if depth > 0 else node
+    return col
+
+
+def _expand_blocked(tensor, level, state):
+    # HiCOO: global coordinate = (block coordinate << b) + byte offset.
+    coords = state.get("block_coords")
+    if coords is None:
+        gi = getattr(tensor, "global_indices", None)
+        if gi is not None:
+            # HicooTensor memoizes the full expansion in its gather cache
+            coords = gi()
+        else:
+            # duck-typed stand-ins without the cache expand mode by mode
+            block_of = np.repeat(np.arange(len(tensor.binds)),
+                                 np.diff(tensor.bptr))
+            b = dict(level.meta)["b"]
+            base = tensor.binds.astype(np.int64) << b
+            coords = base[block_of] + tensor.einds.astype(np.int64)
+        state["block_coords"] = coords
+    return coords[:, level.mode]
+
+
+def _expand_linearized(tensor, level, state):
+    # ALTO: delinearize the packed keys once (memoized per-tensor masks),
+    # then each level reads its mode's column.
+    coords = state.get("coords")
+    if coords is None:
+        coords = tensor.delinearized()
+        state["coords"] = coords
+    return coords[:, level.mode]
+
+
+_EXPANDERS: Dict[str, Callable] = {
+    "singleton": _expand_singleton,
+    "compressed": _expand_compressed,
+    "blocked": _expand_blocked,
+    "linearized": _expand_linearized,
+}

@@ -102,7 +102,8 @@ class TensorEntry:
         self.registered_at = time.time()
         self.jobs_run = 0
         self._coo = tensor if tensor.format_name == "coo" else None
-        self._plans: Dict[Tuple[int, int], object] = {}
+        self._views: Dict[str, object] = {}
+        self._plans: Dict[Tuple[str, int, int], object] = {}
         self._lock = threading.Lock()
 
     def coo(self):
@@ -112,34 +113,82 @@ class TensorEntry:
                 self._coo = self.tensor.to_coo()
             return self._coo
 
-    def plan_for(self, rank: int, nthreads: int):
+    def view_as(self, fmt: Optional[str]):
+        """The resident tensor re-formatted on demand (memoized per format).
+
+        Conversion goes through the direct converter registry
+        (:mod:`repro.core.converters`), so re-formatting a resident CSF /
+        HiCOO / ALTO tensor never re-materializes an intermediate COO —
+        the first request pays one direct conversion, every later request
+        is a dict hit.
+        """
+        if fmt is None or fmt == self.tensor.format_name:
+            return self.tensor
+        if fmt == "coo":
+            return self.coo()
+        with self._lock:
+            view = self._views.get(fmt)
+            if view is None:
+                from ..core.converters import convert
+
+                with trace.span("serve.view_build", tensor=self.name,
+                                fmt=fmt):
+                    view = convert(self.tensor, fmt)
+                self._views[fmt] = view
+                metrics.inc("serve.views_built", labels={"format": fmt})
+            else:
+                metrics.inc("serve.view_reuses", labels={"format": fmt})
+            return view
+
+    def plan_for(self, rank: int, nthreads: int, tensor=None):
         """Memoized MTTKRP plan (HiCOO only) — the one-time symbolic cost
-        a resident service amortizes across the request stream."""
-        if self.tensor.format_name != "hicoo" or nthreads < 1:
+        a resident service amortizes across the request stream.  ``tensor``
+        selects a re-formatted view (default: the registered tensor)."""
+        tensor = self.tensor if tensor is None else tensor
+        if tensor.format_name != "hicoo" or nthreads < 1:
             return None
-        key = (rank, nthreads)
+        key = (tensor.format_name, rank, nthreads)
         with self._lock:
             plan = self._plans.get(key)
             if plan is None:
                 from ..kernels.plan import plan_mttkrp
 
-                plan = plan_mttkrp(self.tensor, rank, nthreads,
+                plan = plan_mttkrp(tensor, rank, nthreads,
                                    strategy="schedule")
-                plan.ensure_gathers(self.tensor)
+                plan.ensure_gathers(tensor)
                 self._plans[key] = plan
                 metrics.inc("serve.plans_built")
             else:
                 metrics.inc("serve.plan_reuses")
             return plan
 
+    def release(self) -> None:
+        """Tear down shared-memory sessions for the tensor and every
+        memoized view (views can host their own sessions once a job has
+        run against them on the process backend)."""
+        from ..parallel.procpool import release_shared
+
+        release_shared(self.tensor)
+        with self._lock:
+            views = list(self._views.values())
+            coo = self._coo
+        for view in views:
+            release_shared(view)
+        if coo is not None and coo is not self.tensor:
+            release_shared(coo)
+
     def describe(self) -> dict:
+        from ..formats.levels import level_signature
+
         return {
             "name": self.name,
             "format": self.tensor.format_name,
+            "levels": level_signature(self.tensor),
             "shape": [int(s) for s in self.tensor.shape],
             "nnz": int(self.tensor.nnz),
             "jobs_run": self.jobs_run,
             "plans_cached": len(self._plans),
+            "views_cached": sorted(self._views),
         }
 
 
@@ -254,10 +303,8 @@ class ReproDaemon:
         with self._tensors_lock:
             entries = list(self._tensors.values())
             self._tensors.clear()
-        from ..parallel.procpool import release_shared
-
         for entry in entries:
-            release_shared(entry.tensor)
+            entry.release()
         self._started = False
 
     def __enter__(self) -> "ReproDaemon":
@@ -295,9 +342,7 @@ class ReproDaemon:
             entry = self._tensors.pop(name, None)
         if entry is None:
             return False
-        from ..parallel.procpool import release_shared
-
-        release_shared(entry.tensor)
+        entry.release()
         metrics.set_gauge("serve.resident_tensors", len(self._tensors))
         return True
 
@@ -446,7 +491,8 @@ class ReproDaemon:
                   mode=int(obj.get("mode", 0)),
                   iters=int(obj.get("iters", 3)),
                   priority=int(obj.get("priority", 1)), client=client,
-                  return_data=bool(obj.get("return_data", False)))
+                  return_data=bool(obj.get("return_data", False)),
+                  format=obj.get("format"))
         job.submitted_at_monotonic = time.monotonic()
         with self._jobs_lock:
             self._jobs[job_id] = job
@@ -520,17 +566,28 @@ class ReproDaemon:
                              "message": str(exc)}
                 job.done.set()
             return
+        # jobs in one batch share a batch_key, hence one format override:
+        # resolve the (memoized) view once, plan against it
+        try:
+            view = entry.view_as(head.format)
+        except Exception as exc:  # noqa: BLE001 — conversion failure != death
+            for job in batch:
+                job.state = "failed"
+                job.error = {"code": "job_failed", "status": 500,
+                             "message": f"{type(exc).__name__}: {exc}"}
+                job.done.set()
+            return
         plan = None
         if head.op == "mttkrp" and self.nthreads > 1:
-            plan = entry.plan_for(head.rank, self.nthreads)
+            plan = entry.plan_for(head.rank, self.nthreads, tensor=view)
         with trace.span("serve.batch", op=head.op, tensor=head.tensor,
                         jobs=len(batch)):
             for job in batch:
                 job.batch_size = len(batch)
-                self._run_one(job, entry, plan)
+                self._run_one(job, entry, plan, view)
         entry.jobs_run += len(batch)
 
-    def _run_one(self, job: Job, entry: TensorEntry, plan) -> None:
+    def _run_one(self, job: Job, entry: TensorEntry, plan, view) -> None:
         job.state = "running"
         started = time.monotonic()
         job.queued_s = started - (job.submitted_at_monotonic
@@ -538,7 +595,7 @@ class ReproDaemon:
                                   else started)
         self._local.job = job
         job.start_ns = time.perf_counter_ns()
-        tensor = entry.tensor if job.op != "ttm" else entry.coo()
+        tensor = view if job.op != "ttm" else entry.coo()
         try:
             with trace.span("serve.job", job=job.id, op=job.op,
                             tensor=job.tensor, client=job.client):

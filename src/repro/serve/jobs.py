@@ -55,6 +55,9 @@ class Job:
     priority: int = 1
     client: str = ""
     return_data: bool = False
+    #: execution format override — run against the resident tensor's
+    #: memoized ``view_as(format)`` instead of the registered format
+    format: Optional[str] = None
 
     state: str = "queued"
     result: Optional[dict] = None
@@ -70,12 +73,13 @@ class Job:
     done: threading.Event = field(default_factory=threading.Event,
                                   repr=False, compare=False)
 
-    #: the (op, tensor, mode, rank) compatibility key: jobs sharing it can
-    #: ride one batch (same plan, same shared-memory session, same gathers)
+    #: the (op, tensor, mode, rank, format) compatibility key: jobs sharing
+    #: it can ride one batch (same plan, same shared-memory session, same
+    #: gathers — and, with a format override, the same resident view)
     @property
     def batch_key(self) -> tuple:
         if self.op == "mttkrp":
-            return (self.op, self.tensor, self.mode, self.rank)
+            return (self.op, self.tensor, self.mode, self.rank, self.format)
         return (self.op, self.tensor, self.mode, self.rank, self.iters,
                 self.id)  # non-MTTKRP jobs never batch
 
@@ -97,6 +101,8 @@ class Job:
             "queued_s": round(self.queued_s, 6),
             "run_s": round(self.run_s, 6),
         }
+        if self.format is not None:
+            out["format"] = self.format
         if self.result is not None:
             out["result"] = {k: v for k, v in self.result.items()
                              if k != "arrays"}

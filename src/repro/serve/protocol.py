@@ -198,6 +198,15 @@ def validate_request(obj: dict) -> Tuple[str, dict]:
             _int_field(obj, "mode", 0, MAX_NDIM - 1)
         if op == "cp_als":
             _int_field(obj, "iters", 1, MAX_ITERS, default=3)
+        fmt = obj.get("format")
+        if fmt is not None:
+            from ..formats import FORMAT_NAMES
+
+            if not isinstance(fmt, str) or fmt not in FORMAT_NAMES:
+                raise ProtocolError(
+                    "invalid_request",
+                    f"field 'format' must be one of {FORMAT_NAMES}, "
+                    f"got {fmt!r}")
     elif op == "register":
         _need(obj, "name", str, "a string")
         spec = _need(obj, "spec", dict, "an object")

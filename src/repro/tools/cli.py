@@ -288,6 +288,8 @@ def cmd_info(args) -> int:
     if getattr(args, "tensor", None):
         from ..analysis.model import format_stats
         from ..core.tuner import choose_format
+        from ..formats import as_format
+        from ..formats.levels import describe as describe_levels
 
         coo = _read_tensor(args.tensor)
         stats = format_stats(coo)
@@ -296,6 +298,13 @@ def cmd_info(args) -> int:
         print(f"  alpha_b={stats.alpha_b:.3f} mode_skew={stats.mode_skew:.2f} "
               f"fiber_reuse={stats.fiber_reuse:.2f}")
         print(f"  tuner would pick: {choose_format(stats=stats)}")
+        print("  per-format storage / level types:")
+        for fmt in FORMAT_NAMES:
+            t = as_format(coo, fmt)
+            desc = describe_levels(t)
+            print(f"    {fmt:<6s}: {t.total_bytes():>12,d} B "
+                  f"({t.bytes_per_nnz():6.2f} B/nnz)  {desc.signature()}")
+            print(f"    {'':<6s}  {desc.flags_table()}")
     prefix = getattr(args, "prefix", None)
     if prefix is not None:
         print(f"metrics (prefix={prefix!r}):")
@@ -373,6 +382,8 @@ def cmd_submit(args) -> int:
                 req["mode"] = args.mode
             if args.op == "cp_als":
                 req["iters"] = args.iters
+            if args.exec_format:
+                req["format"] = args.exec_format
         elif args.op == "register":
             if not (args.tensor_name and args.spec):
                 raise SystemExit("error: register needs --tensor-name "
@@ -583,6 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--priority", type=int, default=1)
     p.add_argument("--spec", default=None, metavar="SPEC_JSON",
                    help="synthetic-tensor spec for --op register")
+    p.add_argument("-f", "--format", dest="exec_format", default=None,
+                   choices=["coo", "csf", "hicoo", "alto"],
+                   help="execution format override for job ops: the daemon "
+                        "runs against a memoized re-formatted view of the "
+                        "resident tensor (direct conversion, no COO "
+                        "round-trip)")
     p.add_argument("--timeout", type=float, default=300.0)
     p.add_argument("--request", default=None, metavar="JSON",
                    help="raw request object (overrides every other flag)")

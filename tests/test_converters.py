@@ -1,0 +1,299 @@
+"""Direct format converters: bitwise identity against the COO round-trip.
+
+Every registered direct converter must produce storage *bitwise identical*
+to ``convert_via_coo`` — the structural arrays of the target format (HiCOO
+``bptr``/``binds``/``einds``, CSF levels, ALTO keys/``source_order``) and
+the values, not merely the same tensor semantically.  The suite fuzzes the
+property over orders 3–5, skewed and hyper-sparse distributions, and
+shapes whose packed keys spill into a second 64-bit word, then pins the
+fallback path (unregistered pairs round-trip through COO and tick
+``convert.fallbacks``) and the serve-layer view plumbing on top.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import converters
+from repro.core.converters import (convert, convert_via_coo,
+                                   converter_matrix)
+from repro.core.hicoo import DEFAULT_BLOCK_BITS
+from repro.core.tuner import retarget
+from repro.formats import FORMAT_NAMES, as_format
+from repro.formats.coo import CooTensor
+from repro.formats.levels import (describe, iterate_coords,
+                                  level_signature)
+from repro.obs import metrics
+from tests.conftest import make_random_coo
+
+NON_COO = ("csf", "hicoo", "alto")
+
+#: registered direct pairs with distinct endpoints
+DIRECT_PAIRS = [(s, d) for s in NON_COO for d in NON_COO if s != d]
+
+
+def fuzz_tensor(kind: str, seed: int = 0) -> CooTensor:
+    """Fuzz corpus: one named structural regime per kind."""
+    rng = np.random.default_rng(seed)
+    if kind == "dense3":  # order 3, blocks mostly populated
+        return make_random_coo((48, 40, 32), 6000, seed=seed)
+    if kind == "order4":
+        return make_random_coo((30, 9, 17, 22), 2500, seed=seed)
+    if kind == "order5":
+        return make_random_coo((13, 8, 21, 6, 11), 1800, seed=seed)
+    if kind == "skewed":  # power-law mode-0 slice sizes
+        n0 = (rng.pareto(1.0, 3000) * 5).astype(np.int64) % 2000
+        inds = np.column_stack([n0, rng.integers(0, 7, 3000),
+                                rng.integers(0, 97, 3000)])
+        return CooTensor((2000, 7, 97), inds, rng.normal(size=3000))
+    if kind == "hyper_sparse":  # 3 modes x 2^22: multi-word ALTO keys
+        shape = (1 << 22, 1 << 22, 1 << 22)
+        inds = np.column_stack([rng.integers(0, s, 1500) for s in shape])
+        return CooTensor(shape, inds, rng.normal(size=1500))
+    if kind == "multiword5":  # 5 modes x 2^14 = 70 key bits
+        shape = (1 << 14,) * 5
+        inds = np.column_stack([rng.integers(0, s, 2000) for s in shape])
+        return CooTensor(shape, inds, rng.normal(size=2000))
+    raise ValueError(kind)
+
+
+FUZZ_KINDS = ("dense3", "order4", "order5", "skewed", "hyper_sparse",
+              "multiword5")
+
+
+# ----------------------------------------------------------------------
+# structural equality per target format
+# ----------------------------------------------------------------------
+def assert_same_hicoo(a, b):
+    assert a.shape == b.shape and a.block_bits == b.block_bits
+    for f in ("bptr", "binds", "einds", "values"):
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+
+
+def assert_same_csf(a, b):
+    assert a.shape == b.shape and a.mode_order == b.mode_order
+    assert np.array_equal(a.values, b.values)
+    assert len(a.levels) == len(b.levels)
+    for la, lb in zip(a.levels, b.levels):
+        assert np.array_equal(la.fids, lb.fids)
+        assert np.array_equal(la.parent, lb.parent)
+        assert (la.fptr is None) == (lb.fptr is None)
+        if la.fptr is not None:
+            assert np.array_equal(la.fptr, lb.fptr)
+
+
+def assert_same_alto(a, b):
+    assert a.shape == b.shape and a.widths == b.widths
+    for f in ("keys", "values", "source_order"):
+        assert np.array_equal(getattr(a, f), getattr(b, f)), f
+
+
+ASSERT_SAME = {"hicoo": assert_same_hicoo, "csf": assert_same_csf,
+               "alto": assert_same_alto}
+
+
+def assert_same(a, b):
+    assert a.format_name == b.format_name
+    ASSERT_SAME[a.format_name](a, b)
+
+
+# ----------------------------------------------------------------------
+# the core property: direct == COO round-trip, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", FUZZ_KINDS)
+@pytest.mark.parametrize("src,dst", DIRECT_PAIRS)
+def test_direct_matches_roundtrip(kind, src, dst):
+    coo = fuzz_tensor(kind)
+    tensor = as_format(coo, src, **({"block_bits": 4} if src == "hicoo"
+                                    else {}))
+    kwargs = {"block_bits": 4} if dst == "hicoo" else {}
+    assert_same(convert(tensor, dst, **kwargs),
+                convert_via_coo(tensor, dst, **kwargs))
+
+
+@pytest.mark.parametrize("src", NON_COO)
+def test_direct_to_coo_matches_iteration_order(src):
+    tensor = as_format(fuzz_tensor("order4"), src)
+    direct = convert(tensor, "coo")
+    inds, vals = iterate_coords(tensor)
+    assert np.array_equal(direct.indices, inds)
+    assert np.array_equal(direct.values, vals)
+
+
+@pytest.mark.parametrize("kind", ["dense3", "hyper_sparse"])
+def test_reblock_and_reroot_direct(kind):
+    coo = fuzz_tensor(kind)
+    hic = as_format(coo, "hicoo", block_bits=3)
+    assert convert(hic, "hicoo", block_bits=3) is hic  # no-op re-block
+    assert_same(convert(hic, "hicoo", block_bits=6),
+                convert_via_coo(hic, "hicoo", block_bits=6))
+    csf = as_format(coo, "csf")
+    assert convert(csf, "csf", mode_order=csf.mode_order) is csf
+    other = tuple(reversed(range(coo.nmodes)))
+    assert_same(convert(csf, "csf", mode_order=other),
+                convert_via_coo(csf, "csf", mode_order=other))
+
+
+def test_empty_tensor_all_pairs():
+    empty = CooTensor((9, 9, 9), np.empty((0, 3), np.int64), np.empty(0))
+    for src in NON_COO:
+        tensor = as_format(empty, src)
+        for dst in FORMAT_NAMES:
+            out = convert(tensor, dst)
+            assert out.nnz == 0 and out.shape == (9, 9, 9)
+
+
+def test_identity_short_circuit():
+    for fmt in FORMAT_NAMES:
+        t = as_format(fuzz_tensor("dense3"), fmt)
+        assert as_format(t, fmt) is t
+
+
+def test_default_block_bits_matches_constructor_default():
+    csf = as_format(fuzz_tensor("dense3"), "csf")
+    assert convert(csf, "hicoo").block_bits == DEFAULT_BLOCK_BITS
+
+
+# ----------------------------------------------------------------------
+# registry, fallback accounting, metrics
+# ----------------------------------------------------------------------
+def test_converter_matrix_every_pair_direct():
+    matrix = converter_matrix()
+    assert set(matrix) == {(s, d) for s in FORMAT_NAMES
+                           for d in FORMAT_NAMES}
+    # with all six cross-pairs registered plus the COO endpoints, nothing
+    # in the shipped registry falls back
+    assert "fallback" not in matrix.values()
+    assert matrix[("alto", "alto")] == "identity"
+
+
+def test_direct_conversions_tick_metric():
+    tensor = as_format(fuzz_tensor("dense3"), "csf")
+    before = metrics.value("convert.direct")
+    convert(tensor, "hicoo", block_bits=4)
+    assert metrics.value("convert.direct") == before + 1
+
+
+def test_unregistered_pair_falls_back_and_ticks():
+    tensor = as_format(fuzz_tensor("dense3"), "csf")
+    removed = converters._REGISTRY.pop(("csf", "alto"))
+    try:
+        before = metrics.value("convert.fallbacks")
+        out = convert(tensor, "alto")
+        assert metrics.value("convert.fallbacks") == before + 1
+        assert_same(out, removed(tensor))  # fallback result == direct result
+    finally:
+        converters._REGISTRY[("csf", "alto")] = removed
+
+
+def test_convert_rejects_unknown_format():
+    with pytest.raises(ValueError, match="unknown format"):
+        convert(fuzz_tensor("dense3"), "dense")
+
+
+def test_reblock_rejects_out_of_range_bits():
+    hic = as_format(fuzz_tensor("dense3"), "hicoo", block_bits=4)
+    with pytest.raises(ValueError, match="block_bits"):
+        convert(hic, "hicoo", block_bits=9)
+
+
+# ----------------------------------------------------------------------
+# level descriptions
+# ----------------------------------------------------------------------
+def test_level_signatures():
+    coo = fuzz_tensor("dense3")
+    assert level_signature(coo) == (
+        "compressed(m0)·singleton(m1)·singleton(m2)")
+    hic = as_format(coo, "hicoo", block_bits=4)
+    assert level_signature(hic) == (
+        "blocked(m0,b=4)·blocked(m1,b=4)·blocked(m2,b=4)")
+    csf = as_format(coo, "csf", mode_order=(2, 0, 1))
+    assert level_signature(csf).startswith("compressed(m2)")
+    alto = as_format(coo, "alto")
+    assert all(lv.kind == "linearized" for lv in describe(alto).levels)
+
+
+def test_level_capability_flags():
+    coo = fuzz_tensor("dense3")
+    desc = describe(as_format(coo, "csf"))
+    for lv in desc.levels:  # CSF levels: ordered + unique + compact
+        assert lv.flags() == "-OU-C"
+    desc = describe(as_format(coo, "hicoo", block_bits=4))
+    for lv in desc.levels:  # HiCOO levels: ordered + branchless + compact
+        assert lv.flags() == "-O-BC"
+        assert dict(lv.meta)["b"] == 4
+    root, *rest = describe(coo).levels
+    assert root.kind == "compressed" and not root.unique
+    assert all(lv.branchless for lv in rest)
+
+
+def test_describe_rejects_unknown_format():
+    class Weird:
+        format_name = "weird"
+
+    with pytest.raises(ValueError, match="no level description"):
+        describe(Weird())
+
+
+# ----------------------------------------------------------------------
+# tuner retarget
+# ----------------------------------------------------------------------
+def test_retarget_converts_to_chosen_format():
+    # dense blocks -> the rule picks hicoo; retarget must deliver it
+    # through the direct path regardless of the source format
+    coo = make_random_coo((24, 24, 24), 6000, seed=5)
+    fallbacks = metrics.value("convert.fallbacks")
+    out = retarget(as_format(coo, "csf"))
+    assert out.format_name == "hicoo"
+    assert metrics.value("convert.fallbacks") == fallbacks
+    assert_same_hicoo(out, as_format(coo, "hicoo"))
+
+
+def test_retarget_identity_when_already_chosen():
+    coo = make_random_coo((24, 24, 24), 6000, seed=5)
+    hic = as_format(coo, "hicoo")
+    assert retarget(hic) is hic
+
+
+# ----------------------------------------------------------------------
+# serve plumbing: resident views
+# ----------------------------------------------------------------------
+def test_tensor_entry_views_memoized_and_direct():
+    from repro.serve.daemon import TensorEntry
+
+    entry = TensorEntry("t", as_format(fuzz_tensor("dense3"), "hicoo",
+                                       block_bits=4))
+    fallbacks = metrics.value("convert.fallbacks")
+    v1 = entry.view_as("alto")
+    assert v1.format_name == "alto"
+    assert entry.view_as("alto") is v1  # memoized
+    assert entry.view_as(None) is entry.tensor
+    assert entry.view_as("hicoo") is entry.tensor
+    assert metrics.value("convert.fallbacks") == fallbacks
+    desc = entry.describe()
+    assert desc["views_cached"] == ["alto"]
+    assert desc["levels"].startswith("blocked(m0,b=4)")
+    entry.release()  # no sessions attached: must be a clean no-op
+
+
+def test_job_batch_key_separates_formats():
+    from repro.serve.jobs import Job
+
+    a = Job(id="a", op="mttkrp", tensor="t", rank=4, seed=0, format="alto")
+    b = Job(id="b", op="mttkrp", tensor="t", rank=4, seed=1, format="alto")
+    c = Job(id="c", op="mttkrp", tensor="t", rank=4, seed=0, format="csf")
+    d = Job(id="d", op="mttkrp", tensor="t", rank=4, seed=0)
+    assert a.batch_key == b.batch_key  # same view, batchable
+    assert len({a.batch_key, c.batch_key, d.batch_key}) == 3
+    assert a.describe()["format"] == "alto"
+    assert "format" not in d.describe()
+
+
+def test_protocol_validates_format_field():
+    from repro.serve.protocol import ProtocolError, validate_request
+
+    ok = {"op": "mttkrp", "tensor": "t", "rank": 4, "mode": 0,
+          "format": "alto"}
+    assert validate_request(dict(ok))[0] == "mttkrp"
+    for bad in ("dense", 3, ""):
+        with pytest.raises(ProtocolError, match="format"):
+            validate_request({**ok, "format": bad})
